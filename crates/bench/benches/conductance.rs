@@ -1,0 +1,25 @@
+//! E1 bench: critical and average weighted conductance (exact vs sweep).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gossip_conductance::{analyze, Method};
+use gossip_graph::generators;
+
+fn bench_conductance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_conductance");
+    group.sample_size(10);
+
+    let small = generators::dumbbell(6, 16).unwrap();
+    group.bench_function("exact_dumbbell_12", |b| {
+        b.iter_batched(|| small.clone(), |g| analyze(&g, Method::Exact).unwrap(), BatchSize::SmallInput)
+    });
+
+    let medium = generators::ring_of_cliques(8, 8, 16).unwrap();
+    group.bench_function("sweep_ring_of_cliques_64", |b| {
+        b.iter_batched(|| medium.clone(), |g| analyze(&g, Method::SweepCut).unwrap(), BatchSize::SmallInput)
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_conductance);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! F8 bench: the ell-DTG local-broadcast building block.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gossip_core::dtg;
+use gossip_graph::generators;
+
+fn bench_dtg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f8_ell_dtg");
+    group.sample_size(10);
+
+    for (n, ell) in [(32usize, 1u64), (32, 4), (64, 1)] {
+        let g = generators::clique(n, ell).unwrap();
+        group.bench_function(format!("dtg_clique_n{n}_ell{ell}"), |b| {
+            b.iter(|| dtg::local_broadcast(&g, ell, 1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dtg);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E2/E3 bench: the guessing game under the singleton and Random_p predicates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gossip_lowerbound::game::GuessingGame;
+use gossip_lowerbound::predicates::TargetPredicate;
+use gossip_lowerbound::strategies::{play, FreshGreedy, RandomGuessing};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_game(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_e3_guessing_game");
+    group.sample_size(10);
+
+    group.bench_function("singleton_m64_random_guessing", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| {
+            let game = GuessingGame::new(64, TargetPredicate::Singleton, &mut rng);
+            play(game, &mut RandomGuessing, 1_000_000, &mut rng)
+        })
+    });
+
+    group.bench_function("random_p0.1_m64_fresh_greedy", |b| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        b.iter(|| {
+            let game = GuessingGame::new(64, TargetPredicate::Random { p: 0.1 }, &mut rng);
+            play(game, &mut FreshGreedy::default(), 1_000_000, &mut rng)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_game);
+criterion_main!(benches);

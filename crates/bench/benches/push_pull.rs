@@ -1,0 +1,24 @@
+//! E5 bench: push-pull broadcast on the planted slow-cut expander family.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gossip_core::push_pull;
+use gossip_graph::{generators, NodeId};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_push_pull(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_push_pull");
+    group.sample_size(10);
+    let mut rng = SmallRng::seed_from_u64(5);
+
+    for (n, slow) in [(64usize, 4u64), (64, 32)] {
+        let g = generators::slow_cut_expander(n, 6, slow, &mut rng).unwrap();
+        group.bench_function(format!("broadcast_n{n}_slow{slow}"), |b| {
+            b.iter(|| push_pull::broadcast(&g, NodeId::new(0), 9))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_push_pull);
+criterion_main!(benches);

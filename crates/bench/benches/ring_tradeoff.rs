@@ -1,0 +1,25 @@
+//! E4 bench: push-pull broadcast on the Theorem-13 ring of gadgets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gossip_core::push_pull;
+use gossip_graph::NodeId;
+use gossip_lowerbound::gadgets::theorem13_ring;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_ring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_ring_tradeoff");
+    group.sample_size(10);
+    let mut rng = SmallRng::seed_from_u64(3);
+
+    for ell in [2u64, 32] {
+        let ring = theorem13_ring(4, 4, ell, &mut rng).unwrap();
+        group.bench_function(format!("push_pull_ring_ell_{ell}"), |b| {
+            b.iter(|| push_pull::broadcast(&ring.graph, NodeId::new(0), 7))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! The experiment runner: regenerates every table recorded in `EXPERIMENTS.md`.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments [EXPERIMENT-ID ...] [--quick] [--json] [--markdown]
+//! ```
+//!
+//! With no experiment ids, every experiment (E1–E8, F1, F2, F8) is run.
+//! `--quick` uses the smaller parameter sweeps (the ones the test-suite and
+//! `cargo bench` use); the default is the full sweep recorded in
+//! `EXPERIMENTS.md`.  `--json` and `--markdown` change the output format from
+//! the plain-text tables.
+
+use std::process::ExitCode;
+
+use gossip_bench::experiments;
+use gossip_bench::{Scale, Table};
+
+struct Options {
+    ids: Vec<String>,
+    scale: Scale,
+    json: bool,
+    markdown: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut ids = Vec::new();
+    let mut scale = Scale::Full;
+    let mut json = false;
+    let mut markdown = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--full" => scale = Scale::Full,
+            "--json" => json = true,
+            "--markdown" => markdown = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: experiments [e1|e2|e3|e4|e5|e6|e7|e8|f1|f2|f8|all ...] [--quick] [--json] [--markdown]"
+                        .to_string(),
+                )
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option '{other}' (try --help)"))
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids.push("all".to_string());
+    }
+    Ok(Options { ids, scale, json, markdown })
+}
+
+fn emit(table: &Table, options: &Options) {
+    if options.json {
+        println!("{}", table.to_json());
+    } else if options.markdown {
+        println!("{}", table.to_markdown());
+    } else {
+        println!("{table}");
+    }
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for id in &options.ids {
+        match experiments::run_one(id, options.scale) {
+            Some(tables) => {
+                for table in tables {
+                    emit(&table, &options);
+                    println!();
+                }
+            }
+            None => {
+                eprintln!("unknown experiment id '{id}' (expected e1..e8, f1, f2, f8, or all)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

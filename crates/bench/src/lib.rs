@@ -1,0 +1,38 @@
+//! # gossip-bench
+//!
+//! The experiment harness: one function per entry of the experiment index in
+//! `DESIGN.md` (E1–E8, F1, F2, F8).  Each experiment returns a [`Table`] whose
+//! rows are also serialisable to JSON, and the `experiments` binary prints
+//! them in the exact form recorded in `EXPERIMENTS.md`.
+//!
+//! The Criterion benches under `benches/` reuse the same workload
+//! constructors with smaller parameters so that `cargo bench` exercises every
+//! experiment end to end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use table::{Cell, Table};
+
+/// How large the experiment sweeps should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Small parameters — used by `cargo bench` and the test-suite.
+    Quick,
+    /// The parameters recorded in `EXPERIMENTS.md`.
+    #[default]
+    Full,
+}
+
+impl Scale {
+    /// Picks between the quick and full value.
+    pub fn pick<T: Copy>(self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Minimal table type used to report experiment results.
+
+use std::fmt;
+
+use serde::Serialize;
+
+/// One cell of an experiment table.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+#[serde(untagged)]
+pub enum Cell {
+    /// A text cell.
+    Text(String),
+    /// An integer cell.
+    Int(i64),
+    /// A floating-point cell (printed with three decimals).
+    Float(f64),
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Text(s.to_string())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Text(s)
+    }
+}
+
+impl From<u64> for Cell {
+    fn from(v: u64) -> Self {
+        Cell::Int(v as i64)
+    }
+}
+
+impl From<usize> for Cell {
+    fn from(v: usize) -> Self {
+        Cell::Int(v as i64)
+    }
+}
+
+impl From<i64> for Cell {
+    fn from(v: i64) -> Self {
+        Cell::Int(v)
+    }
+}
+
+impl From<f64> for Cell {
+    fn from(v: f64) -> Self {
+        Cell::Float(v)
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cell::Text(s) => write!(f, "{s}"),
+            Cell::Int(v) => write!(f, "{v}"),
+            Cell::Float(v) => write!(f, "{v:.3}"),
+        }
+    }
+}
+
+/// A titled table of experiment results.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Experiment identifier and description.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and column headers.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the number of columns.
+    pub fn push_row(&mut self, row: Vec<Cell>) {
+        assert_eq!(row.len(), self.columns.len(), "row length must match the column count");
+        self.rows.push(row);
+    }
+
+    /// Serialises the table to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("table serialisation cannot fail")
+    }
+
+    /// Renders the table as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.columns.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(Cell::to_string).collect();
+            out.push_str(&format!("| {} |\n", cells.join(" | ")));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| row.iter().map(Cell::to_string).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>width$}", width = widths[i]))
+            .collect();
+        writeln!(f, "{}", header.join("  "))?;
+        for row in &rendered {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>width$}", width = widths[i]))
+                .collect();
+            writeln!(f, "{}", line.join("  "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("E0: demo", &["n", "rounds", "ratio"]);
+        t.push_row(vec![Cell::from(16usize), Cell::from(40u64), Cell::from(2.5)]);
+        t.push_row(vec![Cell::from(32usize), Cell::from(90u64), Cell::from(2.8)]);
+        t
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let s = sample().to_string();
+        assert!(s.contains("E0: demo"));
+        assert!(s.contains("16"));
+        assert!(s.contains("2.800"));
+    }
+
+    #[test]
+    fn markdown_has_header_separator() {
+        let md = sample().to_markdown();
+        assert!(md.contains("| n | rounds | ratio |"));
+        assert!(md.contains("|---|---|---|"));
+    }
+
+    #[test]
+    fn json_round_trips_structure() {
+        let json = sample().to_json();
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value["title"], "E0: demo");
+        assert_eq!(value["rows"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row length")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new("bad", &["a", "b"]);
+        t.push_row(vec![Cell::from(1u64)]);
+    }
+}

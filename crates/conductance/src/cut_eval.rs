@@ -1,0 +1,139 @@
+//! Per-cut conductance quantities (Definitions 1 and 3 of the paper).
+
+use gossip_graph::cut::{latency_class_count, Cut};
+use gossip_graph::{Graph, Latency};
+
+/// Weight-ℓ conductance of a single cut (Definition 1):
+/// `φ_ℓ(C) = |E_ℓ(C)| / min(Vol(U), Vol(V∖U))`.
+///
+/// Returns `None` for improper cuts (one side empty) or cuts whose smaller
+/// side has zero volume (isolated nodes), for which the ratio is undefined.
+pub fn phi_ell_of_cut(g: &Graph, cut: &Cut, ell: Latency) -> Option<f64> {
+    if !cut.is_proper() {
+        return None;
+    }
+    let min_vol = cut.min_volume(g);
+    if min_vol == 0 {
+        return None;
+    }
+    Some(cut.cut_edges_within(g, ell) as f64 / min_vol as f64)
+}
+
+/// Average cut conductance of a single cut (Definition 3):
+/// `φ_avg(C) = (1/S) Σ_i |k_i(C)| / 2^i` where `k_i(C)` are the cut edges in
+/// latency class `i` and `S = min(Vol(U), Vol(V∖U))`.
+///
+/// Returns `None` for improper cuts or cuts whose smaller side has zero volume.
+pub fn phi_avg_of_cut(g: &Graph, cut: &Cut) -> Option<f64> {
+    if !cut.is_proper() {
+        return None;
+    }
+    let min_vol = cut.min_volume(g);
+    if min_vol == 0 {
+        return None;
+    }
+    let counts = cut.latency_class_counts(g);
+    let mut sum = 0.0;
+    for (i, &count) in counts.iter().enumerate() {
+        let class = i + 1;
+        sum += count as f64 / f64::powi(2.0, class as i32);
+    }
+    Some(sum / min_vol as f64)
+}
+
+/// Number of *non-empty* latency classes `L` in the graph: class `i` is
+/// non-empty if some edge has latency in `(2^{i-1}, 2^i]` (class 1 covers
+/// latencies 1 and 2).  Theorem 5's upper bound uses this quantity.
+pub fn nonempty_latency_classes(g: &Graph) -> usize {
+    let classes = latency_class_count(g.max_latency());
+    let mut nonempty = vec![false; classes];
+    for rec in g.edges() {
+        nonempty[gossip_graph::cut::latency_class(rec.latency) - 1] = true;
+    }
+    nonempty.iter().filter(|&&b| b).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_graph::{GraphBuilder, NodeId};
+
+    /// 4-cycle with latencies 1, 1, 3, 8.
+    fn cycle4() -> Graph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1).unwrap();
+        b.add_edge(1, 2, 1).unwrap();
+        b.add_edge(2, 3, 3).unwrap();
+        b.add_edge(3, 0, 8).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn phi_ell_counts_only_fast_cut_edges() {
+        let g = cycle4();
+        let cut = Cut::from_side(&g, [NodeId::new(0), NodeId::new(1)]);
+        // Crossing edges: (1,2) latency 1 and (3,0) latency 8; min volume 4.
+        assert_eq!(phi_ell_of_cut(&g, &cut, 1), Some(0.25));
+        assert_eq!(phi_ell_of_cut(&g, &cut, 7), Some(0.25));
+        assert_eq!(phi_ell_of_cut(&g, &cut, 8), Some(0.5));
+    }
+
+    #[test]
+    fn phi_avg_discounts_by_class() {
+        let g = cycle4();
+        let cut = Cut::from_side(&g, [NodeId::new(0), NodeId::new(1)]);
+        // classes of crossing edges: latency 1 -> class 1 (weight 1/2),
+        // latency 8 -> class 3 (weight 1/8); min volume 4.
+        let expected = (0.5 + 0.125) / 4.0;
+        let got = phi_avg_of_cut(&g, &cut).unwrap();
+        assert!((got - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn improper_cuts_are_rejected() {
+        let g = cycle4();
+        let empty = Cut::from_side(&g, []);
+        let full = Cut::from_side(&g, g.nodes().collect::<Vec<_>>());
+        assert_eq!(phi_ell_of_cut(&g, &empty, 10), None);
+        assert_eq!(phi_avg_of_cut(&g, &full), None);
+    }
+
+    #[test]
+    fn unweighted_phi_avg_is_half_phi() {
+        // The paper notes: for unit latencies, φ_avg is exactly half the
+        // classical conductance (all edges are class 1, discount 1/2).
+        let mut b = GraphBuilder::new(4);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+            b.add_edge(u, v, 1).unwrap();
+        }
+        let g = b.build().unwrap();
+        let cut = Cut::from_side(&g, [NodeId::new(0), NodeId::new(1)]);
+        let phi = phi_ell_of_cut(&g, &cut, 1).unwrap();
+        let avg = phi_avg_of_cut(&g, &cut).unwrap();
+        assert!((avg - phi / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nonempty_classes_counts_distinct_classes() {
+        let g = cycle4();
+        // latencies 1,1 (class 1), 3 (class 2), 8 (class 3) -> 3 non-empty classes
+        assert_eq!(nonempty_latency_classes(&g), 3);
+
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1).unwrap();
+        b.add_edge(1, 2, 2).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(nonempty_latency_classes(&g), 1);
+    }
+
+    #[test]
+    fn isolated_node_side_has_undefined_conductance() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1).unwrap();
+        let g = b.build().unwrap();
+        // Node 2 is isolated: a cut whose small side is {2} has zero volume.
+        let cut = Cut::from_side(&g, [NodeId::new(2)]);
+        assert_eq!(phi_ell_of_cut(&g, &cut, 1), None);
+        assert_eq!(phi_avg_of_cut(&g, &cut), None);
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type for the conductance computations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the conductance analysis entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConductanceError {
+    /// The graph has no edges, so conductance is undefined.
+    NoEdges,
+    /// The graph has fewer than two nodes, so there is no proper cut.
+    TooFewNodes,
+    /// Exact enumeration was requested for a graph that is too large
+    /// (more than [`exact::MAX_EXACT_NODES`](crate::exact::MAX_EXACT_NODES) nodes).
+    TooLargeForExact {
+        /// Number of nodes in the offending graph.
+        nodes: usize,
+        /// Largest supported node count for exact enumeration.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for ConductanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConductanceError::NoEdges => write!(f, "conductance is undefined for an edgeless graph"),
+            ConductanceError::TooFewNodes => {
+                write!(f, "conductance needs at least two nodes to form a cut")
+            }
+            ConductanceError::TooLargeForExact { nodes, limit } => write!(
+                f,
+                "exact cut enumeration supports at most {limit} nodes, got {nodes}; use Method::SweepCut or Method::Auto"
+            ),
+        }
+    }
+}
+
+impl Error for ConductanceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ConductanceError::NoEdges.to_string().contains("edgeless"));
+        assert!(ConductanceError::TooFewNodes.to_string().contains("two nodes"));
+        let e = ConductanceError::TooLargeForExact { nodes: 50, limit: 22 };
+        assert!(e.to_string().contains("50"));
+        assert!(e.to_string().contains("22"));
+    }
+}

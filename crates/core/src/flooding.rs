@@ -1,0 +1,87 @@
+//! Deterministic round-robin flooding — the baseline the paper's introduction
+//! measures everything against.
+//!
+//! Flooding contacts neighbors one at a time in round-robin order.  On a star
+//! (footnote 3 of the paper) push-only flooding needs `Ω(n·D)` time; with the
+//! model's automatic pull it is simply a slow but simple baseline whose cost
+//! grows with the maximum degree instead of the conductance.
+
+use gossip_graph::{Graph, NodeId};
+use gossip_sim::protocols::RoundRobinFlood;
+use gossip_sim::{RumorId, SimConfig, Simulation, Termination};
+
+use crate::DisseminationReport;
+
+/// One-to-all dissemination from `source` by round-robin flooding.
+pub fn broadcast(g: &Graph, source: NodeId, seed: u64) -> DisseminationReport {
+    let config = SimConfig::new(seed)
+        .termination(Termination::AllKnowRumorOf(source))
+        .track_rumor(RumorId::of_node(source))
+        .max_rounds(round_cap(g));
+    let report = Simulation::new(g, config).run(&mut RoundRobinFlood::new(g));
+    DisseminationReport::single("flooding", report.rounds, report.activations, report.completed)
+}
+
+/// All-to-all dissemination by round-robin flooding.
+pub fn all_to_all(g: &Graph, seed: u64) -> DisseminationReport {
+    let config =
+        SimConfig::new(seed).termination(Termination::AllKnowAll).max_rounds(round_cap(g));
+    let report = Simulation::new(g, config).run(&mut RoundRobinFlood::new(g));
+    DisseminationReport::single(
+        "flooding (all-to-all)",
+        report.rounds,
+        report.activations,
+        report.completed,
+    )
+}
+
+fn round_cap(g: &Graph) -> u64 {
+    (g.node_count() as u64)
+        .saturating_mul(g.max_latency().max(1))
+        .saturating_mul(4)
+        .max(10_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_graph::generators;
+
+    #[test]
+    fn flooding_completes_on_basic_families() {
+        for g in [
+            generators::clique(16, 1).unwrap(),
+            generators::path(16, 2).unwrap(),
+            generators::star(16, 1).unwrap(),
+            generators::grid(4, 4, 3).unwrap(),
+        ] {
+            let r = broadcast(&g, NodeId::new(0), 1);
+            assert!(r.completed);
+        }
+    }
+
+    #[test]
+    fn flooding_cost_is_at_least_the_weighted_diameter() {
+        // Information must physically traverse a diameter-length path, so no
+        // dissemination algorithm (flooding included) can beat D rounds.
+        let g = generators::path(12, 5).unwrap();
+        let d = gossip_graph::metrics::weighted_diameter(&g).unwrap();
+        let r = broadcast(&g, NodeId::new(0), 1);
+        assert!(r.completed);
+        assert!(r.rounds >= d, "flooding finished in {} rounds, below D = {d}", r.rounds);
+    }
+
+    #[test]
+    fn flooding_must_pay_the_bridge_latency_on_a_dumbbell() {
+        let g = generators::dumbbell(5, 40).unwrap();
+        let r = all_to_all(&g, 2);
+        assert!(r.completed);
+        assert!(r.rounds >= 40, "crossing the latency-40 bridge cannot take {} rounds", r.rounds);
+    }
+
+    #[test]
+    fn flooding_is_deterministic() {
+        let g = generators::ring_of_cliques(3, 4, 5).unwrap();
+        assert_eq!(broadcast(&g, NodeId::new(0), 1).rounds, broadcast(&g, NodeId::new(0), 9).rounds);
+    }
+}

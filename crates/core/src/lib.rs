@@ -1,0 +1,50 @@
+//! # gossip-core
+//!
+//! The algorithms of *Slow Links, Fast Links, and the Cost of Gossip*
+//! (Sourav, Robinson, Gilbert — ICDCS 2018): information dissemination in
+//! graphs whose edges carry latencies.
+//!
+//! The paper proves that any dissemination algorithm needs
+//! `Ω(min(D + Δ, ℓ*/φ*))` rounds and gives nearly matching algorithms:
+//!
+//! | Section | Algorithm | Bound | Module |
+//! |---------|-----------|-------|--------|
+//! | §5.1, Thm 29 | classical push–pull | `O((ℓ*/φ*)·log n)` | [`push_pull`] |
+//! | App. A.1 | ℓ-DTG local broadcast | `O(ℓ·log² n)` | [`dtg`] |
+//! | §4.1, Lem 19–23, Thm 20/25 | directed Baswana–Sen spanner + round-robin broadcast, guess-and-double for unknown `D` | `O(D·log³ n)` | [`spanner`], [`rr_broadcast`], [`spanner_broadcast`] |
+//! | §4.2, Lem 26–28 | pattern broadcast `T(k)` | `O(D·log² n·log D)` | [`pattern`] |
+//! | §5.2 | latency discovery | `Õ(D + Δ)` | [`discovery`] |
+//! | §6, Thm 31 | unified algorithm | `O(min((D+Δ)·log³ n, (ℓ*/φ*)·log n))` | [`unified`] |
+//!
+//! All algorithms are executed round-accurately on the [`gossip_sim`]
+//! simulator; each entry point returns a [`DisseminationReport`] with the
+//! measured round count so that the experiment harness can compare the shapes
+//! of the curves against the paper's bounds.
+//!
+//! ```rust
+//! use gossip_graph::{generators, NodeId};
+//! use gossip_core::{push_pull, spanner_broadcast};
+//!
+//! // Two 8-cliques joined by a slow bridge.
+//! let g = generators::dumbbell(8, 64).unwrap();
+//! let pp = push_pull::broadcast(&g, NodeId::new(0), 7);
+//! let sb = spanner_broadcast::run_known_diameter(&g, 7);
+//! assert!(pp.completed && sb.completed);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod report;
+
+pub mod discovery;
+pub mod dtg;
+pub mod flooding;
+pub mod pattern;
+pub mod push_pull;
+pub mod rr_broadcast;
+pub mod spanner;
+pub mod spanner_broadcast;
+pub mod unified;
+
+pub use report::{DisseminationReport, Phase};

@@ -1,0 +1,184 @@
+//! Pattern Broadcast (Section 4.2, Algorithm 5, Lemmas 26–28): a deterministic
+//! all-to-all dissemination algorithm built from ℓ-DTG invocations.
+//!
+//! The schedule `T(k)` is defined recursively:
+//!
+//! ```text
+//! T(1) = 1-DTG
+//! T(k) = T(k/2) · k-DTG · T(k/2)
+//! ```
+//!
+//! so the sequence of ℓ-parameters is `1, 2, 1, 4, 1, 2, 1, 8, …`.  Lemma 26
+//! shows that after running `T(k)` every pair of nodes within weighted
+//! distance `k` has exchanged rumors, and Lemma 27 bounds the cost by
+//! `O(k·log² n·log k)`.  The algorithm needs no knowledge of `n` and works
+//! even with blocking communication; for an unknown diameter it is wrapped in
+//! the same guess-and-double / Termination_Check loop as the spanner
+//! algorithm (Algorithm 5).
+
+use gossip_graph::metrics;
+use gossip_graph::{Graph, Latency};
+use gossip_sim::{RumorId, RumorSet};
+
+use crate::{dtg, DisseminationReport, Phase};
+
+/// The recursive schedule `T(k)`: the sequence of ℓ-DTG parameters.
+///
+/// `k` is rounded up to the next power of two (the recursion halves `k`).
+///
+/// ```rust
+/// assert_eq!(gossip_core::pattern::schedule(4), vec![1, 2, 1, 4, 1, 2, 1]);
+/// ```
+pub fn schedule(k: Latency) -> Vec<Latency> {
+    let k = k.max(1).next_power_of_two();
+    if k == 1 {
+        return vec![1];
+    }
+    let half = schedule(k / 2);
+    let mut out = half.clone();
+    out.push(k);
+    out.extend(half);
+    out
+}
+
+/// Runs the full schedule `T(k)` starting from the given rumor sets, in
+/// blocking or non-blocking mode, and returns the report and final rumor sets.
+///
+/// # Panics
+///
+/// Panics if `rumors.len()` differs from the node count of `g`.
+pub fn run_schedule(
+    g: &Graph,
+    k: Latency,
+    seed: u64,
+    mut rumors: Vec<RumorSet>,
+    blocking: bool,
+) -> (DisseminationReport, Vec<RumorSet>) {
+    let mut phases = Vec::new();
+    for (idx, ell) in schedule(k).into_iter().enumerate() {
+        let (report, new_rumors, _) =
+            dtg::run_with_rumors(g, ell, seed.wrapping_add(idx as u64), rumors, blocking);
+        rumors = new_rumors;
+        phases.push(Phase::new(format!("{ell}-dtg"), report.rounds, report.activations));
+    }
+    let completed = rumors.iter().all(RumorSet::is_full);
+    (DisseminationReport::from_phases("pattern-broadcast", phases, completed), rumors)
+}
+
+/// Pattern Broadcast with a known diameter: runs `T(D)` once (Lemma 27).
+pub fn run_known_diameter(g: &Graph, seed: u64) -> DisseminationReport {
+    let d = metrics::weighted_diameter(g).unwrap_or_else(|| g.max_latency().max(1));
+    run_schedule(g, d, seed, initial_rumors(g), true).0
+}
+
+/// Pattern Broadcast with an unknown diameter (Algorithm 5): guess-and-double
+/// on `k`, with a Termination_Check after every guess whose cost equals one
+/// more `T(k)` pass (the check broadcasts and gathers rumor-set digests using
+/// the same schedule).
+pub fn run_unknown_diameter(g: &Graph, seed: u64) -> DisseminationReport {
+    let mut phases: Vec<Phase> = Vec::new();
+    let mut rumors = initial_rumors(g);
+    let mut guess: Latency = 1;
+    let cap = guess_cap(g);
+    let mut completed = false;
+
+    while guess <= cap {
+        let (report, new_rumors) = run_schedule(g, guess, seed ^ guess, rumors, true);
+        rumors = new_rumors;
+        let pass_rounds = report.rounds;
+        let pass_activations = report.activations;
+        phases.push(Phase::new(format!("T({guess})"), pass_rounds, pass_activations));
+        phases.push(Phase::new(format!("T({guess}): termination-check"), pass_rounds, 0));
+        if rumors.iter().all(RumorSet::is_full) {
+            completed = true;
+            break;
+        }
+        guess = guess.saturating_mul(2);
+    }
+
+    DisseminationReport::from_phases("pattern-broadcast (unknown D)", phases, completed)
+}
+
+fn initial_rumors(g: &Graph) -> Vec<RumorSet> {
+    let n = g.node_count();
+    (0..n).map(|i| RumorSet::singleton(n, RumorId::from(i))).collect()
+}
+
+fn guess_cap(g: &Graph) -> Latency {
+    let total: u128 = g.total_latency().max(1);
+    let mut cap: Latency = 1;
+    while (cap as u128) < total && cap < Latency::MAX / 2 {
+        cap *= 2;
+    }
+    cap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_graph::generators;
+
+    #[test]
+    fn schedule_matches_the_paper_pattern() {
+        assert_eq!(schedule(1), vec![1]);
+        assert_eq!(schedule(2), vec![1, 2, 1]);
+        assert_eq!(schedule(4), vec![1, 2, 1, 4, 1, 2, 1]);
+        assert_eq!(schedule(8), vec![1, 2, 1, 4, 1, 2, 1, 8, 1, 2, 1, 4, 1, 2, 1]);
+        // Non-powers of two round up.
+        assert_eq!(schedule(3), schedule(4));
+        assert_eq!(schedule(5), schedule(8));
+    }
+
+    #[test]
+    fn schedule_length_is_2k_minus_1() {
+        for k in [1u64, 2, 4, 8, 16, 32] {
+            assert_eq!(schedule(k).len() as u64, 2 * k - 1);
+        }
+    }
+
+    #[test]
+    fn known_diameter_completes_on_unit_latency_families() {
+        for g in [
+            generators::clique(12, 1).unwrap(),
+            generators::cycle(12, 1).unwrap(),
+            generators::grid(3, 4, 1).unwrap(),
+        ] {
+            let r = run_known_diameter(&g, 3);
+            assert!(r.completed, "pattern broadcast failed on {} nodes", g.node_count());
+        }
+    }
+
+    #[test]
+    fn known_diameter_completes_with_mixed_latencies() {
+        let g = generators::dumbbell(4, 8).unwrap();
+        let r = run_known_diameter(&g, 5);
+        assert!(r.completed);
+        // The schedule must have included an 8-DTG (or larger) phase to cross the bridge.
+        assert!(r.phases.iter().any(|p| p.name == "8-dtg" || p.name == "16-dtg"));
+    }
+
+    #[test]
+    fn unknown_diameter_completes_and_reports_doubling_phases() {
+        let g = generators::dumbbell(4, 8).unwrap();
+        let r = run_unknown_diameter(&g, 2);
+        assert!(r.completed);
+        assert!(r.phases.iter().any(|p| p.name.starts_with("T(1)")));
+        assert!(r.phases.iter().any(|p| p.name.starts_with("T(8)") || p.name.starts_with("T(16)")));
+    }
+
+    #[test]
+    fn phases_sum_to_total_rounds() {
+        let g = generators::ring_of_cliques(3, 3, 4).unwrap();
+        let r = run_known_diameter(&g, 9);
+        assert_eq!(r.rounds, r.phases.iter().map(|p| p.rounds).sum::<u64>());
+    }
+
+    #[test]
+    fn nonblocking_schedule_also_completes() {
+        let g = generators::cycle(8, 2).unwrap();
+        let d = gossip_graph::metrics::weighted_diameter(&g).unwrap();
+        let (r, rumors) = run_schedule(&g, d, 1, initial_rumors(&g), false);
+        assert!(r.completed);
+        assert!(rumors.iter().all(RumorSet::is_full));
+    }
+}

@@ -1,0 +1,321 @@
+//! Directed Baswana–Sen spanner construction (Section 4.1.2, Lemma 19,
+//! Theorem 20 of the paper).
+//!
+//! The spanner-broadcast algorithm needs a subgraph that (a) approximates all
+//! distances within an `O(log n)` factor, (b) has only `O(n log n)` edges, and
+//! (c) admits an orientation in which every node has `O(log n)` out-edges.
+//! The paper obtains it by running the Baswana–Sen `(2k−1)`-spanner
+//! construction with `k = log n` and orienting every spanner edge out of the
+//! node that added it.
+//!
+//! In the distributed setting each node first collects its `log n`-hop
+//! neighborhood (via repeated `D`-DTG) and then simulates this construction
+//! locally; the construction itself is therefore a *local computation* whose
+//! communication cost is accounted separately in
+//! [`spanner_broadcast`](crate::spanner_broadcast).  This module implements
+//! the computation.
+
+use std::collections::HashMap;
+
+use gossip_graph::spanner::DirectedSpanner;
+use gossip_graph::{EdgeId, Graph, Latency, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Edge weight used for comparisons: `(latency, edge id)` — the paper assumes
+/// distinct weights and breaks ties by unique identifiers.
+type Weight = (Latency, u32);
+
+fn weight(g: &Graph, e: EdgeId) -> Weight {
+    (g.latency(e), e.index() as u32)
+}
+
+/// Builds a directed `(2k−1)`-spanner of `g` with the Baswana–Sen clustering
+/// algorithm, orienting each selected edge out of the node that selected it.
+///
+/// `k` is the number of clustering iterations; `k = ⌈log₂ n⌉` gives the
+/// `O(log n)`-stretch, `O(log n)`-out-degree spanner used by the paper
+/// (see [`log_spanner`] for that default).
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn baswana_sen(g: &Graph, k: usize, seed: u64) -> DirectedSpanner {
+    assert!(k >= 1, "the spanner parameter k must be at least 1");
+    let n = g.node_count();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut spanner = DirectedSpanner::new(g);
+    // Sampling probability n^{-1/k}.
+    let p = (n as f64).powf(-1.0 / k as f64);
+
+    // clustering[v] = Some(center) if v currently belongs to a cluster.
+    let mut clustering: Vec<Option<NodeId>> = g.nodes().map(Some).collect();
+    let mut alive: Vec<bool> = vec![true; g.edge_count()];
+
+    for _iteration in 1..k {
+        // 1. Sample the clusters that survive this iteration.
+        let mut centers: Vec<NodeId> = clustering.iter().flatten().copied().collect();
+        centers.sort_unstable();
+        centers.dedup();
+        let sampled: HashMap<NodeId, bool> =
+            centers.iter().map(|&c| (c, rng.gen_bool(p))).collect();
+
+        let mut next_clustering: Vec<Option<NodeId>> = vec![None; n];
+        for v in 0..n {
+            if let Some(c) = clustering[v] {
+                if sampled[&c] {
+                    next_clustering[v] = Some(c);
+                }
+            }
+        }
+
+        // 2. Every vertex outside the sampled clusters picks its spanner edges.
+        for v in 0..n {
+            if next_clustering[v].is_some() {
+                continue;
+            }
+            let vid = NodeId::new(v);
+            // Best (least-weight) alive edge towards each adjacent cluster.
+            let mut best: HashMap<NodeId, (Weight, EdgeId)> = HashMap::new();
+            for (w, e) in g.neighbors(vid) {
+                if !alive[e.index()] {
+                    continue;
+                }
+                if let Some(c) = clustering[w.index()] {
+                    let candidate = (weight(g, e), e);
+                    best.entry(c)
+                        .and_modify(|cur| {
+                            if candidate.0 < cur.0 {
+                                *cur = candidate;
+                            }
+                        })
+                        .or_insert(candidate);
+                }
+            }
+            if best.is_empty() {
+                continue;
+            }
+            // Sampled adjacent cluster with the overall least-weight edge.
+            let best_sampled = best
+                .iter()
+                .filter(|(c, _)| sampled[*c])
+                .min_by_key(|(_, (w, _))| *w)
+                .map(|(c, val)| (*c, *val));
+
+            match best_sampled {
+                None => {
+                    // Rule 1: no sampled neighbor cluster — keep one edge per
+                    // adjacent cluster and discard everything else.
+                    for (_c, (_w, e)) in &best {
+                        spanner.add_oriented(g, vid, *e);
+                    }
+                    for (w, e) in g.neighbors(vid) {
+                        if alive[e.index()] && clustering[w.index()].is_some() {
+                            alive[e.index()] = false;
+                        }
+                    }
+                }
+                Some((c_star, (w_star, e_star))) => {
+                    // Rule 2: join the best sampled cluster, keep one edge to
+                    // every strictly cheaper cluster, discard the rest.
+                    spanner.add_oriented(g, vid, e_star);
+                    next_clustering[v] = Some(c_star);
+                    for (c, (w, e)) in &best {
+                        if *c != c_star && *w < w_star {
+                            spanner.add_oriented(g, vid, *e);
+                        }
+                    }
+                    for (nbr, e) in g.neighbors(vid) {
+                        if !alive[e.index()] {
+                            continue;
+                        }
+                        if let Some(c) = clustering[nbr.index()] {
+                            let discard = c == c_star
+                                || best.get(&c).map(|(w, _)| *w < w_star).unwrap_or(false);
+                            if discard {
+                                alive[e.index()] = false;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        clustering = next_clustering;
+
+        // 3. Remove intra-cluster edges.
+        for e in g.edge_ids() {
+            if !alive[e.index()] {
+                continue;
+            }
+            let rec = g.edge(e);
+            if let (Some(a), Some(b)) =
+                (clustering[rec.u.index()], clustering[rec.v.index()])
+            {
+                if a == b {
+                    alive[e.index()] = false;
+                }
+            }
+        }
+    }
+
+    // Phase 2: every vertex keeps one least-weight alive edge to each adjacent
+    // surviving cluster.
+    for v in 0..n {
+        let vid = NodeId::new(v);
+        let mut best: HashMap<NodeId, (Weight, EdgeId)> = HashMap::new();
+        for (w, e) in g.neighbors(vid) {
+            if !alive[e.index()] {
+                continue;
+            }
+            if let Some(c) = clustering[w.index()] {
+                if clustering[v] == Some(c) {
+                    continue; // intra-cluster edges are never needed
+                }
+                let candidate = (weight(g, e), e);
+                best.entry(c)
+                    .and_modify(|cur| {
+                        if candidate.0 < cur.0 {
+                            *cur = candidate;
+                        }
+                    })
+                    .or_insert(candidate);
+            }
+        }
+        for (_c, (_w, e)) in best {
+            spanner.add_oriented(g, vid, e);
+        }
+    }
+
+    spanner
+}
+
+/// The spanner the paper's algorithm uses: Baswana–Sen with `k = ⌈log₂ n⌉`,
+/// giving `O(log n)` stretch, `O(n log n)` edges and `O(log n)` out-degree
+/// with high probability (Lemma 19 / Theorem 20).
+pub fn log_spanner(g: &Graph, seed: u64) -> DirectedSpanner {
+    let n = g.node_count().max(2);
+    let k = (usize::BITS - (n - 1).leading_zeros()) as usize;
+    baswana_sen(g, k.max(1), seed)
+}
+
+/// Expected stretch bound `2k − 1` for a given `k`.
+pub fn stretch_bound(k: usize) -> usize {
+    2 * k - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_graph::generators;
+    use gossip_graph::metrics;
+
+    fn check_spanner(g: &Graph, k: usize, seed: u64) {
+        let s = baswana_sen(g, k, seed);
+        let bound = stretch_bound(k) as f64;
+        let stretch = s.stretch(g).expect("spanner must preserve connectivity");
+        assert!(
+            stretch <= bound + 1e-9,
+            "stretch {stretch} exceeds 2k-1 = {bound} (n = {}, k = {k})",
+            g.node_count()
+        );
+    }
+
+    #[test]
+    fn spanner_of_clique_has_valid_stretch_and_few_edges() {
+        let g = generators::clique(32, 1).unwrap();
+        for seed in [1, 2, 3] {
+            let s = log_spanner(&g, seed);
+            assert!(s.stretch(&g).is_some());
+            // O(n log n) edges: far below the 496 clique edges.
+            assert!(
+                s.edge_count() <= 32 * 6 * 2,
+                "spanner too dense: {} edges",
+                s.edge_count()
+            );
+        }
+    }
+
+    #[test]
+    fn stretch_respects_2k_minus_1_on_random_graphs() {
+        let mut rng = SmallRng::seed_from_u64(77);
+        for n in [20, 40, 60] {
+            let g = generators::erdos_renyi(n, 0.2, 1, &mut rng).unwrap();
+            check_spanner(&g, 2, 5);
+            check_spanner(&g, 3, 5);
+        }
+    }
+
+    #[test]
+    fn stretch_respects_bound_with_weights() {
+        let mut rng = SmallRng::seed_from_u64(78);
+        let base = generators::erdos_renyi(30, 0.3, 1, &mut rng).unwrap();
+        let g = gossip_graph::latency::LatencyScheme::UniformRandom { min: 1, max: 20 }
+            .apply(&base, &mut rng)
+            .unwrap();
+        check_spanner(&g, 3, 9);
+        check_spanner(&g, 4, 9);
+    }
+
+    #[test]
+    fn out_degree_is_logarithmic() {
+        let mut rng = SmallRng::seed_from_u64(79);
+        let g = generators::erdos_renyi(128, 0.25, 1, &mut rng).unwrap();
+        let s = log_spanner(&g, 3);
+        // Δ of G(128, 0.25) is ≈ 40; the oriented spanner should stay near log n.
+        let max_out = s.max_out_degree();
+        assert!(
+            max_out <= 28,
+            "max out-degree {max_out} is not O(log n) for n = 128 (Δ = {})",
+            g.max_degree()
+        );
+    }
+
+    #[test]
+    fn spanner_preserves_connectivity_on_sparse_graphs() {
+        for g in [
+            generators::path(20, 3).unwrap(),
+            generators::cycle(20, 2).unwrap(),
+            generators::binary_tree(31, 1).unwrap(),
+            generators::ring_of_cliques(4, 5, 7).unwrap(),
+        ] {
+            let s = log_spanner(&g, 11);
+            assert!(s.stretch(&g).is_some(), "spanner disconnected the graph");
+            // A tree/cycle spanner keeps essentially every edge.
+            assert!(s.edge_count() >= g.node_count() - 1);
+        }
+    }
+
+    #[test]
+    fn spanner_diameter_is_within_logn_factor() {
+        let mut rng = SmallRng::seed_from_u64(80);
+        let g = generators::slow_cut_expander(64, 6, 10, &mut rng).unwrap();
+        let s = log_spanner(&g, 21);
+        let sg = s.to_graph(&g).unwrap();
+        let d_g = metrics::weighted_diameter(&g).unwrap();
+        let d_s = metrics::weighted_diameter(&sg).unwrap();
+        let k = 7; // ceil(log2 64) + 1
+        assert!(
+            d_s <= d_g * (2 * k - 1),
+            "spanner diameter {d_s} too large vs graph diameter {d_g}"
+        );
+    }
+
+    #[test]
+    fn k_one_keeps_an_edge_per_neighbor_cluster() {
+        // With k = 1 the algorithm is just phase 2 on singleton clusters: it
+        // must keep every edge (one per adjacent cluster = one per neighbor).
+        let g = generators::cycle(6, 2).unwrap();
+        let s = baswana_sen(&g, 1, 1);
+        assert_eq!(s.edge_count(), g.edge_count());
+        let stretch = s.stretch(&g).unwrap();
+        assert!((stretch - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn k_zero_panics() {
+        let g = generators::cycle(4, 1).unwrap();
+        let _ = baswana_sen(&g, 0, 1);
+    }
+}

@@ -1,0 +1,198 @@
+//! Incremental, validated graph construction.
+
+use std::collections::HashSet;
+
+use crate::graph::EdgeRecord;
+use crate::{Graph, GraphError, Latency, NodeId};
+
+/// Builder for [`Graph`] values.
+///
+/// The builder validates every edge as it is added (no self loops, no
+/// duplicates, positive latency, endpoints in range) so that an invalid graph
+/// is rejected at the point the mistake is made rather than at build time.
+///
+/// # Example
+///
+/// ```rust
+/// use gossip_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1, 1)?;
+/// b.add_edge(1, 2, 4)?;
+/// let g = b.build()?;
+/// assert_eq!(g.edge_count(), 2);
+/// # Ok::<(), gossip_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    node_count: usize,
+    edges: Vec<EdgeRecord>,
+    seen: HashSet<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `node_count` nodes (ids `0..node_count`).
+    pub fn new(node_count: usize) -> Self {
+        GraphBuilder { node_count, edges: Vec::new(), seen: HashSet::new() }
+    }
+
+    /// Number of nodes the built graph will have.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds `count` extra nodes and returns the id of the first new node.
+    pub fn add_nodes(&mut self, count: usize) -> NodeId {
+        let first = self.node_count;
+        self.node_count += count;
+        NodeId::new(first)
+    }
+
+    /// Adds an undirected edge `{u, v}` with the given latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either endpoint is out of range, if `u == v`, if
+    /// the latency is zero, or if the edge was already added.
+    pub fn add_edge(&mut self, u: usize, v: usize, latency: Latency) -> Result<(), GraphError> {
+        if u >= self.node_count {
+            return Err(GraphError::NodeOutOfRange { node: u, node_count: self.node_count });
+        }
+        if v >= self.node_count {
+            return Err(GraphError::NodeOutOfRange { node: v, node_count: self.node_count });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        if latency == 0 {
+            return Err(GraphError::ZeroLatency { u, v });
+        }
+        let key = (u.min(v) as u32, u.max(v) as u32);
+        if !self.seen.insert(key) {
+            return Err(GraphError::DuplicateEdge { u, v });
+        }
+        self.edges.push(EdgeRecord {
+            u: NodeId::new(u.min(v)),
+            v: NodeId::new(u.max(v)),
+            latency,
+        });
+        Ok(())
+    }
+
+    /// Adds the edge only if it is not already present; returns whether it was added.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for out-of-range endpoints, self loops, or zero latency.
+    pub fn add_edge_if_absent(
+        &mut self,
+        u: usize,
+        v: usize,
+        latency: Latency,
+    ) -> Result<bool, GraphError> {
+        let key = (u.min(v) as u32, u.max(v) as u32);
+        if self.seen.contains(&key) {
+            return Ok(false);
+        }
+        self.add_edge(u, v, latency)?;
+        Ok(true)
+    }
+
+    /// Returns `true` if the unordered pair `{u, v}` was already added.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.seen.contains(&(u.min(v) as u32, u.max(v) as u32))
+    }
+
+    /// Finalises the builder into an immutable [`Graph`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Empty`] if the graph has no nodes.
+    pub fn build(self) -> Result<Graph, GraphError> {
+        Graph::from_parts(self.node_count, self.edges)
+    }
+
+    /// Like [`build`](Self::build) but additionally requires the graph to be connected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Disconnected`] if the graph is not connected, and
+    /// [`GraphError::Empty`] if it has no nodes.
+    pub fn build_connected(self) -> Result<Graph, GraphError> {
+        let g = self.build()?;
+        if !g.is_connected() {
+            return Err(GraphError::Disconnected);
+        }
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        assert_eq!(
+            b.add_edge(0, 5, 1),
+            Err(GraphError::NodeOutOfRange { node: 5, node_count: 2 })
+        );
+        assert_eq!(
+            b.add_edge(7, 1, 1),
+            Err(GraphError::NodeOutOfRange { node: 7, node_count: 2 })
+        );
+    }
+
+    #[test]
+    fn rejects_self_loop_zero_latency_and_duplicates() {
+        let mut b = GraphBuilder::new(3);
+        assert_eq!(b.add_edge(1, 1, 1), Err(GraphError::SelfLoop { node: 1 }));
+        assert_eq!(b.add_edge(0, 1, 0), Err(GraphError::ZeroLatency { u: 0, v: 1 }));
+        b.add_edge(0, 1, 1).unwrap();
+        assert_eq!(b.add_edge(1, 0, 3), Err(GraphError::DuplicateEdge { u: 1, v: 0 }));
+    }
+
+    #[test]
+    fn add_edge_if_absent_is_idempotent() {
+        let mut b = GraphBuilder::new(3);
+        assert!(b.add_edge_if_absent(0, 1, 1).unwrap());
+        assert!(!b.add_edge_if_absent(1, 0, 9).unwrap());
+        assert_eq!(b.edge_count(), 1);
+        assert!(b.has_edge(0, 1));
+        assert!(!b.has_edge(0, 2));
+    }
+
+    #[test]
+    fn add_nodes_extends_range() {
+        let mut b = GraphBuilder::new(1);
+        let first_new = b.add_nodes(2);
+        assert_eq!(first_new, NodeId::new(1));
+        assert_eq!(b.node_count(), 3);
+        b.add_edge(0, 2, 1).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.node_count(), 3);
+    }
+
+    #[test]
+    fn build_connected_enforces_connectivity() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1).unwrap();
+        assert_eq!(b.build_connected().unwrap_err(), GraphError::Disconnected);
+
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1).unwrap();
+        b.add_edge(1, 2, 1).unwrap();
+        assert!(b.build_connected().is_ok());
+    }
+
+    #[test]
+    fn empty_builder_rejected() {
+        assert_eq!(GraphBuilder::new(0).build().unwrap_err(), GraphError::Empty);
+    }
+}

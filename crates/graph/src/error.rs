@@ -1,0 +1,97 @@
+//! Error type shared by the graph-construction APIs.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or manipulating a [`Graph`](crate::Graph).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node index was at least the declared node count.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes in the graph under construction.
+        node_count: usize,
+    },
+    /// An edge connected a node to itself; the paper's model has no self loops.
+    SelfLoop {
+        /// The node that was connected to itself.
+        node: usize,
+    },
+    /// The same unordered node pair was inserted twice.
+    DuplicateEdge {
+        /// First endpoint.
+        u: usize,
+        /// Second endpoint.
+        v: usize,
+    },
+    /// An edge latency of zero was supplied; latencies are positive integers.
+    ZeroLatency {
+        /// First endpoint.
+        u: usize,
+        /// Second endpoint.
+        v: usize,
+    },
+    /// The built graph is required to be connected but is not.
+    Disconnected,
+    /// A graph with zero nodes was requested where at least one is required.
+    Empty,
+    /// A generator was given parameters it cannot satisfy
+    /// (e.g. a d-regular graph with `n * d` odd).
+    InvalidParameters {
+        /// Human readable description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node index {node} out of range for graph with {node_count} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self loop at node {node} is not allowed"),
+            GraphError::DuplicateEdge { u, v } => {
+                write!(f, "edge ({u}, {v}) was inserted more than once")
+            }
+            GraphError::ZeroLatency { u, v } => {
+                write!(f, "edge ({u}, {v}) has latency 0; latencies must be positive")
+            }
+            GraphError::Disconnected => write!(f, "graph is not connected"),
+            GraphError::Empty => write!(f, "graph must contain at least one node"),
+            GraphError::InvalidParameters { reason } => {
+                write!(f, "invalid generator parameters: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GraphError::NodeOutOfRange { node: 9, node_count: 4 };
+        assert!(e.to_string().contains("node index 9"));
+        let e = GraphError::SelfLoop { node: 3 };
+        assert!(e.to_string().contains("self loop"));
+        let e = GraphError::DuplicateEdge { u: 1, v: 2 };
+        assert!(e.to_string().contains("(1, 2)"));
+        let e = GraphError::ZeroLatency { u: 0, v: 1 };
+        assert!(e.to_string().contains("latency 0"));
+        assert_eq!(GraphError::Disconnected.to_string(), "graph is not connected");
+        assert!(GraphError::Empty.to_string().contains("at least one node"));
+        let e = GraphError::InvalidParameters { reason: "n*d must be even".into() };
+        assert!(e.to_string().contains("n*d must be even"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,20 @@
+//! Graph-family generators.
+//!
+//! These are the topologies used by the paper's proofs and by the experiment
+//! harness.  All generators take explicit latency parameters (or a
+//! [`LatencyScheme`](crate::latency::LatencyScheme) can be applied afterwards)
+//! and produce connected graphs unless documented otherwise.
+//!
+//! * deterministic families: [`clique`], [`path`], [`cycle`], [`star`],
+//!   [`grid`], [`binary_tree`], [`complete_bipartite`],
+//! * random families: [`erdos_renyi`], [`random_regular`],
+//! * composite families used in the paper's constructions and experiments:
+//!   [`ring_of_cliques`], [`dumbbell`], [`slow_cut_expander`].
+
+mod basic;
+mod composite;
+mod random;
+
+pub use basic::{binary_tree, clique, complete_bipartite, cycle, grid, path, star};
+pub use composite::{dumbbell, ring_of_cliques, slow_cut_expander};
+pub use random::{erdos_renyi, random_regular};

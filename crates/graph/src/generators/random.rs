@@ -1,0 +1,259 @@
+//! Random graph families (Erdős–Rényi and random regular graphs).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{Graph, GraphBuilder, GraphError, Latency};
+
+/// Erdős–Rényi graph `G(n, p)` with uniform edge latency, conditioned on
+/// connectivity: edges are drawn independently, and if the sample is
+/// disconnected a spanning-path of "repair" edges is added so that the result
+/// is always connected (the repair is noted to be rare for `p` above the
+/// connectivity threshold `ln n / n`).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] if `n == 0` or `p` is not in `[0, 1]`.
+pub fn erdos_renyi<R: Rng + ?Sized>(
+    n: usize,
+    p: f64,
+    latency: Latency,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::InvalidParameters { reason: "erdos_renyi needs n >= 1".into() });
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("edge probability {p} must lie in [0, 1]"),
+        });
+    }
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p) {
+                b.add_edge(u, v, latency)?;
+            }
+        }
+    }
+    // Connectivity repair: connect consecutive components along the node order.
+    let g = b.clone().build()?;
+    if g.is_connected() {
+        return Ok(g);
+    }
+    let mut component = vec![usize::MAX; n];
+    let mut comp_count = 0;
+    for start in 0..n {
+        if component[start] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![crate::NodeId::new(start)];
+        component[start] = comp_count;
+        while let Some(v) = stack.pop() {
+            for (w, _) in g.neighbors(v) {
+                if component[w.index()] == usize::MAX {
+                    component[w.index()] = comp_count;
+                    stack.push(w);
+                }
+            }
+        }
+        comp_count += 1;
+    }
+    // Link one representative of every component to a representative of component 0.
+    let mut representatives = vec![usize::MAX; comp_count];
+    for v in 0..n {
+        let c = component[v];
+        if representatives[c] == usize::MAX {
+            representatives[c] = v;
+        }
+    }
+    for c in 1..comp_count {
+        b.add_edge_if_absent(representatives[0], representatives[c], latency)?;
+    }
+    b.build_connected()
+}
+
+/// Random `d`-regular (or near-regular) graph on `n` nodes with uniform edge
+/// latency, built with the configuration model plus a simple repair pass.
+///
+/// The configuration model pairs up `n·d` stubs uniformly at random; self
+/// loops and duplicate edges are discarded, which can leave a few nodes with
+/// degree slightly below `d`.  A repair pass greedily adds edges between
+/// deficient nodes, and a final pass links any disconnected components, so the
+/// result is always connected and has max degree at most `d + 1`.  For the
+/// expander use in the paper (Theorem 9's constant-degree regular expander), a
+/// random regular graph is an expander with high probability.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] if `d >= n`, if `d == 0`, or if
+/// `n * d` is odd.
+pub fn random_regular<R: Rng + ?Sized>(
+    n: usize,
+    d: usize,
+    latency: Latency,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    if d == 0 {
+        return Err(GraphError::InvalidParameters { reason: "degree d must be >= 1".into() });
+    }
+    if d >= n {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("degree {d} must be smaller than the node count {n}"),
+        });
+    }
+    if (n * d) % 2 != 0 {
+        return Err(GraphError::InvalidParameters {
+            reason: "n * d must be even for a d-regular graph".into(),
+        });
+    }
+
+    let mut b = GraphBuilder::new(n);
+    // Configuration model.
+    let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+    stubs.shuffle(rng);
+    for pair in stubs.chunks_exact(2) {
+        let (u, v) = (pair[0], pair[1]);
+        if u != v {
+            let _ = b.add_edge_if_absent(u, v, latency);
+        }
+    }
+
+    // Repair pass: greedily connect nodes that ended up below the target degree.
+    let mut degree = vec![0usize; n];
+    {
+        let g = b.clone().build()?;
+        for v in g.nodes() {
+            degree[v.index()] = g.degree(v);
+        }
+    }
+    let mut deficient: Vec<usize> = (0..n).filter(|&v| degree[v] < d).collect();
+    deficient.shuffle(rng);
+    let mut i = 0;
+    while i + 1 < deficient.len() {
+        let (u, v) = (deficient[i], deficient[i + 1]);
+        if u != v && !b.has_edge(u, v) {
+            b.add_edge(u, v, latency)?;
+            degree[u] += 1;
+            degree[v] += 1;
+        }
+        i += 2;
+    }
+
+    // Connectivity repair (adds at most one extra degree to a few nodes).
+    let g = b.clone().build()?;
+    if g.is_connected() {
+        return Ok(g);
+    }
+    let mut component = vec![usize::MAX; n];
+    let mut comp_count = 0;
+    for start in 0..n {
+        if component[start] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![crate::NodeId::new(start)];
+        component[start] = comp_count;
+        while let Some(v) = stack.pop() {
+            for (w, _) in g.neighbors(v) {
+                if component[w.index()] == usize::MAX {
+                    component[w.index()] = comp_count;
+                    stack.push(w);
+                }
+            }
+        }
+        comp_count += 1;
+    }
+    let mut representatives = vec![usize::MAX; comp_count];
+    for v in 0..n {
+        if representatives[component[v]] == usize::MAX {
+            representatives[component[v]] = v;
+        }
+    }
+    for c in 1..comp_count {
+        b.add_edge_if_absent(representatives[0], representatives[c], latency)?;
+    }
+    b.build_connected()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erdos_renyi_is_connected_and_in_range() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for &p in &[0.05, 0.2, 0.6] {
+            let g = erdos_renyi(50, p, 1, &mut rng).unwrap();
+            assert_eq!(g.node_count(), 50);
+            assert!(g.is_connected());
+            assert!(g.edge_count() <= 50 * 49 / 2);
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_p_zero_gives_repair_tree() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let g = erdos_renyi(10, 0.0, 1, &mut rng).unwrap();
+        assert!(g.is_connected());
+        assert_eq!(g.edge_count(), 9);
+    }
+
+    #[test]
+    fn erdos_renyi_p_one_is_clique() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let g = erdos_renyi(8, 1.0, 3, &mut rng).unwrap();
+        assert_eq!(g.edge_count(), 28);
+        assert_eq!(g.max_latency(), 3);
+    }
+
+    #[test]
+    fn erdos_renyi_rejects_bad_parameters() {
+        let mut rng = SmallRng::seed_from_u64(14);
+        assert!(erdos_renyi(0, 0.5, 1, &mut rng).is_err());
+        assert!(erdos_renyi(5, 1.5, 1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn random_regular_degrees_are_near_target() {
+        let mut rng = SmallRng::seed_from_u64(15);
+        let d = 6;
+        let g = random_regular(64, d, 1, &mut rng).unwrap();
+        assert!(g.is_connected());
+        for v in g.nodes() {
+            let deg = g.degree(v);
+            assert!(deg >= d - 2 && deg <= d + 2, "degree {deg} too far from {d}");
+        }
+        // The average degree should be essentially d.
+        let avg = g.total_volume() as f64 / g.node_count() as f64;
+        assert!((avg - d as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn random_regular_small_diameter_like_expander() {
+        let mut rng = SmallRng::seed_from_u64(16);
+        let g = random_regular(128, 6, 1, &mut rng).unwrap();
+        let d = crate::metrics::weighted_diameter(&g).unwrap();
+        // An expander on 128 nodes has diameter O(log n); allow slack.
+        assert!(d <= 10, "diameter {d} too large for a degree-6 expander on 128 nodes");
+    }
+
+    #[test]
+    fn random_regular_rejects_bad_parameters() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        assert!(random_regular(10, 0, 1, &mut rng).is_err());
+        assert!(random_regular(10, 10, 1, &mut rng).is_err());
+        assert!(random_regular(5, 3, 1, &mut rng).is_err()); // n*d odd
+    }
+
+    #[test]
+    fn generators_are_deterministic_given_seed() {
+        let g1 = erdos_renyi(30, 0.2, 1, &mut SmallRng::seed_from_u64(99)).unwrap();
+        let g2 = erdos_renyi(30, 0.2, 1, &mut SmallRng::seed_from_u64(99)).unwrap();
+        assert_eq!(g1, g2);
+        let r1 = random_regular(30, 4, 1, &mut SmallRng::seed_from_u64(7)).unwrap();
+        let r2 = random_regular(30, 4, 1, &mut SmallRng::seed_from_u64(7)).unwrap();
+        assert_eq!(r1, r2);
+    }
+}

@@ -1,0 +1,362 @@
+//! The core undirected, latency-weighted graph type.
+
+use crate::{EdgeId, GraphError, Latency, NodeId};
+
+/// One undirected edge: its two endpoints and its latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdgeRecord {
+    /// First endpoint (the one with the smaller id at insertion time).
+    pub u: NodeId,
+    /// Second endpoint.
+    pub v: NodeId,
+    /// Integer latency of the edge (number of rounds a bidirectional exchange takes).
+    pub latency: Latency,
+}
+
+impl EdgeRecord {
+    /// Returns the endpoint opposite to `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not an endpoint of this edge.
+    #[inline]
+    pub fn other(&self, node: NodeId) -> NodeId {
+        if node == self.u {
+            self.v
+        } else if node == self.v {
+            self.u
+        } else {
+            panic!("node {node:?} is not an endpoint of edge ({:?}, {:?})", self.u, self.v)
+        }
+    }
+
+    /// Returns `true` if `node` is one of the two endpoints.
+    #[inline]
+    pub fn touches(&self, node: NodeId) -> bool {
+        node == self.u || node == self.v
+    }
+}
+
+/// An undirected, connected-or-not graph with integer edge latencies.
+///
+/// The representation is a flat edge list plus a per-node adjacency list of
+/// `(neighbor, edge-id)` pairs, which is the access pattern the simulator and
+/// the algorithms need: iterate over a node's incident edges, look up the
+/// latency of an edge, and map an edge id back to its endpoints.
+///
+/// `Graph` is immutable after construction; build one through
+/// [`GraphBuilder`](crate::GraphBuilder) or one of the [`generators`](crate::generators).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    adjacency: Vec<Vec<(NodeId, EdgeId)>>,
+    edges: Vec<EdgeRecord>,
+    max_latency: Latency,
+}
+
+impl Graph {
+    pub(crate) fn from_parts(
+        node_count: usize,
+        edges: Vec<EdgeRecord>,
+    ) -> Result<Self, GraphError> {
+        if node_count == 0 {
+            return Err(GraphError::Empty);
+        }
+        let mut adjacency = vec![Vec::new(); node_count];
+        let mut max_latency: Latency = 0;
+        for (idx, e) in edges.iter().enumerate() {
+            let id = EdgeId::new(idx);
+            adjacency[e.u.index()].push((e.v, id));
+            adjacency[e.v.index()].push((e.u, id));
+            max_latency = max_latency.max(e.latency);
+        }
+        // Deterministic neighbor order: by neighbor id, then edge id.
+        for list in &mut adjacency {
+            list.sort_unstable();
+        }
+        Ok(Graph { adjacency, edges, max_latency })
+    }
+
+    /// Number of nodes `n = |V|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of undirected edges `m = |E|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over all node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count()).map(NodeId::new)
+    }
+
+    /// Iterator over all edge ids `0..m`.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edge_count()).map(EdgeId::new)
+    }
+
+    /// Iterator over all edge records in id order.
+    pub fn edges(&self) -> impl Iterator<Item = &EdgeRecord> + '_ {
+        self.edges.iter()
+    }
+
+    /// The record (endpoints + latency) of edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is not a valid edge id of this graph.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> &EdgeRecord {
+        &self.edges[e.index()]
+    }
+
+    /// Latency of edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is not a valid edge id of this graph.
+    #[inline]
+    pub fn latency(&self, e: EdgeId) -> Latency {
+        self.edges[e.index()].latency
+    }
+
+    /// The largest edge latency `ℓ_max` in the graph (0 for an edgeless graph).
+    #[inline]
+    pub fn max_latency(&self) -> Latency {
+        self.max_latency
+    }
+
+    /// Degree of `v` (number of incident edges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a valid node id of this graph.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adjacency[v.index()].len()
+    }
+
+    /// Maximum degree `Δ` over all nodes.
+    pub fn max_degree(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Iterator over `(neighbor, edge-id)` pairs incident to `v`, in
+    /// deterministic (neighbor-id) order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a valid node id of this graph.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> NeighborIter<'_> {
+        NeighborIter { inner: self.adjacency[v.index()].iter() }
+    }
+
+    /// The incident `(neighbor, edge)` pairs of `v` as a slice, in
+    /// deterministic (neighbor-id) order.  Equivalent to collecting
+    /// [`neighbors`](Self::neighbors) but without allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a valid node id of this graph.
+    #[inline]
+    pub fn neighbor_slice(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
+        &self.adjacency[v.index()]
+    }
+
+    /// Looks up the edge between `u` and `v`, if any.
+    pub fn find_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        let (probe, target) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.adjacency[probe.index()]
+            .iter()
+            .find(|(w, _)| *w == target)
+            .map(|(_, e)| *e)
+    }
+
+    /// Returns `true` if `u` and `v` are joined by an edge.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.find_edge(u, v).is_some()
+    }
+
+    /// Volume of a set of nodes: the sum of degrees, `Vol(U) = Σ_{v∈U} deg(v)`.
+    ///
+    /// This is the quantity the paper's conductance definitions normalise by.
+    pub fn volume<I: IntoIterator<Item = NodeId>>(&self, nodes: I) -> u64 {
+        nodes.into_iter().map(|v| self.degree(v) as u64).sum()
+    }
+
+    /// Total volume `2m` of the whole graph.
+    pub fn total_volume(&self) -> u64 {
+        2 * self.edge_count() as u64
+    }
+
+    /// Returns `true` if the graph is connected (single node graphs are connected).
+    pub fn is_connected(&self) -> bool {
+        let n = self.node_count();
+        if n == 0 {
+            return false;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![NodeId::new(0)];
+        seen[0] = true;
+        let mut count = 1usize;
+        while let Some(v) = stack.pop() {
+            for (w, _) in self.neighbors(v) {
+                if !seen[w.index()] {
+                    seen[w.index()] = true;
+                    count += 1;
+                    stack.push(w);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Returns a copy of the graph restricted to edges with latency `<= bound`.
+    ///
+    /// The node set is unchanged, so the result may be disconnected.  This is
+    /// the subgraph `G_ℓ` the paper uses for the ℓ-DTG protocol and for the
+    /// weight-ℓ conductance.
+    pub fn latency_filtered(&self, bound: Latency) -> Graph {
+        let edges: Vec<EdgeRecord> =
+            self.edges.iter().copied().filter(|e| e.latency <= bound).collect();
+        Graph::from_parts(self.node_count(), edges)
+            .expect("filtered graph retains the (non-empty) node set")
+    }
+
+    /// All distinct latency values present in the graph, sorted ascending.
+    pub fn distinct_latencies(&self) -> Vec<Latency> {
+        let mut ls: Vec<Latency> = self.edges.iter().map(|e| e.latency).collect();
+        ls.sort_unstable();
+        ls.dedup();
+        ls
+    }
+
+    /// Sum of all edge latencies (useful as a crude upper bound on the diameter).
+    pub fn total_latency(&self) -> u128 {
+        self.edges.iter().map(|e| e.latency as u128).sum()
+    }
+}
+
+/// Iterator over the `(neighbor, edge)` pairs incident to a node.
+///
+/// Produced by [`Graph::neighbors`].
+#[derive(Debug, Clone)]
+pub struct NeighborIter<'a> {
+    inner: std::slice::Iter<'a, (NodeId, EdgeId)>,
+}
+
+impl Iterator for NeighborIter<'_> {
+    type Item = (NodeId, EdgeId);
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next().copied()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl ExactSizeIterator for NeighborIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn path3() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 2).unwrap();
+        b.add_edge(1, 2, 5).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = path3();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.max_latency(), 5);
+        assert_eq!(g.total_volume(), 4);
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let g = path3();
+        assert_eq!(g.degree(NodeId::new(0)), 1);
+        assert_eq!(g.degree(NodeId::new(1)), 2);
+        assert_eq!(g.max_degree(), 2);
+        let nbrs: Vec<NodeId> = g.neighbors(NodeId::new(1)).map(|(v, _)| v).collect();
+        assert_eq!(nbrs, vec![NodeId::new(0), NodeId::new(2)]);
+        assert_eq!(g.neighbors(NodeId::new(1)).len(), 2);
+    }
+
+    #[test]
+    fn find_edge_and_latency() {
+        let g = path3();
+        let e = g.find_edge(NodeId::new(2), NodeId::new(1)).unwrap();
+        assert_eq!(g.latency(e), 5);
+        assert!(g.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(!g.has_edge(NodeId::new(0), NodeId::new(2)));
+    }
+
+    #[test]
+    fn edge_record_other_endpoint() {
+        let g = path3();
+        let e = g.edge(g.find_edge(NodeId::new(0), NodeId::new(1)).unwrap());
+        assert_eq!(e.other(NodeId::new(0)), NodeId::new(1));
+        assert_eq!(e.other(NodeId::new(1)), NodeId::new(0));
+        assert!(e.touches(NodeId::new(0)));
+        assert!(!e.touches(NodeId::new(2)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn edge_record_other_panics_for_non_endpoint() {
+        let g = path3();
+        let e = g.edge(EdgeId::new(0));
+        let _ = e.other(NodeId::new(2));
+    }
+
+    #[test]
+    fn connectivity() {
+        let g = path3();
+        assert!(g.is_connected());
+        // Filtering by latency 2 drops the (1,2) edge and disconnects node 2.
+        let f = g.latency_filtered(2);
+        assert_eq!(f.edge_count(), 1);
+        assert!(!f.is_connected());
+    }
+
+    #[test]
+    fn volume_of_subsets() {
+        let g = path3();
+        assert_eq!(g.volume([NodeId::new(0), NodeId::new(1)]), 3);
+        assert_eq!(g.volume([NodeId::new(2)]), 1);
+    }
+
+    #[test]
+    fn distinct_latencies_sorted() {
+        let g = path3();
+        assert_eq!(g.distinct_latencies(), vec![2, 5]);
+        assert_eq!(g.total_latency(), 7);
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        assert_eq!(Graph::from_parts(0, vec![]), Err(GraphError::Empty));
+    }
+
+    #[test]
+    fn single_node_graph_is_connected() {
+        let g = GraphBuilder::new(1).build().unwrap();
+        assert!(g.is_connected());
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.max_latency(), 0);
+    }
+}

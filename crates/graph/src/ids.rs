@@ -1,0 +1,134 @@
+//! Strongly-typed identifiers for nodes and edges, plus the latency alias.
+
+use std::fmt;
+
+/// Integer latency of an edge, in synchronous rounds.
+///
+/// The paper assumes latencies are positive integers (non-integer latencies
+/// can be scaled and rounded); we follow that convention.  A latency of `1`
+/// corresponds to a classical unweighted edge.
+pub type Latency = u64;
+
+/// Identifier of a node in a [`Graph`](crate::Graph).
+///
+/// Node ids are dense indices in `0..n`; they are assigned by the
+/// [`GraphBuilder`](crate::GraphBuilder) in insertion order and never change.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Creates a node id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+
+    /// Returns the dense index backing this id.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(index: usize) -> Self {
+        NodeId::new(index)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(index: u32) -> Self {
+        NodeId(index)
+    }
+}
+
+/// Identifier of an undirected edge in a [`Graph`](crate::Graph).
+///
+/// Edge ids are dense indices in `0..m` assigned in insertion order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EdgeId(pub(crate) u32);
+
+impl EdgeId {
+    /// Creates an edge id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        EdgeId(u32::try_from(index).expect("edge index exceeds u32::MAX"))
+    }
+
+    /// Returns the dense index backing this id.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<usize> for EdgeId {
+    fn from(index: usize) -> Self {
+        EdgeId::new(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(format!("{id}"), "42");
+        assert_eq!(format!("{id:?}"), "n42");
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        let id = EdgeId::new(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(format!("{id}"), "7");
+        assert_eq!(format!("{id:?}"), "e7");
+    }
+
+    #[test]
+    fn node_id_ordering_matches_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::from(3usize), NodeId::new(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "node index exceeds u32::MAX")]
+    fn node_id_overflow_panics() {
+        let _ = NodeId::new(usize::MAX);
+    }
+}

@@ -1,0 +1,180 @@
+//! Latency-assignment strategies.
+//!
+//! The paper's constructions use very structured latencies (e.g. "all cross
+//! edges are slow except a hidden fast one"); the experiment harness also
+//! needs generic ways to turn an unweighted family into a weighted instance.
+//! [`LatencyScheme`] captures the assignment strategies used in the
+//! evaluation: uniform, two-level fast/slow, power-law latency classes, and
+//! uniformly random within a range.
+
+use rand::Rng;
+
+use crate::{Graph, GraphError, Latency};
+
+/// Strategy for assigning latencies to the edges of an (unweighted) graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LatencyScheme {
+    /// Every edge gets the same latency (latency 1 reproduces the unweighted model).
+    Uniform(Latency),
+    /// Each edge independently is *fast* (`fast` latency) with probability
+    /// `fast_probability`, otherwise *slow* (`slow` latency).
+    TwoLevel {
+        /// Latency of fast edges.
+        fast: Latency,
+        /// Latency of slow edges.
+        slow: Latency,
+        /// Probability that an edge is fast.
+        fast_probability: f64,
+    },
+    /// Each edge picks latency class `i ∈ 1..=classes` with probability
+    /// proportional to `2^{-i}` and gets latency `2^i` (a heavy-tailed mix of
+    /// fast and slow edges exercising many latency classes).
+    PowerLawClasses {
+        /// Number of latency classes to draw from.
+        classes: usize,
+    },
+    /// Each edge gets an independent uniformly random latency in `[min, max]`.
+    UniformRandom {
+        /// Smallest possible latency.
+        min: Latency,
+        /// Largest possible latency.
+        max: Latency,
+    },
+}
+
+impl LatencyScheme {
+    /// Draws one latency according to the scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme parameters are invalid (zero latency, empty range,
+    /// probability outside `[0, 1]`, zero classes).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Latency {
+        match *self {
+            LatencyScheme::Uniform(l) => {
+                assert!(l > 0, "uniform latency must be positive");
+                l
+            }
+            LatencyScheme::TwoLevel { fast, slow, fast_probability } => {
+                assert!(fast > 0 && slow > 0, "latencies must be positive");
+                assert!(
+                    (0.0..=1.0).contains(&fast_probability),
+                    "fast_probability must lie in [0, 1]"
+                );
+                if rng.gen_bool(fast_probability) {
+                    fast
+                } else {
+                    slow
+                }
+            }
+            LatencyScheme::PowerLawClasses { classes } => {
+                assert!(classes > 0, "at least one latency class is required");
+                // P[class i] ∝ 2^{-i}; sample by repeated coin flips, capped at `classes`.
+                let mut class = 1usize;
+                while class < classes && rng.gen_bool(0.5) {
+                    class += 1;
+                }
+                1u64 << class.min(32)
+            }
+            LatencyScheme::UniformRandom { min, max } => {
+                assert!(min > 0, "latencies must be positive");
+                assert!(min <= max, "latency range must be non-empty");
+                rng.gen_range(min..=max)
+            }
+        }
+    }
+
+    /// Returns a copy of `g` with every edge latency re-drawn from this scheme.
+    ///
+    /// The topology (node and edge set) is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a valid input graph; the `Result` mirrors the builder API.
+    pub fn apply<R: Rng + ?Sized>(&self, g: &Graph, rng: &mut R) -> Result<Graph, GraphError> {
+        let edges = g
+            .edges()
+            .map(|rec| crate::EdgeRecord { u: rec.u, v: rec.v, latency: self.sample(rng) })
+            .collect();
+        Graph::from_parts(g.node_count(), edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_scheme_is_constant() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let s = LatencyScheme::Uniform(7);
+        for _ in 0..10 {
+            assert_eq!(s.sample(&mut rng), 7);
+        }
+    }
+
+    #[test]
+    fn two_level_produces_both_levels() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let s = LatencyScheme::TwoLevel { fast: 1, slow: 100, fast_probability: 0.5 };
+        let draws: Vec<Latency> = (0..200).map(|_| s.sample(&mut rng)).collect();
+        assert!(draws.iter().any(|&l| l == 1));
+        assert!(draws.iter().any(|&l| l == 100));
+        assert!(draws.iter().all(|&l| l == 1 || l == 100));
+    }
+
+    #[test]
+    fn two_level_extreme_probabilities() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let all_fast = LatencyScheme::TwoLevel { fast: 2, slow: 50, fast_probability: 1.0 };
+        let all_slow = LatencyScheme::TwoLevel { fast: 2, slow: 50, fast_probability: 0.0 };
+        for _ in 0..20 {
+            assert_eq!(all_fast.sample(&mut rng), 2);
+            assert_eq!(all_slow.sample(&mut rng), 50);
+        }
+    }
+
+    #[test]
+    fn power_law_latencies_are_powers_of_two_within_range() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let s = LatencyScheme::PowerLawClasses { classes: 4 };
+        for _ in 0..500 {
+            let l = s.sample(&mut rng);
+            assert!(l.is_power_of_two());
+            assert!((2..=16).contains(&l));
+        }
+    }
+
+    #[test]
+    fn uniform_random_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let s = LatencyScheme::UniformRandom { min: 3, max: 9 };
+        for _ in 0..200 {
+            let l = s.sample(&mut rng);
+            assert!((3..=9).contains(&l));
+        }
+    }
+
+    #[test]
+    fn apply_preserves_topology() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let g = generators::clique(6, 1).unwrap();
+        let w = LatencyScheme::UniformRandom { min: 1, max: 5 }.apply(&g, &mut rng).unwrap();
+        assert_eq!(w.node_count(), g.node_count());
+        assert_eq!(w.edge_count(), g.edge_count());
+        for (a, b) in g.edges().zip(w.edges()) {
+            assert_eq!((a.u, a.v), (b.u, b.v));
+            assert!((1..=5).contains(&b.latency));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "latency range must be non-empty")]
+    fn empty_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let _ = LatencyScheme::UniformRandom { min: 9, max: 3 }.sample(&mut rng);
+    }
+}

@@ -1,0 +1,273 @@
+//! Distance and degree metrics on latency-weighted graphs.
+//!
+//! The paper's bounds are stated in terms of the *weighted diameter* `D`
+//! (shortest-path distances with latencies as weights), the *hop diameter*
+//! (unweighted), and the maximum degree `Δ`.  This module computes all three,
+//! plus the building blocks (single-source Dijkstra / BFS).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::{Graph, Latency, NodeId};
+
+/// Distance value used by the shortest-path routines.
+///
+/// `u64::MAX` is reserved to mean "unreachable"; see [`UNREACHABLE`].
+pub type Distance = u64;
+
+/// Sentinel distance for unreachable nodes.
+pub const UNREACHABLE: Distance = u64::MAX;
+
+/// Single-source shortest-path distances with latencies as weights (Dijkstra).
+///
+/// Returns a vector indexed by node id; unreachable nodes get [`UNREACHABLE`].
+///
+/// # Panics
+///
+/// Panics if `source` is not a node of `g`.
+pub fn dijkstra(g: &Graph, source: NodeId) -> Vec<Distance> {
+    let n = g.node_count();
+    assert!(source.index() < n, "source node out of range");
+    let mut dist = vec![UNREACHABLE; n];
+    dist[source.index()] = 0;
+    let mut heap: BinaryHeap<Reverse<(Distance, u32)>> = BinaryHeap::new();
+    heap.push(Reverse((0, source.index() as u32)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        let v_idx = v as usize;
+        if d > dist[v_idx] {
+            continue;
+        }
+        for (w, e) in g.neighbors(NodeId::new(v_idx)) {
+            let nd = d.saturating_add(g.latency(e));
+            if nd < dist[w.index()] {
+                dist[w.index()] = nd;
+                heap.push(Reverse((nd, w.index() as u32)));
+            }
+        }
+    }
+    dist
+}
+
+/// Single-source hop distances ignoring latencies (BFS).
+///
+/// # Panics
+///
+/// Panics if `source` is not a node of `g`.
+pub fn bfs_hops(g: &Graph, source: NodeId) -> Vec<Distance> {
+    let n = g.node_count();
+    assert!(source.index() < n, "source node out of range");
+    let mut dist = vec![UNREACHABLE; n];
+    dist[source.index()] = 0;
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()];
+        for (w, _) in g.neighbors(v) {
+            if dist[w.index()] == UNREACHABLE {
+                dist[w.index()] = d + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Weighted eccentricity of `source`: the largest finite Dijkstra distance.
+///
+/// Returns `None` if some node is unreachable from `source`.
+pub fn eccentricity(g: &Graph, source: NodeId) -> Option<Distance> {
+    let dist = dijkstra(g, source);
+    let mut max = 0;
+    for d in dist {
+        if d == UNREACHABLE {
+            return None;
+        }
+        max = max.max(d);
+    }
+    Some(max)
+}
+
+/// Exact weighted diameter `D`: the maximum over all pairs of the weighted
+/// shortest-path distance.  Runs Dijkstra from every node — `O(n · m log n)` —
+/// so it is intended for the graph sizes used in tests and experiments.
+///
+/// Returns `None` if the graph is disconnected.
+pub fn weighted_diameter(g: &Graph) -> Option<Distance> {
+    let mut diameter = 0;
+    for v in g.nodes() {
+        diameter = diameter.max(eccentricity(g, v)?);
+    }
+    Some(diameter)
+}
+
+/// Two-sweep lower bound on the weighted diameter: run Dijkstra from an
+/// arbitrary node, then from the farthest node found.  The result is a lower
+/// bound on `D` that is exact on trees and very close in practice; it costs
+/// only two Dijkstra runs.
+///
+/// Returns `None` if the graph is disconnected.
+pub fn weighted_diameter_double_sweep(g: &Graph) -> Option<Distance> {
+    let first = dijkstra(g, NodeId::new(0));
+    let mut far = NodeId::new(0);
+    let mut far_d = 0;
+    for (i, &d) in first.iter().enumerate() {
+        if d == UNREACHABLE {
+            return None;
+        }
+        if d > far_d {
+            far_d = d;
+            far = NodeId::new(i);
+        }
+    }
+    eccentricity(g, far)
+}
+
+/// Exact hop (unweighted) diameter.
+///
+/// Returns `None` if the graph is disconnected.
+pub fn hop_diameter(g: &Graph) -> Option<Distance> {
+    let mut diameter = 0;
+    for v in g.nodes() {
+        let dist = bfs_hops(g, v);
+        for d in dist {
+            if d == UNREACHABLE {
+                return None;
+            }
+            diameter = diameter.max(d);
+        }
+    }
+    Some(diameter)
+}
+
+/// Weighted distance between a specific pair of nodes.
+///
+/// Returns `None` if `target` is unreachable from `source`.
+pub fn distance(g: &Graph, source: NodeId, target: NodeId) -> Option<Distance> {
+    let d = dijkstra(g, source)[target.index()];
+    (d != UNREACHABLE).then_some(d)
+}
+
+/// A compact summary of the structural parameters the paper's bounds use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphSummary {
+    /// Number of nodes `n`.
+    pub nodes: usize,
+    /// Number of edges `m`.
+    pub edges: usize,
+    /// Maximum degree `Δ`.
+    pub max_degree: usize,
+    /// Weighted diameter `D` (None if disconnected).
+    pub weighted_diameter: Option<Distance>,
+    /// Hop diameter (None if disconnected).
+    pub hop_diameter: Option<Distance>,
+    /// Maximum edge latency `ℓ_max`.
+    pub max_latency: Latency,
+}
+
+/// Computes a [`GraphSummary`] (exact diameters; intended for experiment-scale graphs).
+pub fn summarize(g: &Graph) -> GraphSummary {
+    GraphSummary {
+        nodes: g.node_count(),
+        edges: g.edge_count(),
+        max_degree: g.max_degree(),
+        weighted_diameter: weighted_diameter(g),
+        hop_diameter: hop_diameter(g),
+        max_latency: g.max_latency(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// Triangle with one slow edge: 0-1 (1), 1-2 (1), 0-2 (10).
+    fn slow_triangle() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1).unwrap();
+        b.add_edge(1, 2, 1).unwrap();
+        b.add_edge(0, 2, 10).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dijkstra_prefers_fast_multi_hop_path() {
+        let g = slow_triangle();
+        let d = dijkstra(&g, NodeId::new(0));
+        // Direct edge has latency 10 but the two-hop path costs 2.
+        assert_eq!(d, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_ignores_latency() {
+        let g = slow_triangle();
+        let d = bfs_hops(&g, NodeId::new(0));
+        assert_eq!(d, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn diameters() {
+        let g = slow_triangle();
+        assert_eq!(weighted_diameter(&g), Some(2));
+        assert_eq!(hop_diameter(&g), Some(1));
+        assert_eq!(weighted_diameter_double_sweep(&g), Some(2));
+    }
+
+    #[test]
+    fn eccentricity_and_pairwise_distance() {
+        let g = slow_triangle();
+        assert_eq!(eccentricity(&g, NodeId::new(0)), Some(2));
+        assert_eq!(distance(&g, NodeId::new(0), NodeId::new(2)), Some(2));
+    }
+
+    #[test]
+    fn disconnected_graphs_report_none() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1).unwrap();
+        b.add_edge(2, 3, 1).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(weighted_diameter(&g), None);
+        assert_eq!(hop_diameter(&g), None);
+        assert_eq!(eccentricity(&g, NodeId::new(0)), None);
+        assert_eq!(distance(&g, NodeId::new(0), NodeId::new(3)), None);
+        assert_eq!(weighted_diameter_double_sweep(&g), None);
+    }
+
+    #[test]
+    fn path_graph_diameter_is_latency_sum() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 3).unwrap();
+        b.add_edge(1, 2, 4).unwrap();
+        b.add_edge(2, 3, 5).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(weighted_diameter(&g), Some(12));
+        assert_eq!(weighted_diameter_double_sweep(&g), Some(12));
+        assert_eq!(hop_diameter(&g), Some(3));
+    }
+
+    #[test]
+    fn summary_collects_all_parameters() {
+        let g = slow_triangle();
+        let s = summarize(&g);
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.weighted_diameter, Some(2));
+        assert_eq!(s.hop_diameter, Some(1));
+        assert_eq!(s.max_latency, 10);
+    }
+
+    #[test]
+    fn single_node_metrics() {
+        let g = GraphBuilder::new(1).build().unwrap();
+        assert_eq!(weighted_diameter(&g), Some(0));
+        assert_eq!(hop_diameter(&g), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "source node out of range")]
+    fn dijkstra_panics_on_bad_source() {
+        let g = slow_triangle();
+        let _ = dijkstra(&g, NodeId::new(17));
+    }
+}

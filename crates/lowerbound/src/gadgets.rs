@@ -1,0 +1,497 @@
+//! The guessing-game gadgets and worst-case networks of Section 3
+//! (Figures 1 and 2 of the paper).
+
+use std::collections::HashSet;
+
+use gossip_graph::{Graph, GraphBuilder, GraphError, Latency, NodeId};
+use rand::Rng;
+
+use crate::game::Pair;
+use crate::predicates::TargetPredicate;
+
+/// A constructed gadget network together with the bookkeeping the reduction needs.
+#[derive(Debug, Clone)]
+pub struct GadgetNetwork {
+    /// The constructed graph.
+    pub graph: Graph,
+    /// Size `m` of each side of the embedded bipartite gadget.
+    pub m: usize,
+    /// Node ids of the left side `L` (index `i` ↔ game element `a_i`).
+    pub left: Vec<NodeId>,
+    /// Node ids of the right side `R` (index `j` ↔ game element `b_j`).
+    pub right: Vec<NodeId>,
+    /// The hidden target set: the cross pairs whose edge is *fast* (latency `lo`).
+    pub target: HashSet<Pair>,
+    /// Latency of fast cross edges.
+    pub lo: Latency,
+    /// Latency of slow cross edges.
+    pub hi: Latency,
+}
+
+impl GadgetNetwork {
+    /// Returns `true` if the cross edge `(left i, right j)` is fast.
+    pub fn is_fast(&self, i: usize, j: usize) -> bool {
+        self.target.contains(&(i, j))
+    }
+
+    /// Maps a pair of node ids to a game pair `(i, j)` if they form a cross edge.
+    pub fn cross_pair(&self, u: NodeId, v: NodeId) -> Option<Pair> {
+        let li = self.left.iter().position(|&x| x == u);
+        let rj = self.right.iter().position(|&x| x == v);
+        if let (Some(i), Some(j)) = (li, rj) {
+            return Some((i, j));
+        }
+        let li = self.left.iter().position(|&x| x == v);
+        let rj = self.right.iter().position(|&x| x == u);
+        if let (Some(i), Some(j)) = (li, rj) {
+            return Some((i, j));
+        }
+        None
+    }
+}
+
+/// Builds the gadget `G(2m, lo, hi, P)` of Figure 1(a): a clique on the left
+/// side `L` (latency 1), a complete bipartite graph between `L` and `R`, and
+/// cross-edge latencies `lo` for target pairs and `hi` otherwise.
+/// With `symmetric = true` this is `Gsym(2m, lo, hi, P)` of Figure 1(b), which
+/// additionally puts a clique on `R`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] if `m < 2`, if `lo >= hi`, or if
+/// `lo == 0`.
+pub fn gadget<R: Rng + ?Sized>(
+    m: usize,
+    lo: Latency,
+    hi: Latency,
+    predicate: TargetPredicate,
+    symmetric: bool,
+    rng: &mut R,
+) -> Result<GadgetNetwork, GraphError> {
+    if m < 2 {
+        return Err(GraphError::InvalidParameters { reason: "gadget needs m >= 2".into() });
+    }
+    if lo == 0 || lo >= hi {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("gadget needs 0 < lo < hi, got lo = {lo}, hi = {hi}"),
+        });
+    }
+    let target = predicate.sample(m, rng);
+    build_gadget(m, lo, hi, target, symmetric)
+}
+
+/// Builds a gadget with an explicitly chosen target set.
+///
+/// # Errors
+///
+/// Same conditions as [`gadget`]; additionally rejects out-of-range target pairs.
+pub fn gadget_with_target(
+    m: usize,
+    lo: Latency,
+    hi: Latency,
+    target: HashSet<Pair>,
+    symmetric: bool,
+) -> Result<GadgetNetwork, GraphError> {
+    if m < 2 {
+        return Err(GraphError::InvalidParameters { reason: "gadget needs m >= 2".into() });
+    }
+    if lo == 0 || lo >= hi {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("gadget needs 0 < lo < hi, got lo = {lo}, hi = {hi}"),
+        });
+    }
+    if target.iter().any(|&(a, b)| a >= m || b >= m) {
+        return Err(GraphError::InvalidParameters {
+            reason: "target pair out of range for the gadget size".into(),
+        });
+    }
+    build_gadget(m, lo, hi, target, symmetric)
+}
+
+fn build_gadget(
+    m: usize,
+    lo: Latency,
+    hi: Latency,
+    target: HashSet<Pair>,
+    symmetric: bool,
+) -> Result<GadgetNetwork, GraphError> {
+    let mut b = GraphBuilder::new(2 * m);
+    // Clique on L (nodes 0..m), latency 1.
+    for i in 0..m {
+        for j in (i + 1)..m {
+            b.add_edge(i, j, 1)?;
+        }
+    }
+    // Optional clique on R (nodes m..2m).
+    if symmetric {
+        for i in 0..m {
+            for j in (i + 1)..m {
+                b.add_edge(m + i, m + j, 1)?;
+            }
+        }
+    }
+    // Complete bipartite cross edges with target-dependent latencies.
+    for i in 0..m {
+        for j in 0..m {
+            let latency = if target.contains(&(i, j)) { lo } else { hi };
+            b.add_edge(i, m + j, latency)?;
+        }
+    }
+    let graph = b.build_connected()?;
+    Ok(GadgetNetwork {
+        graph,
+        m,
+        left: (0..m).map(NodeId::new).collect(),
+        right: (m..2 * m).map(NodeId::new).collect(),
+        target,
+        lo,
+        hi,
+    })
+}
+
+/// The Theorem 9 network: `Gsym(2Δ, 1, Δ, singleton)` combined with a
+/// constant-degree expander on the remaining `n − 2Δ` nodes, one of which is
+/// connected to every left-side gadget node.  All non-gadget edges have
+/// latency 1, so the network has weighted diameter `O(log n)` and maximum
+/// degree `Θ(Δ)`, yet local broadcast needs `Ω(Δ)` rounds.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] if `n < 2·delta + 4` or `delta < 2`.
+pub fn theorem9_network<R: Rng + ?Sized>(
+    n: usize,
+    delta: usize,
+    rng: &mut R,
+) -> Result<GadgetNetwork, GraphError> {
+    if delta < 2 || n < 2 * delta + 4 {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("theorem 9 network needs delta >= 2 and n >= 2*delta + 4, got n = {n}, delta = {delta}"),
+        });
+    }
+    let hi = delta as Latency;
+    let gadget = gadget(delta, 1, hi.max(2), TargetPredicate::Singleton, true, rng)?;
+
+    // Append the expander nodes.
+    let expander_nodes = n - 2 * delta;
+    let expander_degree = 4.min(expander_nodes - 1).max(1);
+    let expander = if expander_nodes >= 6 && expander_degree >= 2 {
+        gossip_graph::generators::random_regular(expander_nodes, expander_degree, 1, rng)?
+    } else {
+        gossip_graph::generators::clique(expander_nodes, 1)?
+    };
+
+    let mut b = GraphBuilder::new(2 * delta + expander_nodes);
+    for rec in gadget.graph.edges() {
+        b.add_edge(rec.u.index(), rec.v.index(), rec.latency)?;
+    }
+    for rec in expander.edges() {
+        b.add_edge(2 * delta + rec.u.index(), 2 * delta + rec.v.index(), 1)?;
+    }
+    // Expander node 0 is connected to every left-side gadget node.
+    for i in 0..delta {
+        b.add_edge(2 * delta, i, 1)?;
+    }
+    let graph = b.build_connected()?;
+    Ok(GadgetNetwork {
+        graph,
+        m: delta,
+        left: gadget.left,
+        right: gadget.right,
+        target: gadget.target,
+        lo: 1,
+        hi: hi.max(2),
+    })
+}
+
+/// The Theorem 10 network: `G(2n, ℓ, n², Random_φ)` — a bipartite gadget on
+/// `2n` nodes where every cross edge is fast (latency `ℓ`) independently with
+/// probability `φ` and otherwise very slow (latency `n²`).  W.h.p. it has
+/// weighted diameter `O(ℓ)` and critical weighted conductance `Θ(φ)`, yet
+/// local broadcast needs `Ω(1/φ + ℓ)` rounds (and `Ω(log n/φ + ℓ)` for push–pull).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] if `n < 2`, `phi` is outside
+/// `(0, 1]`, or `ell >= n²`.
+pub fn theorem10_network<R: Rng + ?Sized>(
+    n: usize,
+    phi: f64,
+    ell: Latency,
+    rng: &mut R,
+) -> Result<GadgetNetwork, GraphError> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameters { reason: "theorem 10 network needs n >= 2".into() });
+    }
+    if !(0.0..=1.0).contains(&phi) || phi == 0.0 {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("phi must lie in (0, 1], got {phi}"),
+        });
+    }
+    let hi = (n as Latency).saturating_mul(n as Latency).max(ell + 1);
+    if ell == 0 || ell >= hi {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("ell must satisfy 0 < ell < n^2, got {ell}"),
+        });
+    }
+    gadget(n, ell, hi, TargetPredicate::Random { p: phi }, false, rng)
+}
+
+/// One layer pair of the Theorem 13 ring and its hidden fast edge.
+#[derive(Debug, Clone)]
+pub struct RingLayerTarget {
+    /// Index of the layer (the pair is `(layer, (layer + 1) mod k)`).
+    pub layer: usize,
+    /// The fast cross edge, as node ids.
+    pub fast_edge: (NodeId, NodeId),
+}
+
+/// The Theorem 13 / Figure 2 network and its bookkeeping.
+#[derive(Debug, Clone)]
+pub struct RingNetwork {
+    /// The constructed graph.
+    pub graph: Graph,
+    /// Number of layers `k`.
+    pub layers: usize,
+    /// Nodes per layer `s`.
+    pub layer_size: usize,
+    /// Latency of the slow cross edges.
+    pub ell: Latency,
+    /// The hidden fast edge of every consecutive layer pair.
+    pub targets: Vec<RingLayerTarget>,
+}
+
+impl RingNetwork {
+    /// Node id of member `i` of layer `layer`.
+    pub fn node(&self, layer: usize, i: usize) -> NodeId {
+        NodeId::new(layer * self.layer_size + i)
+    }
+}
+
+/// Layer count and layer size for the Theorem 13 construction with a given
+/// `n` (half the node count) and conductance target `α`.
+///
+/// The paper sets `s = c·n·α` and `k = 2/(c·α)` with `c ∈ [1, 3/2)`; we round
+/// to integers and clamp so that `k ≥ 3` and `s ≥ 2`.
+pub fn theorem13_parameters(n: usize, alpha: f64) -> (usize, usize) {
+    let c = (3.0 + (9.0 - 8.0 * alpha).max(0.0).sqrt()) / 4.0;
+    let s = ((c * n as f64 * alpha).round() as usize).max(2);
+    let k = ((2.0 * n as f64 / s as f64).round() as usize).max(3);
+    (k, s)
+}
+
+/// Builds the Theorem 13 ring of guessing-game gadgets (Figure 2): `k` layers
+/// of `s` nodes; each layer is a latency-1 clique; consecutive layers are
+/// joined by a complete bipartite graph whose edges all have latency `ell`
+/// except one uniformly random fast edge of latency 1 per layer pair.
+///
+/// The resulting graph is `(3s−1)`-regular (Observation 14), has
+/// `φ_ℓ = Θ(s/n)` (Lemmas 15–16) and weighted diameter `Θ(k)`, and any
+/// broadcast algorithm needs `Ω(min(Δ + D, ℓ/φ_ℓ))` rounds on it.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] if `layers < 3`, `layer_size < 2`,
+/// or `ell < 2`.
+pub fn theorem13_ring<R: Rng + ?Sized>(
+    layers: usize,
+    layer_size: usize,
+    ell: Latency,
+    rng: &mut R,
+) -> Result<RingNetwork, GraphError> {
+    if layers < 3 {
+        return Err(GraphError::InvalidParameters { reason: "ring needs at least 3 layers".into() });
+    }
+    if layer_size < 2 {
+        return Err(GraphError::InvalidParameters {
+            reason: "ring needs at least 2 nodes per layer".into(),
+        });
+    }
+    if ell < 2 {
+        return Err(GraphError::InvalidParameters {
+            reason: "the slow latency ell must be at least 2".into(),
+        });
+    }
+    let s = layer_size;
+    let mut b = GraphBuilder::new(layers * s);
+    let node = |layer: usize, i: usize| layer * s + i;
+
+    // Latency-1 cliques inside every layer.
+    for layer in 0..layers {
+        for i in 0..s {
+            for j in (i + 1)..s {
+                b.add_edge(node(layer, i), node(layer, j), 1)?;
+            }
+        }
+    }
+
+    // Complete bipartite cross edges between consecutive layers; one random
+    // fast edge per layer pair, all others slow.
+    let mut targets = Vec::with_capacity(layers);
+    for layer in 0..layers {
+        let next = (layer + 1) % layers;
+        let fast_i = rng.gen_range(0..s);
+        let fast_j = rng.gen_range(0..s);
+        for i in 0..s {
+            for j in 0..s {
+                let latency = if i == fast_i && j == fast_j { 1 } else { ell };
+                b.add_edge(node(layer, i), node(next, j), latency)?;
+            }
+        }
+        targets.push(RingLayerTarget {
+            layer,
+            fast_edge: (NodeId::new(node(layer, fast_i)), NodeId::new(node(next, fast_j))),
+        });
+    }
+
+    let graph = b.build_connected()?;
+    Ok(RingNetwork { graph, layers, layer_size: s, ell, targets })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_graph::metrics;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gadget_structure_matches_figure_1a() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = gadget(5, 1, 50, TargetPredicate::Singleton, false, &mut rng).unwrap();
+        // L-clique: C(5,2) = 10 edges; cross: 25 edges.
+        assert_eq!(g.graph.node_count(), 10);
+        assert_eq!(g.graph.edge_count(), 35);
+        assert_eq!(g.target.len(), 1);
+        // Exactly one cross edge has latency 1 besides... L-clique edges also
+        // have latency 1; count fast cross edges explicitly.
+        let fast_cross = g
+            .graph
+            .edges()
+            .filter(|rec| {
+                let cross = (rec.u.index() < 5) != (rec.v.index() < 5);
+                cross && rec.latency == 1
+            })
+            .count();
+        assert_eq!(fast_cross, 1);
+    }
+
+    #[test]
+    fn symmetric_gadget_adds_right_clique() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let asym = gadget(4, 1, 9, TargetPredicate::Singleton, false, &mut rng).unwrap();
+        let sym = gadget(4, 1, 9, TargetPredicate::Singleton, true, &mut rng).unwrap();
+        assert_eq!(sym.graph.edge_count(), asym.graph.edge_count() + 6);
+    }
+
+    #[test]
+    fn cross_pair_mapping_is_symmetric() {
+        let target: HashSet<Pair> = [(1, 2)].into_iter().collect();
+        let g = gadget_with_target(4, 1, 9, target, false).unwrap();
+        assert_eq!(g.cross_pair(NodeId::new(1), NodeId::new(4 + 2)), Some((1, 2)));
+        assert_eq!(g.cross_pair(NodeId::new(4 + 2), NodeId::new(1)), Some((1, 2)));
+        assert_eq!(g.cross_pair(NodeId::new(0), NodeId::new(1)), None);
+        assert!(g.is_fast(1, 2));
+        assert!(!g.is_fast(0, 0));
+    }
+
+    #[test]
+    fn gadget_rejects_bad_parameters() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert!(gadget(1, 1, 5, TargetPredicate::Singleton, false, &mut rng).is_err());
+        assert!(gadget(4, 5, 5, TargetPredicate::Singleton, false, &mut rng).is_err());
+        assert!(gadget(4, 0, 5, TargetPredicate::Singleton, false, &mut rng).is_err());
+        assert!(gadget_with_target(4, 1, 5, [(9, 0)].into_iter().collect(), false).is_err());
+    }
+
+    #[test]
+    fn theorem9_network_has_small_diameter_and_large_degree() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let delta = 8;
+        let net = theorem9_network(64, delta, &mut rng).unwrap();
+        assert_eq!(net.graph.node_count(), 64);
+        assert!(net.graph.is_connected());
+        // Max degree is Θ(Δ): a gadget node sees Δ-1 clique + Δ cross + possibly the expander hub.
+        assert!(net.graph.max_degree() >= 2 * delta - 2);
+        // Weighted diameter is small (O(log n)); the slow cross edges never
+        // need to be used because the fast path goes through the expander...
+        // but R-side nodes may only connect via cross edges, so allow O(Δ).
+        let d = metrics::weighted_diameter(&net.graph).unwrap();
+        assert!(d <= 2 * delta as u64 + 10, "diameter {d} unexpectedly large");
+        assert_eq!(net.target.len(), 1);
+    }
+
+    #[test]
+    fn theorem9_rejects_small_networks() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert!(theorem9_network(10, 8, &mut rng).is_err());
+        assert!(theorem9_network(64, 1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn theorem10_network_diameter_tracks_ell() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let net = theorem10_network(24, 0.3, 4, &mut rng).unwrap();
+        assert_eq!(net.graph.node_count(), 48);
+        // With φ = 0.3 every right node has a fast edge w.h.p., so the
+        // weighted diameter is O(ℓ).
+        let d = metrics::weighted_diameter(&net.graph).unwrap();
+        assert!(d <= 3 * 4 + 2, "diameter {d} should be O(ell)");
+        // The number of fast cross edges concentrates around φ·n².
+        let fast = net.target.len() as f64;
+        assert!(fast > 0.15 * 576.0 && fast < 0.45 * 576.0);
+    }
+
+    #[test]
+    fn theorem13_ring_is_3s_minus_1_regular() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let ring = theorem13_ring(6, 4, 16, &mut rng).unwrap();
+        assert_eq!(ring.graph.node_count(), 24);
+        // Observation 14: every node has degree 3s - 1.
+        for v in ring.graph.nodes() {
+            assert_eq!(ring.graph.degree(v), 3 * 4 - 1);
+        }
+        assert_eq!(ring.targets.len(), 6);
+        // Exactly one fast cross edge per layer pair.
+        for t in &ring.targets {
+            let e = ring.graph.find_edge(t.fast_edge.0, t.fast_edge.1).unwrap();
+            assert_eq!(ring.graph.latency(e), 1);
+        }
+    }
+
+    #[test]
+    fn theorem13_diameter_scales_with_layer_count() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let small = theorem13_ring(4, 4, 8, &mut rng).unwrap();
+        let large = theorem13_ring(12, 4, 8, &mut rng).unwrap();
+        let d_small = metrics::weighted_diameter(&small.graph).unwrap();
+        let d_large = metrics::weighted_diameter(&large.graph).unwrap();
+        assert!(d_large > d_small, "more layers must mean a larger diameter");
+        // D = Θ(k/2): crossing half the ring over fast edges costs ~k/2.
+        assert!(d_large >= 5);
+    }
+
+    #[test]
+    fn theorem13_parameters_are_consistent() {
+        let (k, s) = theorem13_parameters(64, 0.125);
+        // k·s ≈ 2n = 128.
+        let total = k * s;
+        assert!((96..=160).contains(&total), "k*s = {total} should be near 128");
+        assert!(k >= 3 && s >= 2);
+    }
+
+    #[test]
+    fn ring_rejects_bad_parameters() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        assert!(theorem13_ring(2, 4, 8, &mut rng).is_err());
+        assert!(theorem13_ring(4, 1, 8, &mut rng).is_err());
+        assert!(theorem13_ring(4, 4, 1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn ring_node_helper_indexes_layers() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        let ring = theorem13_ring(3, 5, 4, &mut rng).unwrap();
+        assert_eq!(ring.node(0, 0), NodeId::new(0));
+        assert_eq!(ring.node(2, 3), NodeId::new(13));
+    }
+}

@@ -1,0 +1,186 @@
+//! The guessing game `Guessing(2m, P)` (Section 3.1 of the paper).
+
+use std::collections::HashSet;
+
+use rand::Rng;
+
+use crate::predicates::TargetPredicate;
+
+/// A pair `(a, b)` with `a` indexing the left set `A` and `b` the right set `B`
+/// (both in `0..m`).
+pub type Pair = (usize, usize);
+
+/// State of one game of `Guessing(2m, P)`.
+///
+/// The oracle's target set is hidden from Alice; she interacts with the game
+/// only through [`submit`](GuessingGame::submit), which reveals the hits of a
+/// round and applies the removal rule of Equation 3.
+#[derive(Debug, Clone)]
+pub struct GuessingGame {
+    m: usize,
+    target: HashSet<Pair>,
+    initial_target_size: usize,
+    rounds: u64,
+    guesses: u64,
+}
+
+impl GuessingGame {
+    /// Creates a game on sets of size `m` with the target drawn by `predicate`.
+    pub fn new<R: Rng + ?Sized>(m: usize, predicate: TargetPredicate, rng: &mut R) -> Self {
+        let target = predicate.sample(m, rng);
+        GuessingGame { m, initial_target_size: target.len(), target, rounds: 0, guesses: 0 }
+    }
+
+    /// Creates a game with an explicit target set (used by the reduction,
+    /// where the target is fixed by the constructed network).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pair is out of range.
+    pub fn with_target(m: usize, target: HashSet<Pair>) -> Self {
+        for &(a, b) in &target {
+            assert!(a < m && b < m, "target pair ({a}, {b}) out of range for m = {m}");
+        }
+        GuessingGame { m, initial_target_size: target.len(), target, rounds: 0, guesses: 0 }
+    }
+
+    /// Size `m` of each side of the bipartite ground set.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// `true` once the target set is empty (Alice has won).
+    pub fn is_solved(&self) -> bool {
+        self.target.is_empty()
+    }
+
+    /// Number of rounds played so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Total number of guesses submitted so far.
+    pub fn guesses(&self) -> u64 {
+        self.guesses
+    }
+
+    /// Size of the target set the oracle initially drew.
+    pub fn initial_target_size(&self) -> usize {
+        self.initial_target_size
+    }
+
+    /// Number of target pairs still alive.
+    pub fn remaining_target_size(&self) -> usize {
+        self.target.len()
+    }
+
+    /// Submits one round of guesses (at most `2m` of them, per the game's
+    /// definition) and returns the pairs that hit the current target set.
+    ///
+    /// After revealing the hits, every target pair whose `B`-component matches
+    /// a hit is removed (Equation 3 of the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `2m` guesses are submitted in one round or if any
+    /// guess is out of range.
+    pub fn submit(&mut self, round_guesses: &[Pair]) -> Vec<Pair> {
+        assert!(
+            round_guesses.len() <= 2 * self.m,
+            "at most 2m = {} guesses may be submitted per round",
+            2 * self.m
+        );
+        for &(a, b) in round_guesses {
+            assert!(a < self.m && b < self.m, "guess ({a}, {b}) out of range for m = {}", self.m);
+        }
+        self.rounds += 1;
+        self.guesses += round_guesses.len() as u64;
+
+        let hits: Vec<Pair> =
+            round_guesses.iter().copied().filter(|p| self.target.contains(p)).collect();
+        if !hits.is_empty() {
+            let hit_b: HashSet<usize> = hits.iter().map(|&(_, b)| b).collect();
+            self.target.retain(|&(_, b)| !hit_b.contains(&b));
+        }
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn explicit_target_and_basic_flow() {
+        let target: HashSet<Pair> = [(0, 1), (2, 1), (3, 4)].into_iter().collect();
+        let mut game = GuessingGame::with_target(8, target);
+        assert_eq!(game.initial_target_size(), 3);
+        assert!(!game.is_solved());
+
+        // A miss reveals nothing and removes nothing.
+        let hits = game.submit(&[(5, 5)]);
+        assert!(hits.is_empty());
+        assert_eq!(game.remaining_target_size(), 3);
+
+        // Hitting (0,1) also removes (2,1): same B-component.
+        let hits = game.submit(&[(0, 1)]);
+        assert_eq!(hits, vec![(0, 1)]);
+        assert_eq!(game.remaining_target_size(), 1);
+
+        let hits = game.submit(&[(3, 4)]);
+        assert_eq!(hits, vec![(3, 4)]);
+        assert!(game.is_solved());
+        assert_eq!(game.rounds(), 3);
+        assert_eq!(game.guesses(), 3);
+    }
+
+    #[test]
+    fn removal_rule_only_applies_to_hit_b_components() {
+        let target: HashSet<Pair> = [(0, 0), (1, 1)].into_iter().collect();
+        let mut game = GuessingGame::with_target(4, target);
+        game.submit(&[(0, 0)]);
+        assert_eq!(game.remaining_target_size(), 1);
+        assert!(!game.is_solved());
+    }
+
+    #[test]
+    fn singleton_predicate_gives_one_pair() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let game = GuessingGame::new(16, TargetPredicate::Singleton, &mut rng);
+        assert_eq!(game.initial_target_size(), 1);
+    }
+
+    #[test]
+    fn random_predicate_size_concentrates_around_p_m_squared() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let m = 40;
+        let p = 0.25;
+        let game = GuessingGame::new(m, TargetPredicate::Random { p }, &mut rng);
+        let expected = (m * m) as f64 * p;
+        let got = game.initial_target_size() as f64;
+        assert!(got > expected * 0.6 && got < expected * 1.4, "target size {got} vs expected {expected}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 2m")]
+    fn too_many_guesses_rejected() {
+        let mut game = GuessingGame::with_target(2, HashSet::new());
+        let guesses: Vec<Pair> = (0..5).map(|i| (i % 2, i % 2)).collect();
+        game.submit(&guesses);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_guess_rejected() {
+        let mut game = GuessingGame::with_target(2, HashSet::new());
+        game.submit(&[(0, 7)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_target_rejected() {
+        let _ = GuessingGame::with_target(2, [(0, 9)].into_iter().collect());
+    }
+}

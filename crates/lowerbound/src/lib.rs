@@ -1,0 +1,43 @@
+//! # gossip-lowerbound
+//!
+//! The lower-bound machinery of *Slow Links, Fast Links, and the Cost of
+//! Gossip* (Section 3): the combinatorial guessing game, the predicates and
+//! strategies analysed in Lemmas 7–8, the guessing-game gadgets of Figure 1,
+//! and the worst-case networks of Theorems 9, 10 and 13 (Figure 2).
+//!
+//! The paper proves its `Ω(min(D + Δ, ℓ*/φ*))` lower bound by
+//!
+//! 1. defining `Guessing(2m, P)`: an oracle hides a target set of bipartite
+//!    edges chosen by a predicate `P`; Alice submits up to `2m` guesses per
+//!    round; a hit removes every target pair sharing its right endpoint
+//!    (Equation 3); the game ends when the target set is empty;
+//! 2. showing the game is hard — `Ω(m)` rounds for a singleton target
+//!    (Lemma 7), `Ω(1/p)` rounds for `Random_p` targets and `Ω(log m / p)` for
+//!    the "random guessing" strategy that models push–pull (Lemma 8);
+//! 3. embedding the game into networks in which the hidden fast edges are
+//!    exactly the target set, so that any gossip algorithm solving (local)
+//!    broadcast would solve the game (Lemma 6).
+//!
+//! This crate implements all three steps so the experiments can measure the
+//! game directly *and* measure gossip algorithms on the constructed networks.
+//!
+//! ```rust
+//! use gossip_lowerbound::game::GuessingGame;
+//! use gossip_lowerbound::predicates::TargetPredicate;
+//! use gossip_lowerbound::strategies::{play, RandomGuessing};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+//! let game = GuessingGame::new(32, TargetPredicate::Random { p: 0.25 }, &mut rng);
+//! let outcome = play(game, &mut RandomGuessing, 10_000, &mut rng);
+//! assert!(outcome.solved);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gadgets;
+pub mod game;
+pub mod predicates;
+pub mod reduction;
+pub mod strategies;

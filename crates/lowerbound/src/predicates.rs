@@ -1,0 +1,99 @@
+//! Target-set predicates for the guessing game.
+
+use std::collections::HashSet;
+
+use rand::Rng;
+
+use crate::game::Pair;
+
+/// How the oracle draws the target set `T₁ ⊆ A × B`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TargetPredicate {
+    /// A single pair chosen uniformly at random (the predicate of Lemma 7 and
+    /// the Theorem 9 / Theorem 13 constructions).
+    Singleton,
+    /// Every pair joins the target independently with probability `p`
+    /// (`Random_p`, the predicate of Lemma 8 and the Theorem 10 construction).
+    Random {
+        /// Per-pair inclusion probability.
+        p: f64,
+    },
+}
+
+impl TargetPredicate {
+    /// Samples a target set over `A × B` with `|A| = |B| = m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or, for [`TargetPredicate::Random`], if `p` is not in `[0, 1]`.
+    pub fn sample<R: Rng + ?Sized>(&self, m: usize, rng: &mut R) -> HashSet<Pair> {
+        assert!(m > 0, "the guessing game needs m >= 1");
+        match *self {
+            TargetPredicate::Singleton => {
+                let a = rng.gen_range(0..m);
+                let b = rng.gen_range(0..m);
+                [(a, b)].into_iter().collect()
+            }
+            TargetPredicate::Random { p } => {
+                assert!((0.0..=1.0).contains(&p), "probability p must lie in [0, 1]");
+                let mut set = HashSet::new();
+                for a in 0..m {
+                    for b in 0..m {
+                        if rng.gen_bool(p) {
+                            set.insert((a, b));
+                        }
+                    }
+                }
+                set
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn singleton_is_always_one_pair_in_range() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let t = TargetPredicate::Singleton.sample(9, &mut rng);
+            assert_eq!(t.len(), 1);
+            let &(a, b) = t.iter().next().unwrap();
+            assert!(a < 9 && b < 9);
+        }
+    }
+
+    #[test]
+    fn random_extremes() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert!(TargetPredicate::Random { p: 0.0 }.sample(6, &mut rng).is_empty());
+        assert_eq!(TargetPredicate::Random { p: 1.0 }.sample(6, &mut rng).len(), 36);
+    }
+
+    #[test]
+    fn random_respects_probability_roughly() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let t = TargetPredicate::Random { p: 0.1 }.sample(50, &mut rng);
+        let expected = 2500.0 * 0.1;
+        assert!((t.len() as f64) > expected * 0.5);
+        assert!((t.len() as f64) < expected * 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "m >= 1")]
+    fn zero_m_rejected() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let _ = TargetPredicate::Singleton.sample(0, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability p")]
+    fn bad_probability_rejected() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let _ = TargetPredicate::Random { p: 1.5 }.sample(3, &mut rng);
+    }
+}

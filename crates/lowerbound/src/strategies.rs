@@ -1,0 +1,247 @@
+//! Alice strategies for the guessing game and a driver that plays them.
+
+use std::collections::HashSet;
+
+use rand::Rng;
+
+use crate::game::{GuessingGame, Pair};
+
+/// A strategy for Alice: produce up to `2m` guesses each round and observe the
+/// oracle's answers.
+pub trait AliceStrategy {
+    /// Human-readable strategy name.
+    fn name(&self) -> &'static str;
+
+    /// Produces the guesses for the next round (at most `2m` of them).
+    fn next_guesses<R: Rng + ?Sized>(&mut self, m: usize, round: u64, rng: &mut R) -> Vec<Pair>;
+
+    /// Observes the oracle's answer for the round: which of the submitted
+    /// guesses were hits.
+    fn observe(&mut self, guessed: &[Pair], hits: &[Pair]) {
+        let _ = (guessed, hits);
+    }
+}
+
+/// The "random guessing" strategy of Lemma 8(b): for every `a ∈ A` pick a
+/// uniformly random `b`, and for every `b ∈ B` pick a uniformly random `a`.
+/// This is exactly how push–pull activates cross edges in the gadget networks,
+/// and it pays an extra `log m` factor over the optimal strategy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomGuessing;
+
+impl AliceStrategy for RandomGuessing {
+    fn name(&self) -> &'static str {
+        "random-guessing"
+    }
+
+    fn next_guesses<R: Rng + ?Sized>(&mut self, m: usize, _round: u64, rng: &mut R) -> Vec<Pair> {
+        let mut guesses = Vec::with_capacity(2 * m);
+        for a in 0..m {
+            guesses.push((a, rng.gen_range(0..m)));
+        }
+        for b in 0..m {
+            guesses.push((rng.gen_range(0..m), b));
+        }
+        guesses
+    }
+}
+
+/// The informed greedy strategy analysed for general protocols in Lemma 8(a):
+/// Alice remembers which `B`-elements she has already hit and which pairs she
+/// has already tried, and only spends guesses on fresh pairs that could still
+/// discover a new `B`-element.  Its expected round count is `Θ(1/p)` on
+/// `Random_p` targets — a `log m` factor better than random guessing.
+#[derive(Debug, Clone, Default)]
+pub struct FreshGreedy {
+    covered_b: HashSet<usize>,
+    tried: HashSet<Pair>,
+}
+
+impl AliceStrategy for FreshGreedy {
+    fn name(&self) -> &'static str {
+        "fresh-greedy"
+    }
+
+    fn next_guesses<R: Rng + ?Sized>(&mut self, m: usize, _round: u64, rng: &mut R) -> Vec<Pair> {
+        let budget = 2 * m;
+        let mut guesses = Vec::with_capacity(budget);
+        // Spread guesses over uncovered columns, picking random untried rows.
+        let uncovered: Vec<usize> = (0..m).filter(|b| !self.covered_b.contains(b)).collect();
+        if uncovered.is_empty() {
+            return guesses;
+        }
+        let mut column = 0usize;
+        let mut attempts = 0usize;
+        while guesses.len() < budget && attempts < budget * 4 {
+            attempts += 1;
+            let b = uncovered[column % uncovered.len()];
+            column += 1;
+            let a = rng.gen_range(0..m);
+            let pair = (a, b);
+            if self.tried.insert(pair) {
+                guesses.push(pair);
+            }
+        }
+        guesses
+    }
+
+    fn observe(&mut self, _guessed: &[Pair], hits: &[Pair]) {
+        for &(_, b) in hits {
+            self.covered_b.insert(b);
+        }
+    }
+}
+
+/// A deterministic baseline: round `r` guesses every pair in two full columns,
+/// so the game is always solved within `⌈m/2⌉` rounds regardless of the target.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ColumnSweep;
+
+impl AliceStrategy for ColumnSweep {
+    fn name(&self) -> &'static str {
+        "column-sweep"
+    }
+
+    fn next_guesses<R: Rng + ?Sized>(&mut self, m: usize, round: u64, _rng: &mut R) -> Vec<Pair> {
+        let first = (2 * round as usize) % m.max(1);
+        let second = (2 * round as usize + 1) % m.max(1);
+        let mut guesses = Vec::with_capacity(2 * m);
+        for a in 0..m {
+            guesses.push((a, first));
+            if second != first {
+                guesses.push((a, second));
+            }
+        }
+        guesses
+    }
+}
+
+/// Result of playing one game to completion (or to the round cap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GameOutcome {
+    /// `true` if the target set was emptied within the round cap.
+    pub solved: bool,
+    /// Rounds played.
+    pub rounds: u64,
+    /// Total guesses submitted.
+    pub guesses: u64,
+    /// Size of the initially drawn target set.
+    pub initial_target_size: usize,
+}
+
+/// Plays `game` with `strategy` until it is solved or `max_rounds` have passed.
+pub fn play<S: AliceStrategy, R: Rng + ?Sized>(
+    mut game: GuessingGame,
+    strategy: &mut S,
+    max_rounds: u64,
+    rng: &mut R,
+) -> GameOutcome {
+    let m = game.m();
+    let initial = game.initial_target_size();
+    while !game.is_solved() && game.rounds() < max_rounds {
+        let guesses = strategy.next_guesses(m, game.rounds(), rng);
+        let hits = game.submit(&guesses);
+        strategy.observe(&guesses, &hits);
+    }
+    GameOutcome {
+        solved: game.is_solved(),
+        rounds: game.rounds(),
+        guesses: game.guesses(),
+        initial_target_size: initial,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicates::TargetPredicate;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn avg_rounds<S: AliceStrategy + Default>(
+        m: usize,
+        predicate: TargetPredicate,
+        trials: u64,
+        seed: u64,
+    ) -> f64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut total = 0u64;
+        for _ in 0..trials {
+            let game = GuessingGame::new(m, predicate, &mut rng);
+            let mut strategy = S::default();
+            let out = play(game, &mut strategy, 1_000_000, &mut rng);
+            assert!(out.solved);
+            total += out.rounds;
+        }
+        total as f64 / trials as f64
+    }
+
+    #[test]
+    fn all_strategies_eventually_solve_singleton_games() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        for m in [4usize, 16, 32] {
+            let game = GuessingGame::new(m, TargetPredicate::Singleton, &mut rng);
+            let out = play(game, &mut RandomGuessing, 1_000_000, &mut rng);
+            assert!(out.solved);
+            let game = GuessingGame::new(m, TargetPredicate::Singleton, &mut rng);
+            let out = play(game, &mut FreshGreedy::default(), 1_000_000, &mut rng);
+            assert!(out.solved);
+            let game = GuessingGame::new(m, TargetPredicate::Singleton, &mut rng);
+            let out = play(game, &mut ColumnSweep, 1_000_000, &mut rng);
+            assert!(out.solved);
+        }
+    }
+
+    #[test]
+    fn column_sweep_solves_within_half_m_rounds() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let game = GuessingGame::new(20, TargetPredicate::Random { p: 0.3 }, &mut rng);
+        let out = play(game, &mut ColumnSweep, 1_000, &mut rng);
+        assert!(out.solved);
+        assert!(out.rounds <= 10);
+    }
+
+    #[test]
+    fn singleton_games_need_rounds_linear_in_m() {
+        // Lemma 7: Ω(m) rounds.  With 2m guesses per round against m² hidden
+        // pairs, the average number of rounds should grow linearly in m.
+        let small = avg_rounds::<RandomGuessing>(8, TargetPredicate::Singleton, 40, 21);
+        let large = avg_rounds::<RandomGuessing>(32, TargetPredicate::Singleton, 40, 22);
+        assert!(
+            large > 2.0 * small,
+            "rounds should grow ~linearly with m: m=8 -> {small:.1}, m=32 -> {large:.1}"
+        );
+    }
+
+    #[test]
+    fn random_guessing_needs_more_rounds_than_fresh_greedy() {
+        // Lemma 8: general protocols pay Θ(1/p); random guessing pays Θ(log m / p).
+        let p = 0.05;
+        let greedy = avg_rounds::<FreshGreedy>(48, TargetPredicate::Random { p }, 15, 31);
+        let random = avg_rounds::<RandomGuessing>(48, TargetPredicate::Random { p }, 15, 32);
+        assert!(
+            random > 1.5 * greedy,
+            "random guessing ({random:.1}) should pay a log-factor over greedy ({greedy:.1})"
+        );
+    }
+
+    #[test]
+    fn rounds_scale_inversely_with_p_for_greedy() {
+        let dense = avg_rounds::<FreshGreedy>(32, TargetPredicate::Random { p: 0.4 }, 15, 41);
+        let sparse = avg_rounds::<FreshGreedy>(32, TargetPredicate::Random { p: 0.05 }, 15, 42);
+        assert!(
+            sparse > 2.0 * dense,
+            "sparser targets (p=0.05 -> {sparse:.1}) should need more rounds than dense (p=0.4 -> {dense:.1})"
+        );
+    }
+
+    #[test]
+    fn outcome_reports_guess_counts() {
+        let mut rng = SmallRng::seed_from_u64(51);
+        let game = GuessingGame::new(8, TargetPredicate::Singleton, &mut rng);
+        let out = play(game, &mut ColumnSweep, 100, &mut rng);
+        assert!(out.solved);
+        assert!(out.guesses >= out.rounds);
+        assert_eq!(out.initial_target_size, 1);
+    }
+}

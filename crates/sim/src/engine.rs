@@ -1,0 +1,573 @@
+//! The synchronous round engine.
+
+use std::collections::HashMap;
+
+use gossip_graph::{EdgeId, Graph, Latency, NodeId};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::report::RunReport;
+use crate::rumor::{RumorId, RumorSet};
+
+/// Whether a node may start a new exchange while one it initiated is still in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExchangeMode {
+    /// The paper's main model: a node can initiate a new exchange every round.
+    #[default]
+    NonBlocking,
+    /// A node must wait for its own in-flight exchange to complete before
+    /// initiating another (used by the pattern-broadcast analysis, §4.2).
+    Blocking,
+}
+
+/// When the simulation stops (in addition to the `max_rounds` safety cap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Termination {
+    /// One-to-all dissemination: every node knows the rumor originating at the given node.
+    AllKnowRumorOf(NodeId),
+    /// All-to-all dissemination: every node's rumor set contains the full universe.
+    AllKnowAll,
+    /// Local broadcast restricted to edges of latency at most the bound:
+    /// every node knows the rumor of every neighbor reachable over such an edge.
+    LocalBroadcast(Latency),
+    /// Run for exactly this many rounds.
+    FixedRounds(u64),
+    /// Stop when the protocol reports every node idle and no exchange is in flight.
+    Quiescent,
+}
+
+/// Configuration of a [`Simulation`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimConfig {
+    seed: u64,
+    mode: ExchangeMode,
+    termination: Termination,
+    max_rounds: u64,
+    latencies_known: bool,
+    tracked_rumor: Option<RumorId>,
+}
+
+impl SimConfig {
+    /// Creates a configuration with the given RNG seed, non-blocking
+    /// exchanges, all-to-all termination, and a generous round cap.
+    pub fn new(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            mode: ExchangeMode::NonBlocking,
+            termination: Termination::AllKnowAll,
+            max_rounds: 5_000_000,
+            latencies_known: false,
+            tracked_rumor: None,
+        }
+    }
+
+    /// Sets the exchange mode (non-blocking by default).
+    pub fn mode(mut self, mode: ExchangeMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the termination condition (all-to-all by default).
+    pub fn termination(mut self, termination: Termination) -> Self {
+        self.termination = termination;
+        self
+    }
+
+    /// Sets the safety cap on the number of rounds.
+    pub fn max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Declares that nodes know the latencies of their incident edges from the
+    /// start (Section 4 of the paper).  When `false` (the default), a latency
+    /// is revealed to an endpoint only after an exchange over that edge completes.
+    pub fn latencies_known(mut self, known: bool) -> Self {
+        self.latencies_known = known;
+        self
+    }
+
+    /// Tracks the per-node first time a specific rumor is learned (reported in
+    /// [`RunReport::informed_times`]).
+    pub fn track_rumor(mut self, rumor: RumorId) -> Self {
+        self.tracked_rumor = Some(rumor);
+        self
+    }
+}
+
+/// Everything a protocol can see about one node at the start of a round.
+#[derive(Debug)]
+pub struct NodeView<'a> {
+    /// The node being scheduled.
+    pub node: NodeId,
+    /// Current round (0-based).
+    pub round: u64,
+    /// The node's current rumor set.
+    pub rumors: &'a RumorSet,
+    /// Incident `(neighbor, edge)` pairs in neighbor-id order.
+    pub neighbors: &'a [(NodeId, EdgeId)],
+    /// `true` if the node may initiate an exchange this round
+    /// (always true in non-blocking mode).
+    pub can_initiate: bool,
+    /// Number of exchanges this node initiated that are still in flight.
+    pub pending_own: usize,
+    latency_oracle: LatencyOracle<'a>,
+}
+
+#[derive(Debug)]
+struct LatencyOracle<'a> {
+    graph: &'a Graph,
+    known_all: bool,
+    discovered: &'a HashMap<EdgeId, Latency>,
+}
+
+impl NodeView<'_> {
+    /// Latency of an incident edge, if this node is entitled to know it:
+    /// either latencies are globally known ([`SimConfig::latencies_known`]) or
+    /// an exchange over the edge has completed at this node.
+    pub fn known_latency(&self, edge: EdgeId) -> Option<Latency> {
+        if self.latency_oracle.known_all {
+            Some(self.latency_oracle.graph.latency(edge))
+        } else {
+            self.latency_oracle.discovered.get(&edge).copied()
+        }
+    }
+
+    /// Number of nodes in the network (the paper assumes a polynomial upper
+    /// bound on `n` is known; we expose the exact value for simplicity).
+    pub fn network_size(&self) -> usize {
+        self.latency_oracle.graph.node_count()
+    }
+}
+
+/// A completed bidirectional exchange, as seen by one endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExchangeEvent {
+    /// The other endpoint of the exchange.
+    pub peer: NodeId,
+    /// The edge the exchange used.
+    pub edge: EdgeId,
+    /// The latency of that edge (revealed by the completed exchange).
+    pub latency: Latency,
+    /// `true` if this endpoint initiated the exchange.
+    pub initiated_here: bool,
+    /// Round at which the exchange completed.
+    pub round: u64,
+}
+
+/// A gossip protocol: per-round decisions plus completion callbacks.
+///
+/// The engine owns the rumor sets; a protocol only chooses which neighbor (if
+/// any) each node contacts in each round.
+pub trait Protocol {
+    /// Human-readable protocol name (used in reports).
+    fn name(&self) -> &'static str {
+        "protocol"
+    }
+
+    /// Decides which neighbor `view.node` contacts this round, or `None` to stay silent.
+    ///
+    /// Returning a node that is not a neighbor is treated as staying silent.
+    fn on_round(&mut self, view: &NodeView<'_>, rng: &mut SmallRng) -> Option<NodeId>;
+
+    /// Notification that an exchange incident to `node` completed.
+    fn on_exchange(&mut self, node: NodeId, event: &ExchangeEvent) {
+        let _ = (node, event);
+    }
+
+    /// Whether this node has finished its program (used by [`Termination::Quiescent`]).
+    fn is_idle(&self, node: NodeId) -> bool {
+        let _ = node;
+        false
+    }
+}
+
+struct InFlight {
+    initiator: NodeId,
+    responder: NodeId,
+    edge: EdgeId,
+    completes_at: u64,
+    /// Snapshot of the initiator's rumors at initiation time.
+    initiator_snapshot: RumorSet,
+    /// Snapshot of the responder's rumors at initiation time.
+    responder_snapshot: RumorSet,
+}
+
+/// The synchronous round simulator.
+pub struct Simulation<'g> {
+    graph: &'g Graph,
+    config: SimConfig,
+    rumors: Vec<RumorSet>,
+}
+
+impl<'g> Simulation<'g> {
+    /// Creates a simulation where node `i` initially knows exactly rumor `i`
+    /// (the all-to-all starting state, which also covers one-to-all: just
+    /// terminate on [`Termination::AllKnowRumorOf`]).
+    pub fn new(graph: &'g Graph, config: SimConfig) -> Self {
+        let n = graph.node_count();
+        let rumors =
+            (0..n).map(|i| RumorSet::singleton(n, RumorId::from(i))).collect();
+        Simulation { graph, config, rumors }
+    }
+
+    /// Creates a simulation with explicitly provided initial rumor sets
+    /// (used to chain protocol phases, e.g. the pattern-broadcast schedule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial.len()` differs from the node count.
+    pub fn with_rumors(graph: &'g Graph, config: SimConfig, initial: Vec<RumorSet>) -> Self {
+        assert_eq!(initial.len(), graph.node_count(), "one rumor set per node is required");
+        Simulation { graph, config, rumors: initial }
+    }
+
+    /// Read access to the current rumor sets (indexed by node).
+    pub fn rumors(&self) -> &[RumorSet] {
+        &self.rumors
+    }
+
+    /// Consumes the simulation and returns the rumor sets (after a run).
+    pub fn into_rumors(self) -> Vec<RumorSet> {
+        self.rumors
+    }
+
+    /// Runs `protocol` until the termination condition or the round cap is
+    /// reached and returns the run report.  The simulation can be run again
+    /// (with the same or another protocol) to continue from the reached state.
+    pub fn run<P: Protocol>(&mut self, protocol: &mut P) -> RunReport {
+        let n = self.graph.node_count();
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        let mut in_flight: Vec<InFlight> = Vec::new();
+        let mut discovered: Vec<HashMap<EdgeId, Latency>> = vec![HashMap::new(); n];
+        let mut pending_own = vec![0usize; n];
+        let mut activations: u64 = 0;
+        let mut informed_times: Vec<Option<u64>> = match self.config.tracked_rumor {
+            Some(r) => self
+                .rumors
+                .iter()
+                .map(|s| if s.contains(r) { Some(0) } else { None })
+                .collect(),
+            None => Vec::new(),
+        };
+
+        let mut round: u64 = 0;
+        let mut completed = self.is_done(&self.config.termination, 0, protocol, &in_flight);
+        if completed {
+            return self.report(protocol, 0, activations, true, informed_times);
+        }
+
+        while round < self.config.max_rounds {
+            // 1. Deliver exchanges completing at the start of this round.
+            let mut completions: Vec<InFlight> = Vec::new();
+            in_flight.retain_mut(|ex| {
+                if ex.completes_at == round {
+                    completions.push(InFlight {
+                        initiator: ex.initiator,
+                        responder: ex.responder,
+                        edge: ex.edge,
+                        completes_at: ex.completes_at,
+                        initiator_snapshot: std::mem::replace(
+                            &mut ex.initiator_snapshot,
+                            RumorSet::empty(0),
+                        ),
+                        responder_snapshot: std::mem::replace(
+                            &mut ex.responder_snapshot,
+                            RumorSet::empty(0),
+                        ),
+                    });
+                    false
+                } else {
+                    true
+                }
+            });
+            for ex in completions {
+                let latency = self.graph.latency(ex.edge);
+                pending_own[ex.initiator.index()] =
+                    pending_own[ex.initiator.index()].saturating_sub(1);
+                // Both endpoints merge the peer's snapshot taken at initiation.
+                self.rumors[ex.initiator.index()].union_with(&ex.responder_snapshot);
+                self.rumors[ex.responder.index()].union_with(&ex.initiator_snapshot);
+                discovered[ex.initiator.index()].insert(ex.edge, latency);
+                discovered[ex.responder.index()].insert(ex.edge, latency);
+                if let Some(r) = self.config.tracked_rumor {
+                    for endpoint in [ex.initiator, ex.responder] {
+                        if informed_times[endpoint.index()].is_none()
+                            && self.rumors[endpoint.index()].contains(r)
+                        {
+                            informed_times[endpoint.index()] = Some(round);
+                        }
+                    }
+                }
+                for (node, here) in [(ex.initiator, true), (ex.responder, false)] {
+                    protocol.on_exchange(
+                        node,
+                        &ExchangeEvent {
+                            peer: if here { ex.responder } else { ex.initiator },
+                            edge: ex.edge,
+                            latency,
+                            initiated_here: here,
+                            round,
+                        },
+                    );
+                }
+            }
+
+            // 2. Check termination (conditions are evaluated on round boundaries).
+            if self.is_done(&self.config.termination, round, protocol, &in_flight) {
+                completed = true;
+                break;
+            }
+
+            // 3. Let every node act.
+            for i in 0..n {
+                let node = NodeId::new(i);
+                let can_initiate = match self.config.mode {
+                    ExchangeMode::NonBlocking => true,
+                    ExchangeMode::Blocking => pending_own[i] == 0,
+                };
+                let choice = {
+                    let view = NodeView {
+                        node,
+                        round,
+                        rumors: &self.rumors[i],
+                        neighbors: neighbor_slice(self.graph, node),
+                        can_initiate,
+                        pending_own: pending_own[i],
+                        latency_oracle: LatencyOracle {
+                            graph: self.graph,
+                            known_all: self.config.latencies_known,
+                            discovered: &discovered[i],
+                        },
+                    };
+                    protocol.on_round(&view, &mut rng)
+                };
+                let Some(target) = choice else { continue };
+                if !can_initiate {
+                    continue;
+                }
+                let Some(edge) = self.graph.find_edge(node, target) else { continue };
+                let latency = self.graph.latency(edge);
+                activations += 1;
+                pending_own[i] += 1;
+                in_flight.push(InFlight {
+                    initiator: node,
+                    responder: target,
+                    edge,
+                    completes_at: round + latency,
+                    initiator_snapshot: self.rumors[i].clone(),
+                    responder_snapshot: self.rumors[target.index()].clone(),
+                });
+            }
+
+            round += 1;
+        }
+
+        if !completed {
+            completed =
+                self.is_done(&self.config.termination, round, protocol, &in_flight);
+        }
+        self.report(protocol, round, activations, completed, informed_times)
+    }
+
+    fn is_done<P: Protocol>(
+        &self,
+        termination: &Termination,
+        round: u64,
+        protocol: &P,
+        in_flight: &[InFlight],
+    ) -> bool {
+        match *termination {
+            Termination::AllKnowRumorOf(source) => {
+                let r = RumorId::of_node(source);
+                self.rumors.iter().all(|s| s.contains(r))
+            }
+            Termination::AllKnowAll => self.rumors.iter().all(RumorSet::is_full),
+            Termination::LocalBroadcast(bound) => self.graph.nodes().all(|v| {
+                self.graph.neighbors(v).all(|(w, e)| {
+                    self.graph.latency(e) > bound
+                        || self.rumors[v.index()].contains(RumorId::of_node(w))
+                })
+            }),
+            Termination::FixedRounds(target) => round >= target,
+            Termination::Quiescent => {
+                in_flight.is_empty() && self.graph.nodes().all(|v| protocol.is_idle(v))
+            }
+        }
+    }
+
+    fn report<P: Protocol>(
+        &self,
+        protocol: &P,
+        rounds: u64,
+        activations: u64,
+        completed: bool,
+        informed_times: Vec<Option<u64>>,
+    ) -> RunReport {
+        RunReport {
+            protocol: protocol.name().to_string(),
+            rounds,
+            activations,
+            messages: activations * 2,
+            completed,
+            informed_times: if informed_times.is_empty() { None } else { Some(informed_times) },
+            min_rumors_known: self.rumors.iter().map(RumorSet::len).min().unwrap_or(0),
+        }
+    }
+}
+
+fn neighbor_slice(graph: &Graph, node: NodeId) -> &[(NodeId, EdgeId)] {
+    graph.neighbor_slice(node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::{RandomPushPull, RoundRobinFlood, Silent};
+    use gossip_graph::generators;
+
+    #[test]
+    fn silent_protocol_never_completes() {
+        let g = generators::clique(4, 1).unwrap();
+        let config = SimConfig::new(1)
+            .termination(Termination::AllKnowAll)
+            .max_rounds(50);
+        let report = Simulation::new(&g, config).run(&mut Silent);
+        assert!(!report.completed);
+        assert_eq!(report.activations, 0);
+        assert_eq!(report.rounds, 50);
+    }
+
+    #[test]
+    fn push_pull_completes_one_to_all_on_clique() {
+        let g = generators::clique(16, 1).unwrap();
+        let config = SimConfig::new(3)
+            .termination(Termination::AllKnowRumorOf(NodeId::new(0)))
+            .track_rumor(RumorId(0));
+        let report = Simulation::new(&g, config).run(&mut RandomPushPull::new(&g));
+        assert!(report.completed);
+        assert!(report.rounds <= 40);
+        let times = report.informed_times.unwrap();
+        assert!(times.iter().all(Option::is_some));
+        assert_eq!(times[0], Some(0));
+    }
+
+    #[test]
+    fn latency_delays_completion() {
+        let slow = generators::clique(8, 10).unwrap();
+        let fast = generators::clique(8, 1).unwrap();
+        let mk = |g| {
+            let config = SimConfig::new(5).termination(Termination::AllKnowAll);
+            Simulation::new(g, config).run(&mut RandomPushPull::new(g))
+        };
+        let slow_report = mk(&slow);
+        let fast_report = mk(&fast);
+        assert!(slow_report.completed && fast_report.completed);
+        // Every exchange on the slow clique needs 10 rounds, so completion
+        // cannot beat 10 rounds and should be clearly slower than the fast clique.
+        assert!(slow_report.rounds >= 10);
+        assert!(
+            slow_report.rounds > 2 * fast_report.rounds,
+            "latency-10 clique ({}) should be much slower than latency-1 clique ({})",
+            slow_report.rounds,
+            fast_report.rounds
+        );
+    }
+
+    #[test]
+    fn blocking_mode_throttles_initiations() {
+        let g = generators::clique(6, 5).unwrap();
+        let blocking = SimConfig::new(9)
+            .mode(ExchangeMode::Blocking)
+            .termination(Termination::FixedRounds(50));
+        let nonblocking = SimConfig::new(9).termination(Termination::FixedRounds(50));
+        let b = Simulation::new(&g, blocking).run(&mut RoundRobinFlood::new(&g));
+        let nb = Simulation::new(&g, nonblocking).run(&mut RoundRobinFlood::new(&g));
+        // With latency-5 edges a blocking node can start at most 1 exchange
+        // per 5 rounds; non-blocking can start one every round.
+        assert!(b.activations * 3 < nb.activations);
+    }
+
+    #[test]
+    fn local_broadcast_termination() {
+        let g = generators::dumbbell(4, 50).unwrap();
+        // Local broadcast over fast edges only: the bridge (latency 50) is excluded.
+        let config = SimConfig::new(4).termination(Termination::LocalBroadcast(1)).max_rounds(500);
+        let report = Simulation::new(&g, config).run(&mut RoundRobinFlood::new(&g));
+        assert!(report.completed);
+        assert!(report.rounds < 500);
+    }
+
+    #[test]
+    fn fixed_round_termination_runs_exactly_that_long() {
+        let g = generators::cycle(5, 1).unwrap();
+        let config = SimConfig::new(2).termination(Termination::FixedRounds(17));
+        let report = Simulation::new(&g, config).run(&mut RandomPushPull::new(&g));
+        assert_eq!(report.rounds, 17);
+        assert!(report.completed);
+    }
+
+    #[test]
+    fn with_rumors_chains_state_between_runs() {
+        let g = generators::path(4, 1).unwrap();
+        let config = SimConfig::new(6).termination(Termination::FixedRounds(3));
+        let mut sim = Simulation::new(&g, config);
+        let _ = sim.run(&mut RoundRobinFlood::new(&g));
+        let mid = sim.into_rumors();
+        let knew: usize = mid.iter().map(RumorSet::len).sum();
+
+        let config2 = SimConfig::new(6).termination(Termination::AllKnowAll);
+        let mut sim2 = Simulation::with_rumors(&g, config2, mid);
+        let report = sim2.run(&mut RoundRobinFlood::new(&g));
+        assert!(report.completed);
+        let final_total: usize = sim2.rumors().iter().map(RumorSet::len).sum();
+        assert!(final_total >= knew);
+        assert_eq!(final_total, 16);
+    }
+
+    #[test]
+    fn latency_discovery_through_exchanges() {
+        // A protocol can see an incident latency only after using the edge.
+        struct Probe {
+            learned: Vec<Option<Latency>>,
+        }
+        impl Protocol for Probe {
+            fn name(&self) -> &'static str {
+                "probe"
+            }
+            fn on_round(&mut self, view: &NodeView<'_>, _rng: &mut SmallRng) -> Option<NodeId> {
+                if view.node.index() == 0 {
+                    let (nbr, edge) = view.neighbors[0];
+                    let idx = view.round as usize % self.learned.len();
+                    self.learned[idx] = view.known_latency(edge);
+                    return Some(nbr);
+                }
+                None
+            }
+        }
+        let g = generators::path(2, 7).unwrap();
+        let config = SimConfig::new(1).termination(Termination::FixedRounds(10));
+        let mut p = Probe { learned: vec![None; 10] };
+        let _ = Simulation::new(&g, config).run(&mut p);
+        // Round 0: unknown; after the first exchange completes (round 7) it is known.
+        assert_eq!(p.learned[0], None);
+        assert_eq!(p.learned[9], Some(7));
+    }
+
+    #[test]
+    fn known_latency_mode_reveals_latencies_immediately() {
+        struct Check;
+        impl Protocol for Check {
+            fn on_round(&mut self, view: &NodeView<'_>, _rng: &mut SmallRng) -> Option<NodeId> {
+                let (_, edge) = view.neighbors[0];
+                assert_eq!(view.known_latency(edge), Some(7));
+                None
+            }
+        }
+        let g = generators::path(2, 7).unwrap();
+        let config = SimConfig::new(1)
+            .latencies_known(true)
+            .termination(Termination::FixedRounds(2));
+        let _ = Simulation::new(&g, config).run(&mut Check);
+    }
+}

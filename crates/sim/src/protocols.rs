@@ -1,0 +1,159 @@
+//! Reference protocols that live with the engine.
+//!
+//! The paper's algorithms proper (ℓ-DTG, spanner broadcast, pattern broadcast,
+//! …) live in `gossip-core`.  The engine crate only ships the two elementary
+//! strategies that everything else is measured against — uniform random
+//! push–pull ([`RandomPushPull`]) and deterministic round-robin flooding
+//! ([`RoundRobinFlood`]) — plus a [`Silent`] protocol used in tests.
+
+use gossip_graph::{Graph, NodeId};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::engine::{NodeView, Protocol};
+
+/// Classical push–pull (the "random phone call" model): every node contacts a
+/// uniformly random neighbor in every round.
+///
+/// Theorem 29 of the paper shows this completes information dissemination in
+/// `O((ℓ*/φ*)·log n)` rounds w.h.p. in the latency model.
+#[derive(Debug, Clone)]
+pub struct RandomPushPull {
+    degrees: Vec<usize>,
+}
+
+impl RandomPushPull {
+    /// Creates the protocol for a given graph (only the degrees are needed).
+    pub fn new(graph: &Graph) -> Self {
+        RandomPushPull { degrees: graph.nodes().map(|v| graph.degree(v)).collect() }
+    }
+}
+
+impl Protocol for RandomPushPull {
+    fn name(&self) -> &'static str {
+        "push-pull"
+    }
+
+    fn on_round(&mut self, view: &NodeView<'_>, rng: &mut SmallRng) -> Option<NodeId> {
+        let deg = self.degrees[view.node.index()];
+        if deg == 0 {
+            return None;
+        }
+        let pick = rng.gen_range(0..deg);
+        Some(view.neighbors[pick].0)
+    }
+}
+
+/// Deterministic flooding: every node cycles through its neighbors in
+/// round-robin order, contacting one per round.
+///
+/// This is the natural deterministic baseline; on a star it exhibits the
+/// `Ω(n·D)` behaviour the paper mentions when pull is unavailable, and it is
+/// also the inner loop of the RR-broadcast phase of the spanner algorithm
+/// (there restricted to spanner out-edges, implemented in `gossip-core`).
+#[derive(Debug, Clone)]
+pub struct RoundRobinFlood {
+    next: Vec<usize>,
+    degrees: Vec<usize>,
+}
+
+impl RoundRobinFlood {
+    /// Creates the protocol for a given graph.
+    pub fn new(graph: &Graph) -> Self {
+        RoundRobinFlood {
+            next: vec![0; graph.node_count()],
+            degrees: graph.nodes().map(|v| graph.degree(v)).collect(),
+        }
+    }
+}
+
+impl Protocol for RoundRobinFlood {
+    fn name(&self) -> &'static str {
+        "round-robin-flood"
+    }
+
+    fn on_round(&mut self, view: &NodeView<'_>, _rng: &mut SmallRng) -> Option<NodeId> {
+        let i = view.node.index();
+        let deg = self.degrees[i];
+        if deg == 0 {
+            return None;
+        }
+        let pick = self.next[i] % deg;
+        self.next[i] = (self.next[i] + 1) % deg;
+        Some(view.neighbors[pick].0)
+    }
+}
+
+/// A protocol that never communicates; useful for engine tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Silent;
+
+impl Protocol for Silent {
+    fn name(&self) -> &'static str {
+        "silent"
+    }
+
+    fn on_round(&mut self, _view: &NodeView<'_>, _rng: &mut SmallRng) -> Option<NodeId> {
+        None
+    }
+
+    fn is_idle(&self, _node: NodeId) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SimConfig, Simulation, Termination};
+    use gossip_graph::generators;
+
+    #[test]
+    fn push_pull_completes_all_to_all_on_expander_like_graph() {
+        let g = generators::clique(20, 1).unwrap();
+        let config = SimConfig::new(42).termination(Termination::AllKnowAll);
+        let report = Simulation::new(&g, config).run(&mut RandomPushPull::new(&g));
+        assert!(report.completed);
+        assert_eq!(report.min_rumors_known, 20);
+    }
+
+    #[test]
+    fn round_robin_flood_completes_on_path() {
+        let g = generators::path(10, 2).unwrap();
+        let config = SimConfig::new(1).termination(Termination::AllKnowAll);
+        let report = Simulation::new(&g, config).run(&mut RoundRobinFlood::new(&g));
+        assert!(report.completed);
+    }
+
+    #[test]
+    fn round_robin_flood_is_deterministic() {
+        let g = generators::cycle(12, 3).unwrap();
+        let run = |seed| {
+            let config = SimConfig::new(seed).termination(Termination::AllKnowAll);
+            Simulation::new(&g, config).run(&mut RoundRobinFlood::new(&g)).rounds
+        };
+        assert_eq!(run(1), run(999));
+    }
+
+    #[test]
+    fn push_pull_is_reproducible_for_a_fixed_seed() {
+        let g = generators::erdos_renyi(40, 0.2, 1, &mut rand::rngs::SmallRng::seed_from_u64(5))
+            .unwrap();
+        let run = |seed| {
+            let config = SimConfig::new(seed).termination(Termination::AllKnowAll);
+            Simulation::new(&g, config).run(&mut RandomPushPull::new(&g)).rounds
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn silent_protocol_is_quiescent_immediately() {
+        let g = generators::clique(4, 1).unwrap();
+        let config = SimConfig::new(1).termination(Termination::Quiescent).max_rounds(10);
+        let report = Simulation::new(&g, config).run(&mut Silent);
+        assert!(report.completed);
+        assert_eq!(report.rounds, 0);
+    }
+
+    use rand::SeedableRng;
+}

@@ -1,0 +1,97 @@
+//! Run reports: the measurements a simulation produces.
+
+use std::fmt;
+
+/// Measurements from one simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// Name of the protocol that was run.
+    pub protocol: String,
+    /// Number of rounds elapsed when the run stopped.
+    pub rounds: u64,
+    /// Number of exchanges initiated (edge activations).
+    pub activations: u64,
+    /// Number of messages sent (two per exchange: request + response).
+    pub messages: u64,
+    /// `true` if the termination condition was met (as opposed to hitting the round cap).
+    pub completed: bool,
+    /// Per-node round at which the tracked rumor was first known
+    /// (only present if [`SimConfig::track_rumor`](crate::SimConfig::track_rumor) was used).
+    pub informed_times: Option<Vec<Option<u64>>>,
+    /// The smallest rumor-set size over all nodes at the end of the run
+    /// (equals `n` exactly when all-to-all dissemination finished).
+    pub min_rumors_known: usize,
+}
+
+impl RunReport {
+    /// The largest per-node informed time, if informed times were tracked and
+    /// every node learned the tracked rumor.
+    pub fn last_informed_time(&self) -> Option<u64> {
+        self.informed_times.as_ref().and_then(|ts| {
+            ts.iter().map(|t| *t).collect::<Option<Vec<u64>>>().map(|v| v.into_iter().max().unwrap_or(0))
+        })
+    }
+
+    /// Mean per-node informed time, if tracked and complete.
+    pub fn mean_informed_time(&self) -> Option<f64> {
+        self.informed_times.as_ref().and_then(|ts| {
+            let known: Vec<u64> = ts.iter().copied().collect::<Option<Vec<u64>>>()?;
+            if known.is_empty() {
+                return None;
+            }
+            Some(known.iter().sum::<u64>() as f64 / known.len() as f64)
+        })
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} rounds, {} activations, {} messages, completed = {}",
+            self.protocol, self.rounds, self.activations, self.messages, self.completed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(informed: Option<Vec<Option<u64>>>) -> RunReport {
+        RunReport {
+            protocol: "test".into(),
+            rounds: 10,
+            activations: 20,
+            messages: 40,
+            completed: true,
+            informed_times: informed,
+            min_rumors_known: 4,
+        }
+    }
+
+    #[test]
+    fn informed_time_statistics() {
+        let r = sample(Some(vec![Some(0), Some(3), Some(7)]));
+        assert_eq!(r.last_informed_time(), Some(7));
+        assert!((r.mean_informed_time().unwrap() - 10.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_information_gives_none() {
+        let r = sample(Some(vec![Some(0), None]));
+        assert_eq!(r.last_informed_time(), None);
+        assert_eq!(r.mean_informed_time(), None);
+        let r = sample(None);
+        assert_eq!(r.last_informed_time(), None);
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let r = sample(None);
+        let s = r.to_string();
+        assert!(s.contains("10 rounds"));
+        assert!(s.contains("20 activations"));
+        assert!(s.contains("completed = true"));
+    }
+}

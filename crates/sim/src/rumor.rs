@@ -1,0 +1,230 @@
+//! Rumors and per-node rumor sets.
+//!
+//! Every node in an information-dissemination instance can originate one
+//! rumor; rumor `i` is "the rumor whose source is node `i`".  A node's state
+//! with respect to dissemination is the set of rumors it currently knows,
+//! which we store as a fixed-width bitset.
+
+use std::fmt;
+
+use gossip_graph::NodeId;
+
+/// Identifier of a rumor.  Rumor `i` originates at node `i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RumorId(pub u32);
+
+impl RumorId {
+    /// The rumor originating at `node`.
+    pub fn of_node(node: NodeId) -> Self {
+        RumorId(node.index() as u32)
+    }
+
+    /// Dense index of this rumor.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for RumorId {
+    fn from(i: usize) -> Self {
+        RumorId(u32::try_from(i).expect("rumor index exceeds u32::MAX"))
+    }
+}
+
+impl fmt::Display for RumorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A set of rumors, stored as a bitset over the rumor universe `0..universe`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct RumorSet {
+    universe: usize,
+    words: Vec<u64>,
+}
+
+impl RumorSet {
+    /// Creates an empty rumor set over a universe of `universe` rumors.
+    pub fn empty(universe: usize) -> Self {
+        RumorSet { universe, words: vec![0; universe.div_ceil(64)] }
+    }
+
+    /// Creates a singleton set containing only `rumor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rumor` is outside the universe.
+    pub fn singleton(universe: usize, rumor: RumorId) -> Self {
+        let mut s = Self::empty(universe);
+        s.insert(rumor);
+        s
+    }
+
+    /// Size of the rumor universe.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Inserts a rumor; returns `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rumor is outside the universe.
+    pub fn insert(&mut self, rumor: RumorId) -> bool {
+        let i = rumor.index();
+        assert!(i < self.universe, "rumor {i} outside universe of size {}", self.universe);
+        let (word, bit) = (i / 64, i % 64);
+        let was_set = self.words[word] & (1 << bit) != 0;
+        self.words[word] |= 1 << bit;
+        !was_set
+    }
+
+    /// Returns `true` if the set contains `rumor`.
+    pub fn contains(&self, rumor: RumorId) -> bool {
+        let i = rumor.index();
+        if i >= self.universe {
+            return false;
+        }
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Number of rumors in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Returns `true` if the set contains every rumor of the universe.
+    pub fn is_full(&self) -> bool {
+        self.len() == self.universe
+    }
+
+    /// Unions `other` into `self`; returns `true` if any new rumor was added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sets have different universes.
+    pub fn union_with(&mut self, other: &RumorSet) -> bool {
+        assert_eq!(self.universe, other.universe, "rumor sets must share a universe");
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a | *b;
+            if new != *a {
+                changed = true;
+                *a = new;
+            }
+        }
+        changed
+    }
+
+    /// Returns `true` if `self` is a superset of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sets have different universes.
+    pub fn is_superset(&self, other: &RumorSet) -> bool {
+        assert_eq!(self.universe, other.universe, "rumor sets must share a universe");
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == *b)
+    }
+
+    /// Iterator over the rumors present in the set, in increasing id order.
+    pub fn iter(&self) -> impl Iterator<Item = RumorId> + '_ {
+        (0..self.universe).map(RumorId::from).filter(move |&r| self.contains(r))
+    }
+}
+
+impl fmt::Debug for RumorSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RumorSet({}/{}: ", self.len(), self.universe)?;
+        f.debug_set().entries(self.iter().map(|r| r.0)).finish()?;
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_and_membership() {
+        let s = RumorSet::singleton(10, RumorId(3));
+        assert!(s.contains(RumorId(3)));
+        assert!(!s.contains(RumorId(4)));
+        assert!(!s.contains(RumorId(99)));
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+        assert!(!s.is_full());
+    }
+
+    #[test]
+    fn insert_reports_novelty() {
+        let mut s = RumorSet::empty(5);
+        assert!(s.insert(RumorId(2)));
+        assert!(!s.insert(RumorId(2)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn union_and_superset() {
+        let mut a = RumorSet::singleton(100, RumorId(1));
+        let b = RumorSet::singleton(100, RumorId(70));
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b));
+        assert!(a.contains(RumorId(70)));
+        assert!(a.is_superset(&b));
+        assert!(!b.is_superset(&a));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn full_set_detection() {
+        let mut s = RumorSet::empty(3);
+        for i in 0..3 {
+            s.insert(RumorId(i));
+        }
+        assert!(s.is_full());
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![RumorId(0), RumorId(1), RumorId(2)]);
+    }
+
+    #[test]
+    fn empty_universe_is_trivially_full() {
+        let s = RumorSet::empty(0);
+        assert!(s.is_empty());
+        assert!(s.is_full());
+    }
+
+    #[test]
+    fn rumor_of_node_matches_index() {
+        assert_eq!(RumorId::of_node(NodeId::new(5)), RumorId(5));
+        assert_eq!(RumorId::from(9usize).index(), 9);
+        assert_eq!(format!("{}", RumorId(4)), "r4");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn insert_out_of_universe_panics() {
+        let mut s = RumorSet::empty(4);
+        s.insert(RumorId(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "must share a universe")]
+    fn union_of_mismatched_universes_panics() {
+        let mut a = RumorSet::empty(4);
+        let b = RumorSet::empty(5);
+        a.union_with(&b);
+    }
+
+    #[test]
+    fn debug_representation_is_nonempty() {
+        let s = RumorSet::singleton(4, RumorId(1));
+        let repr = format!("{s:?}");
+        assert!(repr.contains("RumorSet"));
+        assert!(repr.contains('1'));
+    }
+}

@@ -1,0 +1,64 @@
+//! Peer-to-peer publish/subscribe overlay with heterogeneous link quality.
+//!
+//! A P2P overlay is usually well connected (every peer keeps a handful of
+//! random neighbors) but the links differ wildly in quality: some are
+//! same-city fibre, some are congested transcontinental paths.  The paper's
+//! point is that classical conductance — which ignores the latencies — badly
+//! mispredicts gossip performance here, while the critical weighted
+//! conductance `φ*`/`ℓ*` predicts it well.  This example measures exactly
+//! that gap.
+//!
+//! ```text
+//! cargo run --example p2p_overlay
+//! ```
+
+use gossip_conductance::{analyze, Method};
+use gossip_core::push_pull;
+use gossip_graph::latency::LatencyScheme;
+use gossip_graph::{generators, NodeId};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(2026);
+    let n = 128;
+    let base = generators::random_regular(n, 8, 1, &mut rng).expect("valid overlay parameters");
+
+    println!("random 8-regular overlay on {n} peers; publishing one message from peer 0\n");
+    println!(
+        "{:>22} {:>12} {:>10} {:>8} {:>16} {:>12}",
+        "latency scheme", "phi (classic)", "phi*", "ell*", "(ell*/phi*)logn", "push-pull"
+    );
+
+    let schemes: Vec<(&str, LatencyScheme)> = vec![
+        ("uniform fast (1)", LatencyScheme::Uniform(1)),
+        ("two-level 1/64 (80/20)", LatencyScheme::TwoLevel { fast: 1, slow: 64, fast_probability: 0.8 }),
+        ("two-level 1/64 (20/80)", LatencyScheme::TwoLevel { fast: 1, slow: 64, fast_probability: 0.2 }),
+        ("power-law classes", LatencyScheme::PowerLawClasses { classes: 7 }),
+    ];
+
+    for (name, scheme) in schemes {
+        let g = scheme.apply(&base, &mut rng).unwrap();
+        let report = analyze(&g, Method::SweepCut).unwrap();
+        let logn = (n as f64).log2();
+        let bound = if report.phi_star > 0.0 {
+            report.ell_star as f64 / report.phi_star * logn
+        } else {
+            f64::INFINITY
+        };
+        let run = push_pull::broadcast(&g, NodeId::new(0), 3);
+        println!(
+            "{:>22} {:>12.4} {:>10.4} {:>8} {:>16.0} {:>12}",
+            name,
+            report.phi_classical,
+            report.phi_star,
+            report.ell_star,
+            bound,
+            format!("{} r", run.rounds),
+        );
+    }
+
+    println!("\nThe classical conductance barely moves across the rows (the topology never");
+    println!("changes), but the measured push-pull time tracks (ell*/phi*) log n — the");
+    println!("latency-aware characterisation of Theorem 29.");
+}

@@ -1,0 +1,181 @@
+//! Cross-crate integration tests for the paper's lower bounds (Section 3):
+//! the guessing game is hard in the way Lemmas 7–8 state, the Lemma 6
+//! reduction is sound, and gossip on the constructed networks (Theorems 9, 10
+//! and 13) really does pay the predicted costs.
+
+use gossip_core::push_pull;
+use gossip_graph::{metrics, NodeId};
+use gossip_lowerbound::gadgets;
+use gossip_lowerbound::game::GuessingGame;
+use gossip_lowerbound::predicates::TargetPredicate;
+use gossip_lowerbound::reduction::push_pull_reduction;
+use gossip_lowerbound::strategies::{play, FreshGreedy, RandomGuessing};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn average_rounds<F>(trials: u64, seed: u64, mut run: F) -> f64
+where
+    F: FnMut(&mut SmallRng) -> u64,
+{
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut total = 0;
+    for _ in 0..trials {
+        total += run(&mut rng);
+    }
+    total as f64 / trials as f64
+}
+
+#[test]
+fn lemma7_singleton_game_scales_linearly_in_m() {
+    let rounds_for = |m: usize, seed: u64| {
+        average_rounds(60, seed, |rng| {
+            let game = GuessingGame::new(m, TargetPredicate::Singleton, rng);
+            play(game, &mut RandomGuessing, 10_000_000, rng).rounds
+        })
+    };
+    let small = rounds_for(16, 1);
+    let medium = rounds_for(64, 2);
+    let large = rounds_for(128, 3);
+    // Linear growth (the per-round hit probability is ~2/m, so the mean is
+    // ~m/2); the averages are noisy, so only coarse ratios are asserted.
+    assert!(medium > 2.0 * small, "m=16 -> {small:.1}, m=64 -> {medium:.1}");
+    assert!(large > 1.3 * medium, "m=64 -> {medium:.1}, m=128 -> {large:.1}");
+}
+
+#[test]
+fn lemma8_random_p_game_scales_inversely_in_p() {
+    let rounds_for = |p: f64, seed: u64| {
+        average_rounds(15, seed, |rng| {
+            let game = GuessingGame::new(48, TargetPredicate::Random { p }, rng);
+            play(game, &mut FreshGreedy::default(), 10_000_000, rng).rounds
+        })
+    };
+    let dense = rounds_for(0.4, 10);
+    let sparse = rounds_for(0.05, 11);
+    assert!(
+        sparse > 3.0 * dense,
+        "p=0.4 -> {dense:.1} rounds, p=0.05 -> {sparse:.1} rounds; expected ~1/p scaling"
+    );
+}
+
+#[test]
+fn lemma8_random_guessing_pays_a_log_factor_over_informed_guessing() {
+    let p = 0.04;
+    let informed = average_rounds(12, 20, |rng| {
+        let game = GuessingGame::new(64, TargetPredicate::Random { p }, rng);
+        play(game, &mut FreshGreedy::default(), 10_000_000, rng).rounds
+    });
+    let random = average_rounds(12, 21, |rng| {
+        let game = GuessingGame::new(64, TargetPredicate::Random { p }, rng);
+        play(game, &mut RandomGuessing, 10_000_000, rng).rounds
+    });
+    assert!(
+        random > 1.5 * informed,
+        "random guessing ({random:.1}) should pay a log m factor over informed ({informed:.1})"
+    );
+}
+
+#[test]
+fn lemma6_reduction_never_needs_more_rounds_than_the_gossip_run() {
+    let mut rng = SmallRng::seed_from_u64(30);
+    for p in [0.3, 0.1] {
+        let net =
+            gadgets::gadget(10, 1, 400, TargetPredicate::Random { p }, false, &mut rng).unwrap();
+        for seed in 0..4 {
+            let out = push_pull_reduction(&net, seed);
+            assert!(out.gossip_completed);
+            let game_rounds = out.game_rounds.expect("local broadcast solved => game solved");
+            assert!(
+                game_rounds <= out.gossip_rounds + 1,
+                "game needed {game_rounds} rounds but gossip only ran {}",
+                out.gossip_rounds
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem9_network_local_broadcast_grows_with_delta_despite_small_diameter() {
+    let mut rng = SmallRng::seed_from_u64(40);
+    let small_delta = gadgets::theorem9_network(64, 4, &mut rng).unwrap();
+    let large_delta = gadgets::theorem9_network(64, 16, &mut rng).unwrap();
+
+    let avg = |net: &gadgets::GadgetNetwork| {
+        (0..4).map(|s| push_pull_reduction(net, s).gossip_rounds).sum::<u64>() as f64 / 4.0
+    };
+    let small = avg(&small_delta);
+    let large = avg(&large_delta);
+    assert!(
+        large > 1.5 * small,
+        "local broadcast should get harder with Delta: Delta=4 -> {small:.1}, Delta=16 -> {large:.1}"
+    );
+}
+
+#[test]
+fn theorem10_network_has_the_claimed_diameter_and_conductance_shape() {
+    let mut rng = SmallRng::seed_from_u64(50);
+    let phi = 0.2;
+    let ell = 4;
+    let net = gadgets::theorem10_network(32, phi, ell, &mut rng).unwrap();
+    // Weighted diameter O(ell): every right node has a fast edge w.h.p.
+    let d = metrics::weighted_diameter(&net.graph).unwrap();
+    assert!(d <= 3 * ell, "diameter {d} should be O(ell = {ell})");
+    // The number of hidden fast edges concentrates around phi * n^2.
+    let expected = phi * 32.0 * 32.0;
+    let got = net.target.len() as f64;
+    assert!(got > 0.5 * expected && got < 1.6 * expected);
+}
+
+#[test]
+fn theorem10_push_pull_cost_grows_as_phi_shrinks() {
+    let mut rng = SmallRng::seed_from_u64(60);
+    let dense = gadgets::theorem10_network(32, 0.4, 2, &mut rng).unwrap();
+    let sparse = gadgets::theorem10_network(32, 0.05, 2, &mut rng).unwrap();
+    let avg = |net: &gadgets::GadgetNetwork| {
+        (0..4).map(|s| push_pull_reduction(net, s).gossip_rounds).sum::<u64>() as f64 / 4.0
+    };
+    let dense_rounds = avg(&dense);
+    let sparse_rounds = avg(&sparse);
+    assert!(
+        sparse_rounds > 1.5 * dense_rounds,
+        "phi=0.4 -> {dense_rounds:.1} rounds, phi=0.05 -> {sparse_rounds:.1} rounds"
+    );
+}
+
+#[test]
+fn theorem13_ring_structure_matches_the_paper() {
+    let mut rng = SmallRng::seed_from_u64(70);
+    let ring = gadgets::theorem13_ring(8, 5, 32, &mut rng).unwrap();
+    // Observation 14: (3s-1)-regular.
+    for v in ring.graph.nodes() {
+        assert_eq!(ring.graph.degree(v), 3 * 5 - 1);
+    }
+    // Weighted diameter Θ(k/2): with one fast edge per layer pair plus
+    // latency-1 cliques, crossing half the ring costs Θ(k).
+    let d = metrics::weighted_diameter(&ring.graph).unwrap();
+    assert!(d >= (ring.layers as u64) / 2, "diameter {d} below k/2");
+    assert!(d <= 3 * ring.layers as u64 + 2, "diameter {d} above O(k)");
+}
+
+#[test]
+fn theorem13_broadcast_cost_increases_with_ell_then_flattens() {
+    let mut rng = SmallRng::seed_from_u64(80);
+    let mut rounds = Vec::new();
+    for ell in [2u64, 16, 128] {
+        let ring = gadgets::theorem13_ring(5, 5, ell, &mut rng).unwrap();
+        let r = push_pull::broadcast(&ring.graph, NodeId::new(0), 3);
+        assert!(r.completed);
+        rounds.push(r.rounds);
+    }
+    // Raising ell from 2 to 16 must raise the broadcast cost (the ell/phi regime).
+    assert!(
+        rounds[1] > rounds[0],
+        "rounds {rounds:?} should increase when the slow latency grows from 2 to 16"
+    );
+    // The flattening towards Delta + D keeps even ell = 128 within a moderate
+    // multiple of the ell = 16 cost (it cannot keep scaling linearly in ell).
+    assert!(
+        rounds[2] < rounds[1] * 16,
+        "rounds {rounds:?}: the cost must not keep growing linearly in ell"
+    );
+}

@@ -10,12 +10,20 @@ fn bench_conductance(c: &mut Criterion) {
 
     let small = generators::dumbbell(6, 16).unwrap();
     group.bench_function("exact_dumbbell_12", |b| {
-        b.iter_batched(|| small.clone(), |g| analyze(&g, Method::Exact).unwrap(), BatchSize::SmallInput)
+        b.iter_batched(
+            || small.clone(),
+            |g| analyze(&g, Method::Exact).unwrap(),
+            BatchSize::SmallInput,
+        )
     });
 
     let medium = generators::ring_of_cliques(8, 8, 16).unwrap();
     group.bench_function("sweep_ring_of_cliques_64", |b| {
-        b.iter_batched(|| medium.clone(), |g| analyze(&g, Method::SweepCut).unwrap(), BatchSize::SmallInput)
+        b.iter_batched(
+            || medium.clone(),
+            |g| analyze(&g, Method::SweepCut).unwrap(),
+            BatchSize::SmallInput,
+        )
     });
 
     group.finish();

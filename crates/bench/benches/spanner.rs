@@ -13,8 +13,12 @@ fn bench_spanner(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(6);
 
     let base = generators::erdos_renyi(96, 0.15, 1, &mut rng).unwrap();
-    let g = LatencyScheme::UniformRandom { min: 1, max: 16 }.apply(&base, &mut rng).unwrap();
-    group.bench_function("log_spanner_n96", |b| b.iter(|| spanner::log_spanner(&g, 11)));
+    let g = LatencyScheme::UniformRandom { min: 1, max: 16 }
+        .apply(&base, &mut rng)
+        .unwrap();
+    group.bench_function("log_spanner_n96", |b| {
+        b.iter(|| spanner::log_spanner(&g, 11))
+    });
 
     let small = generators::ring_of_cliques(4, 6, 8).unwrap();
     group.bench_function("spanner_broadcast_known_d_n24", |b| {

@@ -1,9 +1,11 @@
-//! The experiment runner: regenerates every table recorded in `EXPERIMENTS.md`.
+//! The experiment runner: regenerates every table recorded in `EXPERIMENTS.md`
+//! and drives the parallel scenario-sweep runner.
 //!
 //! Usage:
 //!
 //! ```text
 //! experiments [EXPERIMENT-ID ...] [--quick] [--json] [--markdown]
+//! experiments sweep [--quick] [--seed N] [--trials N] [--out PATH] [--json] [--markdown]
 //! ```
 //!
 //! With no experiment ids, every experiment (E1–E8, F1, F2, F8) is run.
@@ -11,10 +13,16 @@
 //! `cargo bench` use); the default is the full sweep recorded in
 //! `EXPERIMENTS.md`.  `--json` and `--markdown` change the output format from
 //! the plain-text tables.
+//!
+//! The `sweep` subcommand executes the standard scenario grid (six graph
+//! families × sizes × latency profiles × protocols, multi-seed) in parallel
+//! and writes the aggregated median/p95 round counts as a deterministic JSON
+//! report: the same `--seed` always produces a byte-identical file.
 
 use std::process::ExitCode;
 
 use gossip_bench::experiments;
+use gossip_bench::sweep::SweepSpec;
 use gossip_bench::{Scale, Table};
 
 struct Options {
@@ -50,7 +58,12 @@ fn parse_args() -> Result<Options, String> {
     if ids.is_empty() {
         ids.push("all".to_string());
     }
-    Ok(Options { ids, scale, json, markdown })
+    Ok(Options {
+        ids,
+        scale,
+        json,
+        markdown,
+    })
 }
 
 fn emit(table: &Table, options: &Options) {
@@ -63,7 +76,112 @@ fn emit(table: &Table, options: &Options) {
     }
 }
 
+struct SweepOptions {
+    scale: Scale,
+    seed: Option<u64>,
+    trials: Option<u64>,
+    out: String,
+    json: bool,
+    markdown: bool,
+}
+
+fn parse_sweep_args(args: &[String]) -> Result<SweepOptions, String> {
+    let mut options = SweepOptions {
+        scale: Scale::Full,
+        seed: None,
+        trials: None,
+        out: "sweep_report.json".to_string(),
+        json: false,
+        markdown: false,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |name: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--quick" => options.scale = Scale::Quick,
+            "--full" => options.scale = Scale::Full,
+            "--json" => options.json = true,
+            "--markdown" => options.markdown = true,
+            "--seed" => {
+                let v = value_of("--seed")?;
+                options.seed =
+                    Some(v.parse().map_err(|e| format!("invalid --seed '{v}': {e}"))?);
+            }
+            "--trials" => {
+                let v = value_of("--trials")?;
+                let trials: u64 = v.parse().map_err(|e| format!("invalid --trials '{v}': {e}"))?;
+                if trials == 0 {
+                    return Err("--trials must be at least 1".to_string());
+                }
+                options.trials = Some(trials);
+            }
+            "--out" => options.out = value_of("--out")?,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: experiments sweep [--quick] [--seed N] [--trials N] [--out PATH] [--json] [--markdown]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown sweep option '{other}' (try sweep --help)")),
+        }
+    }
+    Ok(options)
+}
+
+fn run_sweep(args: &[String]) -> ExitCode {
+    let options = match parse_sweep_args(args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut spec = SweepSpec::standard(options.scale);
+    if let Some(seed) = options.seed {
+        spec.base_seed = seed;
+    }
+    if let Some(trials) = options.trials {
+        spec.trials = trials;
+    }
+    eprintln!(
+        "sweep: {} scenarios x {} trials = {} runs on {} threads (seed {:#x})",
+        spec.scenario_count(),
+        spec.trials,
+        spec.trial_count(),
+        rayon::current_num_threads(),
+        spec.base_seed
+    );
+    let started = std::time::Instant::now();
+    let report = spec.run();
+    eprintln!("sweep: finished in {:.2?}", started.elapsed());
+
+    let json = report.to_json();
+    if let Err(e) = std::fs::write(&options.out, format!("{json}\n")) {
+        eprintln!("cannot write report to '{}': {e}", options.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("sweep: report written to {}", options.out);
+
+    let table = report.to_table();
+    if options.json {
+        println!("{json}");
+    } else if options.markdown {
+        println!("{}", table.to_markdown());
+    } else {
+        println!("{table}");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("sweep") {
+        return run_sweep(&args[1..]);
+    }
     let options = match parse_args() {
         Ok(o) => o,
         Err(msg) => {

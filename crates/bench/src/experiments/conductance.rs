@@ -15,14 +15,26 @@ pub fn families(scale: Scale, rng: &mut SmallRng) -> Vec<(String, Graph)> {
     let medium = scale.pick(16, 48);
     let large = scale.pick(32, 128);
     let mut out: Vec<(String, Graph)> = vec![
-        (format!("clique(n={small})"), generators::clique(small, 1).unwrap()),
-        (format!("cycle(n={medium})"), generators::cycle(medium, 1).unwrap()),
-        (format!("dumbbell(s={small}, bridge=16)"), generators::dumbbell(small, 16).unwrap()),
+        (
+            format!("clique(n={small})"),
+            generators::clique(small, 1).unwrap(),
+        ),
+        (
+            format!("cycle(n={medium})"),
+            generators::cycle(medium, 1).unwrap(),
+        ),
+        (
+            format!("dumbbell(s={small}, bridge=16)"),
+            generators::dumbbell(small, 16).unwrap(),
+        ),
         (
             format!("ring_of_cliques(k=4, s={small}, bridge=8)"),
             generators::ring_of_cliques(4, small, 8).unwrap(),
         ),
-        (format!("grid(4x{small})"), generators::grid(4, small, 2).unwrap()),
+        (
+            format!("grid(4x{small})"),
+            generators::grid(4, small, 2).unwrap(),
+        ),
         (
             format!("star(n={medium}, spokes=4)"),
             generators::star(medium, 4).unwrap(),
@@ -35,9 +47,19 @@ pub fn families(scale: Scale, rng: &mut SmallRng) -> Vec<(String, Graph)> {
     // Weighted variants of the clique under the latency schemes of DESIGN.md.
     let base = generators::clique(medium, 1).unwrap();
     for (name, scheme) in [
-        ("two-level", LatencyScheme::TwoLevel { fast: 1, slow: 64, fast_probability: 0.2 }),
+        (
+            "two-level",
+            LatencyScheme::TwoLevel {
+                fast: 1,
+                slow: 64,
+                fast_probability: 0.2,
+            },
+        ),
         ("power-law", LatencyScheme::PowerLawClasses { classes: 6 }),
-        ("uniform-random", LatencyScheme::UniformRandom { min: 1, max: 32 }),
+        (
+            "uniform-random",
+            LatencyScheme::UniformRandom { min: 1, max: 32 },
+        ),
     ] {
         out.push((
             format!("clique(n={medium}) + {name} latencies"),
@@ -53,15 +75,7 @@ pub fn e1_theorem5(scale: Scale) -> Table {
     let mut table = Table::new(
         "E1 (Theorem 5): phi*/(2 ell*) <= phi_avg <= L * phi*/ell*",
         &[
-            "family",
-            "n",
-            "phi_star",
-            "ell_star",
-            "phi_avg",
-            "L",
-            "lower",
-            "upper",
-            "holds",
+            "family", "n", "phi_star", "ell_star", "phi_avg", "L", "lower", "upper", "holds",
         ],
     );
     for (name, g) in families(scale, &mut rng) {

@@ -23,7 +23,14 @@ pub fn f1_gadgets(scale: Scale) -> Table {
     };
     let mut table = Table::new(
         "F1 (Figure 1): guessing-game gadgets G and Gsym",
-        &["m", "variant", "nodes", "edges", "fast cross edges", "weighted diameter"],
+        &[
+            "m",
+            "variant",
+            "nodes",
+            "edges",
+            "fast cross edges",
+            "weighted diameter",
+        ],
     );
     let mut rng = SmallRng::seed_from_u64(0xF1);
     for m in sizes {
@@ -72,7 +79,15 @@ pub fn f8_dtg(scale: Scale) -> Table {
     };
     let mut table = Table::new(
         "F8 (Appendix A.1): ell-DTG local broadcast rounds vs ell log^2 n",
-        &["n", "ell", "rounds", "bound ell log^2 n", "rounds/bound", "max iterations", "log2 n"],
+        &[
+            "n",
+            "ell",
+            "rounds",
+            "bound ell log^2 n",
+            "rounds/bound",
+            "max iterations",
+            "log2 n",
+        ],
     );
     for &n in &sizes {
         for &ell in &ells {
@@ -111,7 +126,10 @@ mod tests {
                 Cell::Int(v) => v,
                 _ => panic!(),
             };
-            assert_eq!(fast, 1, "singleton predicate must plant exactly one fast cross edge");
+            assert_eq!(
+                fast, 1,
+                "singleton predicate must plant exactly one fast cross edge"
+            );
         }
     }
 
@@ -127,6 +145,9 @@ mod tests {
                 _ => panic!(),
             })
             .collect();
-        assert!(rounds[1] > rounds[0], "4-DTG must cost more than 1-DTG on the same clique");
+        assert!(
+            rounds[1] > rounds[0],
+            "4-DTG must cost more than 1-DTG on the same clique"
+        );
     }
 }

@@ -5,7 +5,9 @@ use gossip_lowerbound::gadgets;
 use gossip_lowerbound::game::GuessingGame;
 use gossip_lowerbound::predicates::TargetPredicate;
 use gossip_lowerbound::reduction::push_pull_reduction;
-use gossip_lowerbound::strategies::{play, AliceStrategy, ColumnSweep, FreshGreedy, RandomGuessing};
+use gossip_lowerbound::strategies::{
+    play, AliceStrategy, ColumnSweep, FreshGreedy, RandomGuessing,
+};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -42,7 +44,13 @@ pub fn e2_singleton_game(scale: Scale) -> Table {
     };
     let mut table = Table::new(
         "E2a (Lemma 7): rounds to solve Guessing(2m, |T|=1), average over trials",
-        &["m", "random-guessing", "fresh-greedy", "column-sweep", "rounds/m (random)"],
+        &[
+            "m",
+            "random-guessing",
+            "fresh-greedy",
+            "column-sweep",
+            "rounds/m (random)",
+        ],
     );
     for m in sizes {
         let random = average_game_rounds::<RandomGuessing, _>(
@@ -118,7 +126,15 @@ pub fn e3_random_game(scale: Scale) -> Table {
     };
     let mut table = Table::new(
         "E3a (Lemma 8): rounds to solve Guessing(2m, Random_p)",
-        &["m", "p", "fresh-greedy", "greedy*p", "random-guessing", "random*p", "random/greedy"],
+        &[
+            "m",
+            "p",
+            "fresh-greedy",
+            "greedy*p",
+            "random-guessing",
+            "random*p",
+            "random/greedy",
+        ],
     );
     for p in ps {
         let greedy = average_game_rounds::<FreshGreedy, _>(
@@ -155,15 +171,32 @@ pub fn e3_theorem10_network(scale: Scale) -> Table {
     let n = scale.pick(24, 96);
     let configs: Vec<(f64, u64)> = match scale {
         Scale::Quick => vec![(0.3, 2), (0.1, 8)],
-        Scale::Full => vec![(0.4, 2), (0.2, 2), (0.1, 2), (0.1, 16), (0.05, 16), (0.05, 64)],
+        Scale::Full => vec![
+            (0.4, 2),
+            (0.2, 2),
+            (0.1, 2),
+            (0.1, 16),
+            (0.05, 16),
+            (0.05, 64),
+        ],
     };
     let mut table = Table::new(
         "E3b (Theorem 10): push-pull local broadcast on G(2n, ell, n^2, Random_phi)",
-        &["n", "phi", "ell", "gossip rounds", "game rounds", "rounds*phi", "bound 1/phi + ell"],
+        &[
+            "n",
+            "phi",
+            "ell",
+            "gossip rounds",
+            "game rounds",
+            "rounds*phi",
+            "bound 1/phi + ell",
+        ],
     );
     let mut rng = SmallRng::seed_from_u64(0x710);
     for (phi, ell) in configs {
-        let Ok(net) = gadgets::theorem10_network(n, phi, ell, &mut rng) else { continue };
+        let Ok(net) = gadgets::theorem10_network(n, phi, ell, &mut rng) else {
+            continue;
+        };
         let out = push_pull_reduction(&net, 0xA00 + ell);
         let bound = 1.0 / phi + ell as f64;
         table.push_row(vec![

@@ -24,22 +24,22 @@ use crate::{Scale, Table};
 
 /// Runs every experiment and returns all tables, in index order.
 pub fn run_all(scale: Scale) -> Vec<Table> {
-    let mut tables = Vec::new();
-    tables.push(conductance::e1_theorem5(scale));
-    tables.push(guessing::e2_singleton_game(scale));
-    tables.push(guessing::e2_theorem9_network(scale));
-    tables.push(guessing::e3_random_game(scale));
-    tables.push(guessing::e3_theorem10_network(scale));
-    tables.push(ring::e4_tradeoff(scale));
-    tables.push(upper_bounds::e5_push_pull(scale));
-    tables.push(upper_bounds::e6_spanner(scale));
-    tables.push(upper_bounds::e6_spanner_broadcast(scale));
-    tables.push(upper_bounds::e7_pattern(scale));
-    tables.push(upper_bounds::e8_unified(scale));
-    tables.push(figures::f1_gadgets(scale));
-    tables.push(ring::f2_ring_conductance(scale));
-    tables.push(figures::f8_dtg(scale));
-    tables
+    vec![
+        conductance::e1_theorem5(scale),
+        guessing::e2_singleton_game(scale),
+        guessing::e2_theorem9_network(scale),
+        guessing::e3_random_game(scale),
+        guessing::e3_theorem10_network(scale),
+        ring::e4_tradeoff(scale),
+        upper_bounds::e5_push_pull(scale),
+        upper_bounds::e6_spanner(scale),
+        upper_bounds::e6_spanner_broadcast(scale),
+        upper_bounds::e7_pattern(scale),
+        upper_bounds::e8_unified(scale),
+        figures::f1_gadgets(scale),
+        ring::f2_ring_conductance(scale),
+        figures::f8_dtg(scale),
+    ]
 }
 
 /// Looks up a single experiment by its id (`"e1"`, `"e6b"`, `"f2"`, …).
@@ -48,11 +48,20 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
 pub fn run_one(id: &str, scale: Scale) -> Option<Vec<Table>> {
     let tables = match id.to_ascii_lowercase().as_str() {
         "e1" => vec![conductance::e1_theorem5(scale)],
-        "e2" => vec![guessing::e2_singleton_game(scale), guessing::e2_theorem9_network(scale)],
-        "e3" => vec![guessing::e3_random_game(scale), guessing::e3_theorem10_network(scale)],
+        "e2" => vec![
+            guessing::e2_singleton_game(scale),
+            guessing::e2_theorem9_network(scale),
+        ],
+        "e3" => vec![
+            guessing::e3_random_game(scale),
+            guessing::e3_theorem10_network(scale),
+        ],
         "e4" => vec![ring::e4_tradeoff(scale)],
         "e5" => vec![upper_bounds::e5_push_pull(scale)],
-        "e6" => vec![upper_bounds::e6_spanner(scale), upper_bounds::e6_spanner_broadcast(scale)],
+        "e6" => vec![
+            upper_bounds::e6_spanner(scale),
+            upper_bounds::e6_spanner_broadcast(scale),
+        ],
         "e7" => vec![upper_bounds::e7_pattern(scale)],
         "e8" => vec![upper_bounds::e8_unified(scale)],
         "f1" => vec![figures::f1_gadgets(scale)],
@@ -70,8 +79,13 @@ mod tests {
 
     #[test]
     fn run_one_knows_every_experiment_id() {
-        for id in ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "f1", "f2", "f8"] {
-            assert!(run_one(id, Scale::Quick).is_some(), "unknown experiment id {id}");
+        for id in [
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "f1", "f2", "f8",
+        ] {
+            assert!(
+                run_one(id, Scale::Quick).is_some(),
+                "unknown experiment id {id}"
+            );
         }
         assert!(run_one("nope", Scale::Quick).is_none());
     }

@@ -27,11 +27,23 @@ pub fn e4_tradeoff(scale: Scale) -> Table {
     };
     let mut table = Table::new(
         "E4 (Theorem 13): push-pull broadcast on the ring of gadgets, sweeping ell",
-        &["n", "layers", "s", "ell", "D", "Delta", "phi_ell", "bound min(D+Delta, ell/phi)", "rounds"],
+        &[
+            "n",
+            "layers",
+            "s",
+            "ell",
+            "D",
+            "Delta",
+            "phi_ell",
+            "bound min(D+Delta, ell/phi)",
+            "rounds",
+        ],
     );
     let mut rng = SmallRng::seed_from_u64(0xE4);
     for ell in ells {
-        let Ok(ring) = theorem13_ring(layers, layer_size, ell, &mut rng) else { continue };
+        let Ok(ring) = theorem13_ring(layers, layer_size, ell, &mut rng) else {
+            continue;
+        };
         let g = &ring.graph;
         let d = metrics::weighted_diameter(g).unwrap_or(0);
         let delta = g.max_degree() as u64;
@@ -40,7 +52,11 @@ pub fn e4_tradeoff(scale: Scale) -> Table {
         let phi = critical_conductance(g, Method::SweepCut)
             .map(|c| c.phi_star)
             .unwrap_or(0.0);
-        let bound = ((d + delta) as f64).min(if phi > 0.0 { ell as f64 / phi } else { f64::MAX });
+        let bound = ((d + delta) as f64).min(if phi > 0.0 {
+            ell as f64 / phi
+        } else {
+            f64::MAX
+        });
         let report = push_pull::broadcast(g, NodeId::new(0), 0x400 + ell);
         table.push_row(vec![
             Cell::from(g.node_count()),
@@ -68,17 +84,28 @@ pub fn f2_ring_conductance(scale: Scale) -> Table {
     };
     let mut table = Table::new(
         "F2 (Lemmas 15-17): structure of the Theorem-13 ring",
-        &["n(half)", "alpha", "layers k", "s", "regular degree", "phi_ell(C)", "phi_ell (sweep)", "D", "k/2"],
+        &[
+            "n(half)",
+            "alpha",
+            "layers k",
+            "s",
+            "regular degree",
+            "phi_ell(C)",
+            "phi_ell (sweep)",
+            "D",
+            "k/2",
+        ],
     );
     let mut rng = SmallRng::seed_from_u64(0xF2);
     for (n, alpha) in configs {
         let (k, s) = theorem13_parameters(n, alpha);
-        let Ok(ring) = theorem13_ring(k, s, 8, &mut rng) else { continue };
+        let Ok(ring) = theorem13_ring(k, s, 8, &mut rng) else {
+            continue;
+        };
         let g = &ring.graph;
         let degree = g.degree(NodeId::new(0));
         // The balanced cut that splits the ring into two arcs of k/2 layers.
-        let half_nodes: Vec<NodeId> =
-            (0..(k / 2) * s).map(NodeId::new).collect();
+        let half_nodes: Vec<NodeId> = (0..(k / 2) * s).map(NodeId::new).collect();
         let cut = Cut::from_side(g, half_nodes);
         let phi_cut = phi_ell_of_cut(g, &cut, 8).unwrap_or(0.0);
         let phi_graph = critical_conductance(g, Method::SweepCut)

@@ -40,10 +40,20 @@ pub fn e5_push_pull(scale: Scale) -> Table {
     let mut rng = SmallRng::seed_from_u64(0xE5);
     let mut table = Table::new(
         "E5 (Theorem 29): push-pull rounds vs (ell*/phi*) log n",
-        &["family", "n", "ell*", "phi*", "bound", "rounds", "rounds/bound"],
+        &[
+            "family",
+            "n",
+            "ell*",
+            "phi*",
+            "bound",
+            "rounds",
+            "rounds/bound",
+        ],
     );
     for (name, g) in slow_cut_family(scale, &mut rng) {
-        let Ok(crit) = critical_conductance(&g, Method::SweepCut) else { continue };
+        let Ok(crit) = critical_conductance(&g, Method::SweepCut) else {
+            continue;
+        };
         let bound = if crit.phi_star > 0.0 {
             crit.ell_star as f64 / crit.phi_star * log2(g.node_count())
         } else {
@@ -73,11 +83,20 @@ pub fn e6_spanner(scale: Scale) -> Table {
     let mut rng = SmallRng::seed_from_u64(0xE6);
     let mut table = Table::new(
         "E6a (Lemma 19 / Theorem 20): directed spanner size, out-degree and stretch",
-        &["n", "graph edges", "spanner edges", "edges/(n log n)", "max out-degree", "out/(log n)", "stretch", "2k-1"],
+        &[
+            "n",
+            "graph edges",
+            "spanner edges",
+            "edges/(n log n)",
+            "max out-degree",
+            "out/(log n)",
+            "stretch",
+            "2k-1",
+        ],
     );
     for n in sizes {
-        let base = generators::erdos_renyi(n, (8.0 * log2(n) / n as f64).min(0.5), 1, &mut rng)
-            .unwrap();
+        let base =
+            generators::erdos_renyi(n, (8.0 * log2(n) / n as f64).min(0.5), 1, &mut rng).unwrap();
         let g = gossip_graph::latency::LatencyScheme::UniformRandom { min: 1, max: 16 }
             .apply(&base, &mut rng)
             .unwrap();
@@ -105,12 +124,24 @@ pub fn e6_spanner_broadcast(scale: Scale) -> Table {
     let graphs: Vec<(String, Graph)> = match scale {
         Scale::Quick => vec![
             ("dumbbell(6, 8)".into(), generators::dumbbell(6, 8).unwrap()),
-            ("ring_of_cliques(4, 6, 8)".into(), generators::ring_of_cliques(4, 6, 8).unwrap()),
+            (
+                "ring_of_cliques(4, 6, 8)".into(),
+                generators::ring_of_cliques(4, 6, 8).unwrap(),
+            ),
         ],
         Scale::Full => vec![
-            ("dumbbell(16, 16)".into(), generators::dumbbell(16, 16).unwrap()),
-            ("ring_of_cliques(8, 8, 16)".into(), generators::ring_of_cliques(8, 8, 16).unwrap()),
-            ("grid(8x8, lat 4)".into(), generators::grid(8, 8, 4).unwrap()),
+            (
+                "dumbbell(16, 16)".into(),
+                generators::dumbbell(16, 16).unwrap(),
+            ),
+            (
+                "ring_of_cliques(8, 8, 16)".into(),
+                generators::ring_of_cliques(8, 8, 16).unwrap(),
+            ),
+            (
+                "grid(8x8, lat 4)".into(),
+                generators::grid(8, 8, 4).unwrap(),
+            ),
             (
                 "slow_cut_expander(128, 6, 32)".into(),
                 generators::slow_cut_expander(128, 6, 32, &mut rng).unwrap(),
@@ -119,7 +150,16 @@ pub fn e6_spanner_broadcast(scale: Scale) -> Table {
     };
     let mut table = Table::new(
         "E6b (Lemma 23 / Theorem 25): spanner broadcast rounds vs D log^3 n",
-        &["family", "n", "D", "bound D log^3 n", "known-D rounds", "known/bound", "unknown-D rounds", "unknown/known"],
+        &[
+            "family",
+            "n",
+            "D",
+            "bound D log^3 n",
+            "known-D rounds",
+            "known/bound",
+            "unknown-D rounds",
+            "unknown/known",
+        ],
     );
     for (name, g) in graphs {
         let d = metrics::weighted_diameter(&g).unwrap_or(0);
@@ -149,14 +189,31 @@ pub fn e7_pattern(scale: Scale) -> Table {
         ],
         Scale::Full => vec![
             ("cycle(32, lat 2)".into(), generators::cycle(32, 2).unwrap()),
-            ("dumbbell(12, 16)".into(), generators::dumbbell(12, 16).unwrap()),
-            ("grid(6x6, lat 4)".into(), generators::grid(6, 6, 4).unwrap()),
-            ("ring_of_cliques(6, 6, 8)".into(), generators::ring_of_cliques(6, 6, 8).unwrap()),
+            (
+                "dumbbell(12, 16)".into(),
+                generators::dumbbell(12, 16).unwrap(),
+            ),
+            (
+                "grid(6x6, lat 4)".into(),
+                generators::grid(6, 6, 4).unwrap(),
+            ),
+            (
+                "ring_of_cliques(6, 6, 8)".into(),
+                generators::ring_of_cliques(6, 6, 8).unwrap(),
+            ),
         ],
     };
     let mut table = Table::new(
         "E7 (Lemmas 26-28): pattern broadcast rounds vs D log^2 n log D",
-        &["family", "n", "D", "bound", "rounds", "rounds/bound", "completed"],
+        &[
+            "family",
+            "n",
+            "D",
+            "bound",
+            "rounds",
+            "rounds/bound",
+            "completed",
+        ],
     );
     for (name, g) in graphs {
         let d = metrics::weighted_diameter(&g).unwrap_or(1).max(1);
@@ -183,7 +240,10 @@ pub fn e8_unified(scale: Scale) -> Table {
     let graphs: Vec<(String, Graph)> = match scale {
         Scale::Quick => vec![
             ("clique(24)".into(), generators::clique(24, 1).unwrap()),
-            ("dumbbell(8, 64)".into(), generators::dumbbell(8, 64).unwrap()),
+            (
+                "dumbbell(8, 64)".into(),
+                generators::dumbbell(8, 64).unwrap(),
+            ),
         ],
         Scale::Full => vec![
             ("clique(64)".into(), generators::clique(64, 1).unwrap()),
@@ -191,8 +251,14 @@ pub fn e8_unified(scale: Scale) -> Table {
                 "slow_cut_expander(128, 6, 4)".into(),
                 generators::slow_cut_expander(128, 6, 4, &mut rng).unwrap(),
             ),
-            ("dumbbell(16, 128)".into(), generators::dumbbell(16, 128).unwrap()),
-            ("ring_of_cliques(8, 8, 64)".into(), generators::ring_of_cliques(8, 8, 64).unwrap()),
+            (
+                "dumbbell(16, 128)".into(),
+                generators::dumbbell(16, 128).unwrap(),
+            ),
+            (
+                "ring_of_cliques(8, 8, 64)".into(),
+                generators::ring_of_cliques(8, 8, 64).unwrap(),
+            ),
             ("path(64, lat 8)".into(), generators::path(64, 8).unwrap()),
             // The Theorem-13 ring with a huge slow latency: the hidden fast
             // edges keep D small, so the spanner route should win over
@@ -207,7 +273,14 @@ pub fn e8_unified(scale: Scale) -> Table {
     };
     let mut table = Table::new(
         "E8 (Theorem 31): unified algorithm - push-pull vs the spanner route",
-        &["family", "n", "push-pull rounds", "spanner-route rounds", "winner", "unified rounds"],
+        &[
+            "family",
+            "n",
+            "push-pull rounds",
+            "spanner-route rounds",
+            "winner",
+            "unified rounds",
+        ],
     );
     for (name, g) in graphs {
         let r = unified::run_known_latencies(&g, NodeId::new(0), 0x88);
@@ -244,7 +317,10 @@ mod tests {
         assert!(!t.rows.is_empty());
         for row in &t.rows {
             let ratio = float(&row[6]);
-            assert!(ratio < 10.0, "push-pull exceeded its Theorem 29 bound by 10x: {ratio}");
+            assert!(
+                ratio < 10.0,
+                "push-pull exceeded its Theorem 29 bound by 10x: {ratio}"
+            );
         }
     }
 
@@ -254,7 +330,10 @@ mod tests {
         for row in &t.rows {
             let stretch = float(&row[6]);
             let bound = float(&row[7]);
-            assert!(stretch <= bound + 1e-9, "stretch {stretch} above 2k-1 = {bound}");
+            assert!(
+                stretch <= bound + 1e-9,
+                "stretch {stretch} above 2k-1 = {bound}"
+            );
         }
     }
 
@@ -263,7 +342,10 @@ mod tests {
         let t = e6_spanner_broadcast(Scale::Quick);
         for row in &t.rows {
             let ratio = float(&row[5]);
-            assert!(ratio < 12.0, "spanner broadcast exceeded D log^3 n by 12x: {ratio}");
+            assert!(
+                ratio < 12.0,
+                "spanner broadcast exceeded D log^3 n by 12x: {ratio}"
+            );
         }
     }
 
@@ -279,9 +361,12 @@ mod tests {
     fn e8_push_pull_wins_on_the_clique_and_loses_on_the_slow_dumbbell() {
         let t = e8_unified(Scale::Quick);
         let winners: Vec<String> = t.rows.iter().map(|r| r[4].to_string()).collect();
-        assert_eq!(winners[0], "push-pull", "push-pull must win on the unit clique");
+        assert_eq!(
+            winners[0], "push-pull",
+            "push-pull must win on the unit clique"
+        );
         // On the dumbbell with a very slow bridge the spanner route is
         // expected to win; accept either but require the rounds to be reported.
-        assert!(t.rows[1].iter().count() == 6);
+        assert!(t.rows[1].len() == 6);
     }
 }

@@ -13,6 +13,8 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod json;
+pub mod sweep;
 pub mod table;
 
 pub use table::{Cell, Table};
@@ -29,7 +31,7 @@ pub enum Scale {
 
 impl Scale {
     /// Picks between the quick and full value.
-    pub fn pick<T: Copy>(self, quick: T, full: T) -> T {
+    pub fn pick<T>(self, quick: T, full: T) -> T {
         match self {
             Scale::Quick => quick,
             Scale::Full => full,

@@ -2,11 +2,10 @@
 
 use std::fmt;
 
-use serde::Serialize;
+use crate::json::Json;
 
 /// One cell of an experiment table.
-#[derive(Debug, Clone, PartialEq, Serialize)]
-#[serde(untagged)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Cell {
     /// A text cell.
     Text(String),
@@ -62,8 +61,18 @@ impl fmt::Display for Cell {
     }
 }
 
+impl From<&Cell> for Json {
+    fn from(cell: &Cell) -> Json {
+        match cell {
+            Cell::Text(s) => Json::Str(s.clone()),
+            Cell::Int(v) => Json::Int(*v),
+            Cell::Float(v) => Json::Float(*v),
+        }
+    }
+}
+
 /// A titled table of experiment results.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Experiment identifier and description.
     pub title: String,
@@ -89,13 +98,35 @@ impl Table {
     ///
     /// Panics if the row length does not match the number of columns.
     pub fn push_row(&mut self, row: Vec<Cell>) {
-        assert_eq!(row.len(), self.columns.len(), "row length must match the column count");
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row length must match the column count"
+        );
         self.rows.push(row);
     }
 
-    /// Serialises the table to a JSON string.
+    /// Serialises the table to a JSON string (untagged cells, like the
+    /// `serde_json` output this replaces: text as strings, ints as integers,
+    /// floats as numbers).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("table serialisation cannot fail")
+        Json::object(vec![
+            ("title", Json::Str(self.title.clone())),
+            (
+                "columns",
+                Json::Array(self.columns.iter().map(|c| Json::Str(c.clone())).collect()),
+            ),
+            (
+                "rows",
+                Json::Array(
+                    self.rows
+                        .iter()
+                        .map(|row| Json::Array(row.iter().map(Json::from).collect()))
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_pretty()
     }
 
     /// Renders the table as GitHub-flavoured markdown.
@@ -154,8 +185,16 @@ mod tests {
 
     fn sample() -> Table {
         let mut t = Table::new("E0: demo", &["n", "rounds", "ratio"]);
-        t.push_row(vec![Cell::from(16usize), Cell::from(40u64), Cell::from(2.5)]);
-        t.push_row(vec![Cell::from(32usize), Cell::from(90u64), Cell::from(2.8)]);
+        t.push_row(vec![
+            Cell::from(16usize),
+            Cell::from(40u64),
+            Cell::from(2.5),
+        ]);
+        t.push_row(vec![
+            Cell::from(32usize),
+            Cell::from(90u64),
+            Cell::from(2.8),
+        ]);
         t
     }
 
@@ -177,9 +216,15 @@ mod tests {
     #[test]
     fn json_round_trips_structure() {
         let json = sample().to_json();
-        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
-        assert_eq!(value["title"], "E0: demo");
-        assert_eq!(value["rows"].as_array().unwrap().len(), 2);
+        let value = crate::json::Json::parse(&json).unwrap();
+        assert_eq!(
+            value.get("title").and_then(|t| t.as_str()),
+            Some("E0: demo")
+        );
+        assert_eq!(
+            value.get("rows").and_then(|r| r.as_array()).unwrap().len(),
+            2
+        );
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! End-to-end test of the `experiments sweep` subcommand: it must write a
+//! JSON report, and two runs with the same `--seed` must produce
+//! byte-identical files even across separate processes.
+//!
+//! Lives in `gossip-bench` (the package that owns the binary) so Cargo
+//! guarantees via `CARGO_BIN_EXE_experiments` that the invoked binary is
+//! freshly built.
+
+use gossip_bench::json::Json;
+
+#[test]
+fn sweep_subcommand_writes_reproducible_reports() {
+    let experiments = env!("CARGO_BIN_EXE_experiments");
+    let dir = std::env::temp_dir().join(format!("gossip-sweep-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let run = |out: &std::path::Path| {
+        let output = std::process::Command::new(experiments)
+            .args(["sweep", "--quick", "--trials", "2", "--seed", "7"])
+            .arg("--out")
+            .arg(out)
+            .output()
+            .expect("experiments sweep runs");
+        assert!(
+            output.status.success(),
+            "experiments sweep failed:\n{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        std::fs::read(out).expect("report file written")
+    };
+    let first = run(&dir.join("a.json"));
+    let second = run(&dir.join("b.json"));
+    assert!(!first.is_empty());
+    assert_eq!(
+        first, second,
+        "same --seed must produce byte-identical reports"
+    );
+
+    let parsed = Json::parse(std::str::from_utf8(&first).unwrap().trim()).unwrap();
+    assert_eq!(
+        parsed.get("schema").and_then(Json::as_str),
+        Some("gossip-sweep/v1")
+    );
+    let scenarios = parsed.get("scenarios").and_then(Json::as_array).unwrap();
+    assert!(scenarios.len() >= 4, "sweep must cover the standard grid");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sweep_rejects_bad_flags() {
+    let experiments = env!("CARGO_BIN_EXE_experiments");
+    let output = std::process::Command::new(experiments)
+        .args(["sweep", "--trials", "0"])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    let output = std::process::Command::new(experiments)
+        .args(["sweep", "--bogus"])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+}

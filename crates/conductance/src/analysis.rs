@@ -215,7 +215,11 @@ pub fn critical_conductance(
             best = (ell, phi);
         }
     }
-    Ok(CriticalConductance { phi_star: best.1, ell_star: best.0, profile })
+    Ok(CriticalConductance {
+        phi_star: best.1,
+        ell_star: best.0,
+        profile,
+    })
 }
 
 /// Average weighted conductance `φ_avg(G)` (Definition 4): minimum over cuts
@@ -359,9 +363,15 @@ mod tests {
     #[test]
     fn errors_for_degenerate_graphs() {
         let single = GraphBuilder::new(1).build().unwrap();
-        assert_eq!(analyze(&single, Method::Exact).unwrap_err(), ConductanceError::TooFewNodes);
+        assert_eq!(
+            analyze(&single, Method::Exact).unwrap_err(),
+            ConductanceError::TooFewNodes
+        );
         let edgeless = GraphBuilder::new(3).build().unwrap();
-        assert_eq!(analyze(&edgeless, Method::Exact).unwrap_err(), ConductanceError::NoEdges);
+        assert_eq!(
+            analyze(&edgeless, Method::Exact).unwrap_err(),
+            ConductanceError::NoEdges
+        );
         let big = generators::clique(30, 1).unwrap();
         assert!(matches!(
             analyze(&big, Method::Exact).unwrap_err(),

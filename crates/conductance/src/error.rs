@@ -45,8 +45,13 @@ mod tests {
     #[test]
     fn display_is_informative() {
         assert!(ConductanceError::NoEdges.to_string().contains("edgeless"));
-        assert!(ConductanceError::TooFewNodes.to_string().contains("two nodes"));
-        let e = ConductanceError::TooLargeForExact { nodes: 50, limit: 22 };
+        assert!(ConductanceError::TooFewNodes
+            .to_string()
+            .contains("two nodes"));
+        let e = ConductanceError::TooLargeForExact {
+            nodes: 50,
+            limit: 22,
+        };
         assert!(e.to_string().contains("50"));
         assert!(e.to_string().contains("22"));
     }

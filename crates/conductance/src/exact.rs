@@ -22,7 +22,10 @@ pub fn enumerate_cuts(g: &Graph) -> Result<Vec<Cut>, ConductanceError> {
         return Err(ConductanceError::TooFewNodes);
     }
     if n > MAX_EXACT_NODES {
-        return Err(ConductanceError::TooLargeForExact { nodes: n, limit: MAX_EXACT_NODES });
+        return Err(ConductanceError::TooLargeForExact {
+            nodes: n,
+            limit: MAX_EXACT_NODES,
+        });
     }
     // Fix node 0 outside U so each bipartition is generated exactly once.
     let count = 1u64 << (n - 1);

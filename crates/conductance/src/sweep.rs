@@ -39,12 +39,16 @@ pub fn fiedler_ordering(g: &Graph, ell: Latency) -> Vec<NodeId> {
     // eigenvector v1 ∝ D^{1/2}·1 (eigenvalue 1).
     let sqrt_deg: Vec<f64> = deg.iter().map(|&d| d.sqrt()).collect();
     let norm1: f64 = sqrt_deg.iter().map(|x| x * x).sum::<f64>().sqrt();
-    let v1: Vec<f64> =
-        sqrt_deg.iter().map(|&x| if norm1 > 0.0 { x / norm1 } else { 0.0 }).collect();
+    let v1: Vec<f64> = sqrt_deg
+        .iter()
+        .map(|&x| if norm1 > 0.0 { x / norm1 } else { 0.0 })
+        .collect();
 
     // Deterministic pseudo-random start vector (no RNG needed: a fixed
     // quasi-random sequence keeps the whole analysis reproducible).
-    let mut x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.754_877_666 + 0.1).sin()).collect();
+    let mut x: Vec<f64> = (0..n)
+        .map(|i| (i as f64 * 0.754_877_666 + 0.1).sin())
+        .collect();
 
     for _ in 0..POWER_ITERATIONS {
         // Deflate: x <- x - (x·v1) v1
@@ -92,7 +96,9 @@ pub fn fiedler_ordering(g: &Graph, ell: Latency) -> Vec<NodeId> {
         } else {
             f64::INFINITY
         };
-        fa.partial_cmp(&fb).unwrap_or(std::cmp::Ordering::Equal).then(a.index().cmp(&b.index()))
+        fa.partial_cmp(&fb)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.index().cmp(&b.index()))
     });
     order
 }
@@ -175,7 +181,10 @@ mod tests {
         let first_half: Vec<usize> = order[..6].iter().map(|v| v.index()).collect();
         let all_left = first_half.iter().all(|&v| v < 6);
         let all_right = first_half.iter().all(|&v| v >= 6);
-        assert!(all_left || all_right, "fiedler ordering mixed the two cliques: {first_half:?}");
+        assert!(
+            all_left || all_right,
+            "fiedler ordering mixed the two cliques: {first_half:?}"
+        );
     }
 
     #[test]
@@ -188,7 +197,10 @@ mod tests {
 
     #[test]
     fn sweep_matches_exact_on_cycle_and_clique() {
-        for g in [generators::cycle(10, 1).unwrap(), generators::clique(8, 1).unwrap()] {
+        for g in [
+            generators::cycle(10, 1).unwrap(),
+            generators::clique(8, 1).unwrap(),
+        ] {
             let (_, exact) = exact_minimum(&g, |g, c| phi_ell_of_cut(g, c, 1)).unwrap();
             let (_, sweep) = sweep_minimum(&g, |g, c| phi_ell_of_cut(g, c, 1)).unwrap();
             // Sweep is an upper bound; on these symmetric families it should be exact.

@@ -22,6 +22,7 @@ use crate::DisseminationReport;
 #[derive(Debug, Clone)]
 struct ProbeAll {
     next: Vec<usize>,
+    degrees: Vec<usize>,
     discovered: Vec<HashMap<EdgeId, Latency>>,
 }
 
@@ -29,6 +30,7 @@ impl ProbeAll {
     fn new(g: &Graph) -> Self {
         ProbeAll {
             next: vec![0; g.node_count()],
+            degrees: g.nodes().map(|v| g.degree(v)).collect(),
             discovered: vec![HashMap::new(); g.node_count()],
         }
     }
@@ -54,8 +56,10 @@ impl Protocol for ProbeAll {
     }
 
     fn is_idle(&self, node: NodeId) -> bool {
-        // A node is idle once it has sent all its probes (responses may still be in flight).
-        self.next[node.index()] >= self.next.len().max(1) && false
+        // A node is idle once it has sent all its probes; in-flight responses
+        // are the engine's concern (Quiescent termination also requires an
+        // empty in-flight set).
+        self.next[node.index()] >= self.degrees[node.index()]
     }
 }
 
@@ -134,7 +138,10 @@ mod tests {
         let g = generators::dumbbell(4, 1000).unwrap();
         let out = discover(&g, 4, 1);
         assert!(out.covers(&g, 4));
-        assert!(!out.covers(&g, 1000), "the latency-1000 bridge must not be discovered");
+        assert!(
+            !out.covers(&g, 1000),
+            "the latency-1000 bridge must not be discovered"
+        );
         assert!(out.report.rounds <= g.max_degree() as u64 + 4);
     }
 

@@ -85,8 +85,15 @@ impl EllDtg {
                 }
             })
             .collect();
-        let heard = (0..n).map(|i| RumorSet::singleton(n, RumorId::from(i))).collect();
-        EllDtg { bound, nodes, heard, pending: HashMap::new() }
+        let heard = (0..n)
+            .map(|i| RumorSet::singleton(n, RumorId::from(i)))
+            .collect();
+        EllDtg {
+            bound,
+            nodes,
+            heard,
+            pending: HashMap::new(),
+        }
     }
 
     /// Latency bound ℓ of this invocation.
@@ -190,8 +197,9 @@ impl Protocol for EllDtg {
 /// The run stops when every node's program has finished (which implies every
 /// node has exchanged rumors with all of its ≤ ℓ neighbors).
 pub fn local_broadcast(g: &Graph, bound: Latency, seed: u64) -> DisseminationReport {
-    let config =
-        SimConfig::new(seed).termination(Termination::Quiescent).max_rounds(round_cap(g, bound));
+    let config = SimConfig::new(seed)
+        .termination(Termination::Quiescent)
+        .max_rounds(round_cap(g, bound));
     let mut protocol = EllDtg::new(g, bound);
     let mut sim = Simulation::new(g, config);
     let report = sim.run(&mut protocol);
@@ -248,9 +256,8 @@ pub fn run_with_rumors(
 /// every neighbor connected to it by an edge of latency at most `bound`.
 pub fn local_broadcast_achieved(g: &Graph, bound: Latency, rumors: &[RumorSet]) -> bool {
     g.nodes().all(|v| {
-        g.neighbors(v).all(|(w, e)| {
-            g.latency(e) > bound || rumors[v.index()].contains(RumorId::of_node(w))
-        })
+        g.neighbors(v)
+            .all(|(w, e)| g.latency(e) > bound || rumors[v.index()].contains(RumorId::of_node(w)))
     })
 }
 
@@ -276,7 +283,10 @@ mod tests {
 
     #[test]
     fn dtg_achieves_local_broadcast_on_grid_and_tree() {
-        for g in [generators::grid(5, 5, 1).unwrap(), generators::binary_tree(31, 1).unwrap()] {
+        for g in [
+            generators::grid(5, 5, 1).unwrap(),
+            generators::binary_tree(31, 1).unwrap(),
+        ] {
             let r = local_broadcast(&g, 1, 3);
             assert!(r.completed);
         }
@@ -303,7 +313,9 @@ mod tests {
         // iteration count stays well below the trivial Δ bound.
         let g = generators::clique(64, 1).unwrap();
         let mut protocol = EllDtg::new(&g, 1);
-        let config = SimConfig::new(2).termination(Termination::Quiescent).max_rounds(100_000);
+        let config = SimConfig::new(2)
+            .termination(Termination::Quiescent)
+            .max_rounds(100_000);
         let mut sim = Simulation::new(&g, config);
         let report = sim.run(&mut protocol);
         assert!(report.completed);
@@ -322,7 +334,10 @@ mod tests {
         let g = generators::dumbbell(6, 10_000).unwrap();
         let r = local_broadcast(&g, 1, 7);
         assert!(r.completed);
-        assert!(r.rounds < 2_000, "1-DTG must ignore the latency-10000 bridge");
+        assert!(
+            r.rounds < 2_000,
+            "1-DTG must ignore the latency-10000 bridge"
+        );
     }
 
     #[test]
@@ -339,8 +354,9 @@ mod tests {
         let g = generators::path(6, 2).unwrap();
         let n = g.node_count();
         // Start from a state where node 0 already knows everything.
-        let mut initial: Vec<RumorSet> =
-            (0..n).map(|i| RumorSet::singleton(n, RumorId::from(i))).collect();
+        let mut initial: Vec<RumorSet> = (0..n)
+            .map(|i| RumorSet::singleton(n, RumorId::from(i)))
+            .collect();
         for i in 0..n {
             initial[0].insert(RumorId::from(i));
         }
@@ -357,8 +373,9 @@ mod tests {
     fn blocking_mode_also_completes() {
         let g = generators::cycle(10, 3).unwrap();
         let n = g.node_count();
-        let initial: Vec<RumorSet> =
-            (0..n).map(|i| RumorSet::singleton(n, RumorId::from(i))).collect();
+        let initial: Vec<RumorSet> = (0..n)
+            .map(|i| RumorSet::singleton(n, RumorId::from(i)))
+            .collect();
         let (report, rumors, _) = run_with_rumors(&g, 3, 4, initial, true);
         assert!(report.completed);
         assert!(local_broadcast_achieved(&g, 3, &rumors));

@@ -19,13 +19,19 @@ pub fn broadcast(g: &Graph, source: NodeId, seed: u64) -> DisseminationReport {
         .track_rumor(RumorId::of_node(source))
         .max_rounds(round_cap(g));
     let report = Simulation::new(g, config).run(&mut RoundRobinFlood::new(g));
-    DisseminationReport::single("flooding", report.rounds, report.activations, report.completed)
+    DisseminationReport::single(
+        "flooding",
+        report.rounds,
+        report.activations,
+        report.completed,
+    )
 }
 
 /// All-to-all dissemination by round-robin flooding.
 pub fn all_to_all(g: &Graph, seed: u64) -> DisseminationReport {
-    let config =
-        SimConfig::new(seed).termination(Termination::AllKnowAll).max_rounds(round_cap(g));
+    let config = SimConfig::new(seed)
+        .termination(Termination::AllKnowAll)
+        .max_rounds(round_cap(g));
     let report = Simulation::new(g, config).run(&mut RoundRobinFlood::new(g));
     DisseminationReport::single(
         "flooding (all-to-all)",
@@ -68,7 +74,11 @@ mod tests {
         let d = gossip_graph::metrics::weighted_diameter(&g).unwrap();
         let r = broadcast(&g, NodeId::new(0), 1);
         assert!(r.completed);
-        assert!(r.rounds >= d, "flooding finished in {} rounds, below D = {d}", r.rounds);
+        assert!(
+            r.rounds >= d,
+            "flooding finished in {} rounds, below D = {d}",
+            r.rounds
+        );
     }
 
     #[test]
@@ -76,12 +86,19 @@ mod tests {
         let g = generators::dumbbell(5, 40).unwrap();
         let r = all_to_all(&g, 2);
         assert!(r.completed);
-        assert!(r.rounds >= 40, "crossing the latency-40 bridge cannot take {} rounds", r.rounds);
+        assert!(
+            r.rounds >= 40,
+            "crossing the latency-40 bridge cannot take {} rounds",
+            r.rounds
+        );
     }
 
     #[test]
     fn flooding_is_deterministic() {
         let g = generators::ring_of_cliques(3, 4, 5).unwrap();
-        assert_eq!(broadcast(&g, NodeId::new(0), 1).rounds, broadcast(&g, NodeId::new(0), 9).rounds);
+        assert_eq!(
+            broadcast(&g, NodeId::new(0), 1).rounds,
+            broadcast(&g, NodeId::new(0), 9).rounds
+        );
     }
 }

@@ -59,10 +59,17 @@ pub fn run_schedule(
         let (report, new_rumors, _) =
             dtg::run_with_rumors(g, ell, seed.wrapping_add(idx as u64), rumors, blocking);
         rumors = new_rumors;
-        phases.push(Phase::new(format!("{ell}-dtg"), report.rounds, report.activations));
+        phases.push(Phase::new(
+            format!("{ell}-dtg"),
+            report.rounds,
+            report.activations,
+        ));
     }
     let completed = rumors.iter().all(RumorSet::is_full);
-    (DisseminationReport::from_phases("pattern-broadcast", phases, completed), rumors)
+    (
+        DisseminationReport::from_phases("pattern-broadcast", phases, completed),
+        rumors,
+    )
 }
 
 /// Pattern Broadcast with a known diameter: runs `T(D)` once (Lemma 27).
@@ -87,8 +94,16 @@ pub fn run_unknown_diameter(g: &Graph, seed: u64) -> DisseminationReport {
         rumors = new_rumors;
         let pass_rounds = report.rounds;
         let pass_activations = report.activations;
-        phases.push(Phase::new(format!("T({guess})"), pass_rounds, pass_activations));
-        phases.push(Phase::new(format!("T({guess}): termination-check"), pass_rounds, 0));
+        phases.push(Phase::new(
+            format!("T({guess})"),
+            pass_rounds,
+            pass_activations,
+        ));
+        phases.push(Phase::new(
+            format!("T({guess}): termination-check"),
+            pass_rounds,
+            0,
+        ));
         if rumors.iter().all(RumorSet::is_full) {
             completed = true;
             break;
@@ -101,7 +116,9 @@ pub fn run_unknown_diameter(g: &Graph, seed: u64) -> DisseminationReport {
 
 fn initial_rumors(g: &Graph) -> Vec<RumorSet> {
     let n = g.node_count();
-    (0..n).map(|i| RumorSet::singleton(n, RumorId::from(i))).collect()
+    (0..n)
+        .map(|i| RumorSet::singleton(n, RumorId::from(i)))
+        .collect()
 }
 
 fn guess_cap(g: &Graph) -> Latency {
@@ -123,7 +140,10 @@ mod tests {
         assert_eq!(schedule(1), vec![1]);
         assert_eq!(schedule(2), vec![1, 2, 1]);
         assert_eq!(schedule(4), vec![1, 2, 1, 4, 1, 2, 1]);
-        assert_eq!(schedule(8), vec![1, 2, 1, 4, 1, 2, 1, 8, 1, 2, 1, 4, 1, 2, 1]);
+        assert_eq!(
+            schedule(8),
+            vec![1, 2, 1, 4, 1, 2, 1, 8, 1, 2, 1, 4, 1, 2, 1]
+        );
         // Non-powers of two round up.
         assert_eq!(schedule(3), schedule(4));
         assert_eq!(schedule(5), schedule(8));
@@ -144,7 +164,11 @@ mod tests {
             generators::grid(3, 4, 1).unwrap(),
         ] {
             let r = run_known_diameter(&g, 3);
-            assert!(r.completed, "pattern broadcast failed on {} nodes", g.node_count());
+            assert!(
+                r.completed,
+                "pattern broadcast failed on {} nodes",
+                g.node_count()
+            );
         }
     }
 
@@ -154,7 +178,10 @@ mod tests {
         let r = run_known_diameter(&g, 5);
         assert!(r.completed);
         // The schedule must have included an 8-DTG (or larger) phase to cross the bridge.
-        assert!(r.phases.iter().any(|p| p.name == "8-dtg" || p.name == "16-dtg"));
+        assert!(r
+            .phases
+            .iter()
+            .any(|p| p.name == "8-dtg" || p.name == "16-dtg"));
     }
 
     #[test]
@@ -163,7 +190,10 @@ mod tests {
         let r = run_unknown_diameter(&g, 2);
         assert!(r.completed);
         assert!(r.phases.iter().any(|p| p.name.starts_with("T(1)")));
-        assert!(r.phases.iter().any(|p| p.name.starts_with("T(8)") || p.name.starts_with("T(16)")));
+        assert!(r
+            .phases
+            .iter()
+            .any(|p| p.name.starts_with("T(8)") || p.name.starts_with("T(16)")));
     }
 
     #[test]

@@ -25,14 +25,20 @@ pub fn broadcast(g: &Graph, source: NodeId, seed: u64) -> DisseminationReport {
         .track_rumor(RumorId::of_node(source))
         .max_rounds(round_cap(g));
     let report = Simulation::new(g, config).run(&mut RandomPushPull::new(g));
-    DisseminationReport::single("push-pull", report.rounds, report.activations, report.completed)
+    DisseminationReport::single(
+        "push-pull",
+        report.rounds,
+        report.activations,
+        report.completed,
+    )
 }
 
 /// All-to-all dissemination using push–pull: every node starts with its own
 /// rumor and the run ends when every node knows every rumor.
 pub fn all_to_all(g: &Graph, seed: u64) -> DisseminationReport {
-    let config =
-        SimConfig::new(seed).termination(Termination::AllKnowAll).max_rounds(round_cap(g));
+    let config = SimConfig::new(seed)
+        .termination(Termination::AllKnowAll)
+        .max_rounds(round_cap(g));
     let report = Simulation::new(g, config).run(&mut RandomPushPull::new(g));
     DisseminationReport::single(
         "push-pull (all-to-all)",
@@ -79,7 +85,11 @@ mod tests {
         let r = broadcast(&g, NodeId::new(0), 1);
         assert!(r.completed);
         // O(log n) with small constants; 64 nodes should finish well under 40 rounds.
-        assert!(r.rounds <= 40, "push-pull too slow on a clique: {} rounds", r.rounds);
+        assert!(
+            r.rounds <= 40,
+            "push-pull too slow on a clique: {} rounds",
+            r.rounds
+        );
     }
 
     #[test]

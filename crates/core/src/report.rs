@@ -17,7 +17,11 @@ pub struct Phase {
 impl Phase {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, rounds: u64, activations: u64) -> Self {
-        Phase { name: name.into(), rounds, activations }
+        Phase {
+            name: name.into(),
+            rounds,
+            activations,
+        }
     }
 }
 
@@ -38,14 +42,16 @@ pub struct DisseminationReport {
 
 impl DisseminationReport {
     /// Builds a report from phases; `completed` is supplied by the caller.
-    pub fn from_phases(
-        algorithm: impl Into<String>,
-        phases: Vec<Phase>,
-        completed: bool,
-    ) -> Self {
+    pub fn from_phases(algorithm: impl Into<String>, phases: Vec<Phase>, completed: bool) -> Self {
         let rounds = phases.iter().map(|p| p.rounds).sum();
         let activations = phases.iter().map(|p| p.activations).sum();
-        DisseminationReport { algorithm: algorithm.into(), rounds, activations, completed, phases }
+        DisseminationReport {
+            algorithm: algorithm.into(),
+            rounds,
+            activations,
+            completed,
+            phases,
+        }
     }
 
     /// Builds a single-phase report.
@@ -67,7 +73,11 @@ impl DisseminationReport {
 
     /// Rounds spent in the named phase (0 if the phase does not exist).
     pub fn phase_rounds(&self, name: &str) -> u64 {
-        self.phases.iter().filter(|p| p.name == name).map(|p| p.rounds).sum()
+        self.phases
+            .iter()
+            .filter(|p| p.name == name)
+            .map(|p| p.rounds)
+            .sum()
     }
 }
 
@@ -100,7 +110,10 @@ mod tests {
     fn from_phases_sums_rounds_and_activations() {
         let r = DisseminationReport::from_phases(
             "spanner-broadcast",
-            vec![Phase::new("discovery", 100, 40), Phase::new("rr-broadcast", 50, 30)],
+            vec![
+                Phase::new("discovery", 100, 40),
+                Phase::new("rr-broadcast", 50, 30),
+            ],
             true,
         );
         assert_eq!(r.rounds, 150);

@@ -38,7 +38,10 @@ impl RrBroadcast {
                     .collect()
             })
             .collect();
-        RrBroadcast { next: vec![0; g.node_count()], out }
+        RrBroadcast {
+            next: vec![0; g.node_count()],
+            out,
+        }
     }
 
     /// The number of rounds Lemma 21 prescribes: `k·Δ_out + k`.
@@ -75,8 +78,9 @@ pub fn all_to_all(
 ) -> DisseminationReport {
     let mut protocol = RrBroadcast::new(g, spanner, k);
     let budget = budget(g, &protocol, k);
-    let config =
-        SimConfig::new(seed).termination(Termination::AllKnowAll).max_rounds(budget);
+    let config = SimConfig::new(seed)
+        .termination(Termination::AllKnowAll)
+        .max_rounds(budget);
     let report = Simulation::new(g, config).run(&mut protocol);
     DisseminationReport::single(
         "rr-broadcast",
@@ -102,8 +106,9 @@ pub fn run_with_rumors(
 ) -> (DisseminationReport, Vec<RumorSet>) {
     let mut protocol = RrBroadcast::new(g, spanner, k);
     let budget = budget(g, &protocol, k);
-    let config =
-        SimConfig::new(seed).termination(Termination::AllKnowAll).max_rounds(budget);
+    let config = SimConfig::new(seed)
+        .termination(Termination::AllKnowAll)
+        .max_rounds(budget);
     let mut sim = Simulation::with_rumors(g, config, rumors);
     let report = sim.run(&mut protocol);
     let out = DisseminationReport::single(
@@ -151,7 +156,11 @@ mod tests {
             let d = metrics::weighted_diameter(&g).unwrap();
             // The spanner has stretch ≤ 2k-1, so pass a k large enough to cover it.
             let r = all_to_all(&g, &s, d * 16, 5);
-            assert!(r.completed, "rr-broadcast failed on {} nodes", g.node_count());
+            assert!(
+                r.completed,
+                "rr-broadcast failed on {} nodes",
+                g.node_count()
+            );
         }
     }
 

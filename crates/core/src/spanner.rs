@@ -15,7 +15,11 @@
 //! [`spanner_broadcast`](crate::spanner_broadcast).  This module implements
 //! the computation.
 
-use std::collections::HashMap;
+// BTreeMap, not HashMap: these maps are *iterated* when inserting edges into
+// the spanner, and std's per-instance hash seeds would make the out-edge order
+// (and therefore the round-robin broadcast schedule) differ between otherwise
+// identical runs.
+use std::collections::BTreeMap;
 
 use gossip_graph::spanner::DirectedSpanner;
 use gossip_graph::{EdgeId, Graph, Latency, NodeId};
@@ -57,7 +61,7 @@ pub fn baswana_sen(g: &Graph, k: usize, seed: u64) -> DirectedSpanner {
         let mut centers: Vec<NodeId> = clustering.iter().flatten().copied().collect();
         centers.sort_unstable();
         centers.dedup();
-        let sampled: HashMap<NodeId, bool> =
+        let sampled: BTreeMap<NodeId, bool> =
             centers.iter().map(|&c| (c, rng.gen_bool(p))).collect();
 
         let mut next_clustering: Vec<Option<NodeId>> = vec![None; n];
@@ -70,13 +74,16 @@ pub fn baswana_sen(g: &Graph, k: usize, seed: u64) -> DirectedSpanner {
         }
 
         // 2. Every vertex outside the sampled clusters picks its spanner edges.
+        // Indexing is intentional: `next_clustering[v]` is assigned inside the
+        // loop body (Rule 2), so an iterator borrow would not compile.
+        #[allow(clippy::needless_range_loop)]
         for v in 0..n {
             if next_clustering[v].is_some() {
                 continue;
             }
             let vid = NodeId::new(v);
             // Best (least-weight) alive edge towards each adjacent cluster.
-            let mut best: HashMap<NodeId, (Weight, EdgeId)> = HashMap::new();
+            let mut best: BTreeMap<NodeId, (Weight, EdgeId)> = BTreeMap::new();
             for (w, e) in g.neighbors(vid) {
                 if !alive[e.index()] {
                     continue;
@@ -106,7 +113,7 @@ pub fn baswana_sen(g: &Graph, k: usize, seed: u64) -> DirectedSpanner {
                 None => {
                     // Rule 1: no sampled neighbor cluster — keep one edge per
                     // adjacent cluster and discard everything else.
-                    for (_c, (_w, e)) in &best {
+                    for (_w, e) in best.values() {
                         spanner.add_oriented(g, vid, *e);
                     }
                     for (w, e) in g.neighbors(vid) {
@@ -149,9 +156,7 @@ pub fn baswana_sen(g: &Graph, k: usize, seed: u64) -> DirectedSpanner {
                 continue;
             }
             let rec = g.edge(e);
-            if let (Some(a), Some(b)) =
-                (clustering[rec.u.index()], clustering[rec.v.index()])
-            {
+            if let (Some(a), Some(b)) = (clustering[rec.u.index()], clustering[rec.v.index()]) {
                 if a == b {
                     alive[e.index()] = false;
                 }
@@ -163,7 +168,7 @@ pub fn baswana_sen(g: &Graph, k: usize, seed: u64) -> DirectedSpanner {
     // surviving cluster.
     for v in 0..n {
         let vid = NodeId::new(v);
-        let mut best: HashMap<NodeId, (Weight, EdgeId)> = HashMap::new();
+        let mut best: BTreeMap<NodeId, (Weight, EdgeId)> = BTreeMap::new();
         for (w, e) in g.neighbors(vid) {
             if !alive[e.index()] {
                 continue;

@@ -56,12 +56,20 @@ pub fn run_unknown_diameter(g: &Graph, seed: u64) -> DisseminationReport {
         let (report, new_rumors) = run_with_guess(g, guess, seed ^ guess, rumors);
         rumors = new_rumors;
         for p in report.phases {
-            phases.push(Phase::new(format!("k={guess}: {}", p.name), p.rounds, p.activations));
+            phases.push(Phase::new(
+                format!("k={guess}: {}", p.name),
+                p.rounds,
+                p.activations,
+            ));
         }
         // Termination_Check: one more broadcast pass over the current spanner
         // so every node can compare rumor sets and flags (Algorithm 3).
         let check_rounds = phases.last().map(|p| p.rounds).unwrap_or(0);
-        phases.push(Phase::new(format!("k={guess}: termination-check"), check_rounds, 0));
+        phases.push(Phase::new(
+            format!("k={guess}: termination-check"),
+            check_rounds,
+            0,
+        ));
         if rumors.iter().all(RumorSet::is_full) {
             completed = true;
             break;
@@ -115,7 +123,9 @@ pub fn run_with_guess(
 
 fn initial_rumors(g: &Graph) -> Vec<RumorSet> {
     let n = g.node_count();
-    (0..n).map(|i| RumorSet::singleton(n, RumorId::from(i))).collect()
+    (0..n)
+        .map(|i| RumorSet::singleton(n, RumorId::from(i)))
+        .collect()
 }
 
 fn guess_cap(g: &Graph) -> Latency {
@@ -143,7 +153,11 @@ mod tests {
             generators::grid(4, 4, 2).unwrap(),
         ] {
             let r = run_known_diameter(&g, 3);
-            assert!(r.completed, "spanner broadcast failed on {} nodes", g.node_count());
+            assert!(
+                r.completed,
+                "spanner broadcast failed on {} nodes",
+                g.node_count()
+            );
             assert!(r.phase_rounds("discovery") > 0);
             // The rr-broadcast phase can legitimately be 0 rounds when the
             // discovery phase already disseminated everything (small dense graphs).
@@ -171,7 +185,10 @@ mod tests {
         assert!(r.completed);
         // Phases for guesses 1, 2, ... must appear until one covers latency 32.
         assert!(r.phases.iter().any(|p| p.name.starts_with("k=1:")));
-        assert!(r.phases.iter().any(|p| p.name.starts_with("k=32:") || p.name.starts_with("k=64:")));
+        assert!(r
+            .phases
+            .iter()
+            .any(|p| p.name.starts_with("k=32:") || p.name.starts_with("k=64:")));
     }
 
     #[test]

@@ -46,12 +46,22 @@ impl UnifiedReport {
         // An incomplete route never wins against a complete one.
         let pp_key = (u64::from(!push_pull.completed), push_pull.rounds);
         let sp_key = (u64::from(!spanner_route.completed), spanner_route.rounds);
-        let winner = if pp_key <= sp_key { Winner::PushPull } else { Winner::SpannerRoute };
+        let winner = if pp_key <= sp_key {
+            Winner::PushPull
+        } else {
+            Winner::SpannerRoute
+        };
         let (rounds, completed) = match winner {
             Winner::PushPull => (push_pull.rounds, push_pull.completed),
             Winner::SpannerRoute => (spanner_route.rounds, spanner_route.completed),
         };
-        UnifiedReport { push_pull, spanner_route, winner, rounds, completed }
+        UnifiedReport {
+            push_pull,
+            spanner_route,
+            winner,
+            rounds,
+            completed,
+        }
     }
 
     /// Collapses the detailed report into a [`DisseminationReport`].
@@ -59,7 +69,11 @@ impl UnifiedReport {
         DisseminationReport::from_phases(
             "unified",
             vec![
-                Phase::new("push-pull", self.push_pull.rounds, self.push_pull.activations),
+                Phase::new(
+                    "push-pull",
+                    self.push_pull.rounds,
+                    self.push_pull.activations,
+                ),
                 Phase::new(
                     "spanner-route",
                     self.spanner_route.rounds,

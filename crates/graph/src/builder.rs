@@ -33,7 +33,11 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph with `node_count` nodes (ids `0..node_count`).
     pub fn new(node_count: usize) -> Self {
-        GraphBuilder { node_count, edges: Vec::new(), seen: HashSet::new() }
+        GraphBuilder {
+            node_count,
+            edges: Vec::new(),
+            seen: HashSet::new(),
+        }
     }
 
     /// Number of nodes the built graph will have.
@@ -61,10 +65,16 @@ impl GraphBuilder {
     /// the latency is zero, or if the edge was already added.
     pub fn add_edge(&mut self, u: usize, v: usize, latency: Latency) -> Result<(), GraphError> {
         if u >= self.node_count {
-            return Err(GraphError::NodeOutOfRange { node: u, node_count: self.node_count });
+            return Err(GraphError::NodeOutOfRange {
+                node: u,
+                node_count: self.node_count,
+            });
         }
         if v >= self.node_count {
-            return Err(GraphError::NodeOutOfRange { node: v, node_count: self.node_count });
+            return Err(GraphError::NodeOutOfRange {
+                node: v,
+                node_count: self.node_count,
+            });
         }
         if u == v {
             return Err(GraphError::SelfLoop { node: u });
@@ -141,11 +151,17 @@ mod tests {
         let mut b = GraphBuilder::new(2);
         assert_eq!(
             b.add_edge(0, 5, 1),
-            Err(GraphError::NodeOutOfRange { node: 5, node_count: 2 })
+            Err(GraphError::NodeOutOfRange {
+                node: 5,
+                node_count: 2
+            })
         );
         assert_eq!(
             b.add_edge(7, 1, 1),
-            Err(GraphError::NodeOutOfRange { node: 7, node_count: 2 })
+            Err(GraphError::NodeOutOfRange {
+                node: 7,
+                node_count: 2
+            })
         );
     }
 
@@ -153,9 +169,15 @@ mod tests {
     fn rejects_self_loop_zero_latency_and_duplicates() {
         let mut b = GraphBuilder::new(3);
         assert_eq!(b.add_edge(1, 1, 1), Err(GraphError::SelfLoop { node: 1 }));
-        assert_eq!(b.add_edge(0, 1, 0), Err(GraphError::ZeroLatency { u: 0, v: 1 }));
+        assert_eq!(
+            b.add_edge(0, 1, 0),
+            Err(GraphError::ZeroLatency { u: 0, v: 1 })
+        );
         b.add_edge(0, 1, 1).unwrap();
-        assert_eq!(b.add_edge(1, 0, 3), Err(GraphError::DuplicateEdge { u: 1, v: 0 }));
+        assert_eq!(
+            b.add_edge(1, 0, 3),
+            Err(GraphError::DuplicateEdge { u: 1, v: 0 })
+        );
     }
 
     #[test]

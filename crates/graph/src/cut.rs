@@ -51,7 +51,10 @@ impl Cut {
     /// Panics if `g` has more than 63 nodes.
     pub fn from_bitmask(g: &Graph, mask: u64) -> Self {
         let n = g.node_count();
-        assert!(n <= 63, "bitmask cuts are only supported for graphs with at most 63 nodes");
+        assert!(
+            n <= 63,
+            "bitmask cuts are only supported for graphs with at most 63 nodes"
+        );
         let membership = (0..n).map(|i| mask & (1 << i) != 0).collect();
         Cut { membership }
     }
@@ -67,7 +70,8 @@ impl Cut {
         self.membership
             .iter()
             .enumerate()
-            .filter_map(|(i, &m)| m.then(|| NodeId::new(i)))
+            .filter(|&(_i, &m)| m)
+            .map(|(i, &_m)| NodeId::new(i))
             .collect()
     }
 
@@ -76,7 +80,8 @@ impl Cut {
         self.membership
             .iter()
             .enumerate()
-            .filter_map(|(i, &m)| (!m).then(|| NodeId::new(i)))
+            .filter(|&(_i, &m)| !m)
+            .map(|(i, &_m)| NodeId::new(i))
             .collect()
     }
 

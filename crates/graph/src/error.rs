@@ -49,14 +49,20 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, node_count } => {
-                write!(f, "node index {node} out of range for graph with {node_count} nodes")
+                write!(
+                    f,
+                    "node index {node} out of range for graph with {node_count} nodes"
+                )
             }
             GraphError::SelfLoop { node } => write!(f, "self loop at node {node} is not allowed"),
             GraphError::DuplicateEdge { u, v } => {
                 write!(f, "edge ({u}, {v}) was inserted more than once")
             }
             GraphError::ZeroLatency { u, v } => {
-                write!(f, "edge ({u}, {v}) has latency 0; latencies must be positive")
+                write!(
+                    f,
+                    "edge ({u}, {v}) has latency 0; latencies must be positive"
+                )
             }
             GraphError::Disconnected => write!(f, "graph is not connected"),
             GraphError::Empty => write!(f, "graph must contain at least one node"),
@@ -75,7 +81,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = GraphError::NodeOutOfRange { node: 9, node_count: 4 };
+        let e = GraphError::NodeOutOfRange {
+            node: 9,
+            node_count: 4,
+        };
         assert!(e.to_string().contains("node index 9"));
         let e = GraphError::SelfLoop { node: 3 };
         assert!(e.to_string().contains("self loop"));
@@ -83,9 +92,14 @@ mod tests {
         assert!(e.to_string().contains("(1, 2)"));
         let e = GraphError::ZeroLatency { u: 0, v: 1 };
         assert!(e.to_string().contains("latency 0"));
-        assert_eq!(GraphError::Disconnected.to_string(), "graph is not connected");
+        assert_eq!(
+            GraphError::Disconnected.to_string(),
+            "graph is not connected"
+        );
         assert!(GraphError::Empty.to_string().contains("at least one node"));
-        let e = GraphError::InvalidParameters { reason: "n*d must be even".into() };
+        let e = GraphError::InvalidParameters {
+            reason: "n*d must be even".into(),
+        };
         assert!(e.to_string().contains("n*d must be even"));
     }
 

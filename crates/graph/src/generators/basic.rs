@@ -10,7 +10,9 @@ use crate::{Graph, GraphBuilder, GraphError, Latency};
 /// [`GraphError::ZeroLatency`] if `latency == 0`.
 pub fn clique(n: usize, latency: Latency) -> Result<Graph, GraphError> {
     if n == 0 {
-        return Err(GraphError::InvalidParameters { reason: "clique needs n >= 1".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "clique needs n >= 1".into(),
+        });
     }
     let mut b = GraphBuilder::new(n);
     for u in 0..n {
@@ -28,7 +30,9 @@ pub fn clique(n: usize, latency: Latency) -> Result<Graph, GraphError> {
 /// Returns [`GraphError::InvalidParameters`] if `n == 0`.
 pub fn path(n: usize, latency: Latency) -> Result<Graph, GraphError> {
     if n == 0 {
-        return Err(GraphError::InvalidParameters { reason: "path needs n >= 1".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "path needs n >= 1".into(),
+        });
     }
     let mut b = GraphBuilder::new(n);
     for u in 0..n.saturating_sub(1) {
@@ -44,7 +48,9 @@ pub fn path(n: usize, latency: Latency) -> Result<Graph, GraphError> {
 /// Returns [`GraphError::InvalidParameters`] if `n < 3`.
 pub fn cycle(n: usize, latency: Latency) -> Result<Graph, GraphError> {
     if n < 3 {
-        return Err(GraphError::InvalidParameters { reason: "cycle needs n >= 3".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "cycle needs n >= 3".into(),
+        });
     }
     let mut b = GraphBuilder::new(n);
     for u in 0..n {
@@ -63,7 +69,9 @@ pub fn cycle(n: usize, latency: Latency) -> Result<Graph, GraphError> {
 /// Returns [`GraphError::InvalidParameters`] if `n < 2`.
 pub fn star(n: usize, latency: Latency) -> Result<Graph, GraphError> {
     if n < 2 {
-        return Err(GraphError::InvalidParameters { reason: "star needs n >= 2".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "star needs n >= 2".into(),
+        });
     }
     let mut b = GraphBuilder::new(n);
     for leaf in 1..n {
@@ -106,7 +114,9 @@ pub fn grid(rows: usize, cols: usize, latency: Latency) -> Result<Graph, GraphEr
 /// Returns [`GraphError::InvalidParameters`] if `n == 0`.
 pub fn binary_tree(n: usize, latency: Latency) -> Result<Graph, GraphError> {
     if n == 0 {
-        return Err(GraphError::InvalidParameters { reason: "tree needs n >= 1".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "tree needs n >= 1".into(),
+        });
     }
     let mut b = GraphBuilder::new(n);
     for child in 1..n {
@@ -123,7 +133,11 @@ pub fn binary_tree(n: usize, latency: Latency) -> Result<Graph, GraphError> {
 /// # Errors
 ///
 /// Returns [`GraphError::InvalidParameters`] if either side is empty.
-pub fn complete_bipartite(left: usize, right: usize, latency: Latency) -> Result<Graph, GraphError> {
+pub fn complete_bipartite(
+    left: usize,
+    right: usize,
+    latency: Latency,
+) -> Result<Graph, GraphError> {
     if left == 0 || right == 0 {
         return Err(GraphError::InvalidParameters {
             reason: "complete bipartite graph needs both sides non-empty".into(),

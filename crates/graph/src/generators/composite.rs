@@ -16,11 +16,7 @@ use crate::{Graph, GraphBuilder, GraphError, Latency};
 /// # Errors
 ///
 /// Returns [`GraphError::InvalidParameters`] if `k < 2` or `s < 1`.
-pub fn ring_of_cliques(
-    k: usize,
-    s: usize,
-    bridge_latency: Latency,
-) -> Result<Graph, GraphError> {
+pub fn ring_of_cliques(k: usize, s: usize, bridge_latency: Latency) -> Result<Graph, GraphError> {
     if k < 2 {
         return Err(GraphError::InvalidParameters {
             reason: "ring of cliques needs at least two cliques".into(),

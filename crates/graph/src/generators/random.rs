@@ -21,7 +21,9 @@ pub fn erdos_renyi<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<Graph, GraphError> {
     if n == 0 {
-        return Err(GraphError::InvalidParameters { reason: "erdos_renyi needs n >= 1".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "erdos_renyi needs n >= 1".into(),
+        });
     }
     if !(0.0..=1.0).contains(&p) {
         return Err(GraphError::InvalidParameters {
@@ -61,8 +63,7 @@ pub fn erdos_renyi<R: Rng + ?Sized>(
     }
     // Link one representative of every component to a representative of component 0.
     let mut representatives = vec![usize::MAX; comp_count];
-    for v in 0..n {
-        let c = component[v];
+    for (v, &c) in component.iter().enumerate() {
         if representatives[c] == usize::MAX {
             representatives[c] = v;
         }
@@ -77,10 +78,12 @@ pub fn erdos_renyi<R: Rng + ?Sized>(
 /// latency, built with the configuration model plus a simple repair pass.
 ///
 /// The configuration model pairs up `n·d` stubs uniformly at random; self
-/// loops and duplicate edges are discarded, which can leave a few nodes with
-/// degree slightly below `d`.  A repair pass greedily adds edges between
-/// deficient nodes, and a final pass links any disconnected components, so the
-/// result is always connected and has max degree at most `d + 1`.  For the
+/// loops and duplicate edges are discarded, which can leave nodes with degree
+/// below `d`.  A repair pass then adds edges until every node has degree at
+/// least `d` (pairing deficient nodes with each other first, then borrowing
+/// low-degree non-neighbors), and a final pass links any disconnected
+/// components, so the result is always connected with minimum degree `d` and
+/// maximum degree `d` plus a small additive constant.  For the
 /// expander use in the paper (Theorem 9's constant-degree regular expander), a
 /// random regular graph is an expander with high probability.
 ///
@@ -95,14 +98,16 @@ pub fn random_regular<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<Graph, GraphError> {
     if d == 0 {
-        return Err(GraphError::InvalidParameters { reason: "degree d must be >= 1".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "degree d must be >= 1".into(),
+        });
     }
     if d >= n {
         return Err(GraphError::InvalidParameters {
             reason: format!("degree {d} must be smaller than the node count {n}"),
         });
     }
-    if (n * d) % 2 != 0 {
+    if !(n * d).is_multiple_of(2) {
         return Err(GraphError::InvalidParameters {
             reason: "n * d must be even for a d-regular graph".into(),
         });
@@ -110,7 +115,7 @@ pub fn random_regular<R: Rng + ?Sized>(
 
     let mut b = GraphBuilder::new(n);
     // Configuration model.
-    let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+    let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
     stubs.shuffle(rng);
     for pair in stubs.chunks_exact(2) {
         let (u, v) = (pair[0], pair[1]);
@@ -119,7 +124,10 @@ pub fn random_regular<R: Rng + ?Sized>(
         }
     }
 
-    // Repair pass: greedily connect nodes that ended up below the target degree.
+    // Repair pass: raise every node to degree >= d.  Deficient nodes are
+    // paired with each other first; when no two deficient nodes can be
+    // joined, the remaining one borrows the lowest-degree non-neighbor
+    // (which can exceed d by a small additive constant, but never by much).
     let mut degree = vec![0usize; n];
     {
         let g = b.clone().build()?;
@@ -127,17 +135,36 @@ pub fn random_regular<R: Rng + ?Sized>(
             degree[v.index()] = g.degree(v);
         }
     }
-    let mut deficient: Vec<usize> = (0..n).filter(|&v| degree[v] < d).collect();
-    deficient.shuffle(rng);
-    let mut i = 0;
-    while i + 1 < deficient.len() {
-        let (u, v) = (deficient[i], deficient[i + 1]);
-        if u != v && !b.has_edge(u, v) {
-            b.add_edge(u, v, latency)?;
-            degree[u] += 1;
-            degree[v] += 1;
+    loop {
+        let mut deficient: Vec<usize> = (0..n).filter(|&v| degree[v] < d).collect();
+        if deficient.is_empty() {
+            break;
         }
-        i += 2;
+        deficient.shuffle(rng);
+        let mut paired = None;
+        'pairs: for i in 0..deficient.len() {
+            for j in (i + 1)..deficient.len() {
+                if !b.has_edge(deficient[i], deficient[j]) {
+                    paired = Some((deficient[i], deficient[j]));
+                    break 'pairs;
+                }
+            }
+        }
+        let (u, v) = match paired {
+            Some(pair) => pair,
+            None => {
+                // A node with degree < d <= n - 1 always has a non-neighbor.
+                let u = deficient[0];
+                let v = (0..n)
+                    .filter(|&w| w != u && !b.has_edge(u, w))
+                    .min_by_key(|&w| degree[w])
+                    .expect("a deficient node cannot be adjacent to all others");
+                (u, v)
+            }
+        };
+        b.add_edge(u, v, latency)?;
+        degree[u] += 1;
+        degree[v] += 1;
     }
 
     // Connectivity repair (adds at most one extra degree to a few nodes).
@@ -163,14 +190,18 @@ pub fn random_regular<R: Rng + ?Sized>(
         }
         comp_count += 1;
     }
+    // Chain the components through their minimum-degree nodes (a star on one
+    // representative would concentrate up to `comp_count` extra edges on a
+    // single node and break the near-regularity contract for small `d`).
     let mut representatives = vec![usize::MAX; comp_count];
     for v in 0..n {
-        if representatives[component[v]] == usize::MAX {
-            representatives[component[v]] = v;
+        let c = component[v];
+        if representatives[c] == usize::MAX || degree[v] < degree[representatives[c]] {
+            representatives[c] = v;
         }
     }
     for c in 1..comp_count {
-        b.add_edge_if_absent(representatives[0], representatives[c], latency)?;
+        b.add_edge_if_absent(representatives[c - 1], representatives[c], latency)?;
     }
     b.build_connected()
 }
@@ -223,7 +254,10 @@ mod tests {
         assert!(g.is_connected());
         for v in g.nodes() {
             let deg = g.degree(v);
-            assert!(deg >= d - 2 && deg <= d + 2, "degree {deg} too far from {d}");
+            assert!(
+                deg >= d - 2 && deg <= d + 2,
+                "degree {deg} too far from {d}"
+            );
         }
         // The average degree should be essentially d.
         let avg = g.total_volume() as f64 / g.node_count() as f64;
@@ -236,7 +270,10 @@ mod tests {
         let g = random_regular(128, 6, 1, &mut rng).unwrap();
         let d = crate::metrics::weighted_diameter(&g).unwrap();
         // An expander on 128 nodes has diameter O(log n); allow slack.
-        assert!(d <= 10, "diameter {d} too large for a degree-6 expander on 128 nodes");
+        assert!(
+            d <= 10,
+            "diameter {d} too large for a degree-6 expander on 128 nodes"
+        );
     }
 
     #[test]

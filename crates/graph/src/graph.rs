@@ -26,7 +26,10 @@ impl EdgeRecord {
         } else if node == self.v {
             self.u
         } else {
-            panic!("node {node:?} is not an endpoint of edge ({:?}, {:?})", self.u, self.v)
+            panic!(
+                "node {node:?} is not an endpoint of edge ({:?}, {:?})",
+                self.u, self.v
+            )
         }
     }
 
@@ -73,7 +76,11 @@ impl Graph {
         for list in &mut adjacency {
             list.sort_unstable();
         }
-        Ok(Graph { adjacency, edges, max_latency })
+        Ok(Graph {
+            adjacency,
+            edges,
+            max_latency,
+        })
     }
 
     /// Number of nodes `n = |V|`.
@@ -152,7 +159,9 @@ impl Graph {
     /// Panics if `v` is not a valid node id of this graph.
     #[inline]
     pub fn neighbors(&self, v: NodeId) -> NeighborIter<'_> {
-        NeighborIter { inner: self.adjacency[v.index()].iter() }
+        NeighborIter {
+            inner: self.adjacency[v.index()].iter(),
+        }
     }
 
     /// The incident `(neighbor, edge)` pairs of `v` as a slice, in
@@ -169,7 +178,11 @@ impl Graph {
 
     /// Looks up the edge between `u` and `v`, if any.
     pub fn find_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
-        let (probe, target) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let (probe, target) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         self.adjacency[probe.index()]
             .iter()
             .find(|(w, _)| *w == target)
@@ -221,8 +234,12 @@ impl Graph {
     /// the subgraph `G_ℓ` the paper uses for the ℓ-DTG protocol and for the
     /// weight-ℓ conductance.
     pub fn latency_filtered(&self, bound: Latency) -> Graph {
-        let edges: Vec<EdgeRecord> =
-            self.edges.iter().copied().filter(|e| e.latency <= bound).collect();
+        let edges: Vec<EdgeRecord> = self
+            .edges
+            .iter()
+            .copied()
+            .filter(|e| e.latency <= bound)
+            .collect();
         Graph::from_parts(self.node_count(), edges)
             .expect("filtered graph retains the (non-empty) node set")
     }

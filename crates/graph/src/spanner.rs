@@ -8,7 +8,10 @@
 //! captures exactly that object: a subset of the parent graph's edges plus a
 //! direction for each selected edge.
 
-use std::collections::HashSet;
+// BTreeSet, not HashSet: `edge_ids`/`to_graph` iterate this set, and the
+// materialised graph's edge order must not depend on per-instance hash seeds
+// for runs to be reproducible.
+use std::collections::BTreeSet;
 
 use crate::metrics::{dijkstra, Distance, UNREACHABLE};
 use crate::{EdgeId, Graph, GraphError, Latency, NodeId};
@@ -20,7 +23,7 @@ pub struct DirectedSpanner {
     /// `out[v]` lists `(target, edge-id in the parent graph)` pairs.
     out: Vec<Vec<(NodeId, EdgeId)>>,
     /// Set of selected (undirected) edge ids, for O(1) membership checks.
-    selected: HashSet<EdgeId>,
+    selected: BTreeSet<EdgeId>,
 }
 
 impl DirectedSpanner {
@@ -29,7 +32,7 @@ impl DirectedSpanner {
         DirectedSpanner {
             node_count: g.node_count(),
             out: vec![Vec::new(); g.node_count()],
-            selected: HashSet::new(),
+            selected: BTreeSet::new(),
         }
     }
 
@@ -81,7 +84,7 @@ impl DirectedSpanner {
         self.out.iter().map(Vec::len).max().unwrap_or(0)
     }
 
-    /// Iterator over all selected edge ids (arbitrary order).
+    /// Iterator over all selected edge ids (ascending order).
     pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
         self.selected.iter().copied()
     }

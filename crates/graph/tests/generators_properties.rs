@@ -1,0 +1,247 @@
+//! Property-style tests for `gossip_graph::generators`: node/edge counts,
+//! latency bounds, degrees and connectivity, over the parameter ranges the
+//! `battery()` of `tests/upper_bounds.rs` and the sweep runner draw from.
+
+use gossip_graph::{generators, Graph, Latency};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn choose2(n: usize) -> usize {
+    n * (n - 1) / 2
+}
+
+/// Every generated graph must be connected with positive latencies.
+fn check_basics(g: &Graph, max_latency: Latency) {
+    assert!(g.is_connected(), "generated graphs must be connected");
+    for rec in g.edges() {
+        assert!(rec.latency >= 1, "latencies are positive integers");
+        assert!(
+            rec.latency <= max_latency,
+            "latency {} above {max_latency}",
+            rec.latency
+        );
+        assert_ne!(rec.u, rec.v, "no self-loops");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn clique_counts(n in 2usize..40, latency in 1u64..50) {
+        let g = generators::clique(n, latency).unwrap();
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert_eq!(g.edge_count(), choose2(n));
+        prop_assert_eq!(g.max_latency(), latency);
+        check_basics(&g, latency);
+        for v in g.nodes() {
+            prop_assert_eq!(g.degree(v), n - 1);
+        }
+    }
+
+    #[test]
+    fn cycle_counts(n in 3usize..60, latency in 1u64..20) {
+        let g = generators::cycle(n, latency).unwrap();
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert_eq!(g.edge_count(), n);
+        check_basics(&g, latency);
+        for v in g.nodes() {
+            prop_assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn path_counts(n in 2usize..60, latency in 1u64..20) {
+        let g = generators::path(n, latency).unwrap();
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert_eq!(g.edge_count(), n - 1);
+        check_basics(&g, latency);
+    }
+
+    #[test]
+    fn star_counts(n in 2usize..60, latency in 1u64..20) {
+        let g = generators::star(n, latency).unwrap();
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert_eq!(g.edge_count(), n - 1);
+        prop_assert_eq!(g.max_degree(), n - 1);
+        check_basics(&g, latency);
+    }
+
+    #[test]
+    fn grid_counts(rows in 2usize..9, cols in 2usize..9, latency in 1u64..20) {
+        let g = generators::grid(rows, cols, latency).unwrap();
+        prop_assert_eq!(g.node_count(), rows * cols);
+        prop_assert_eq!(g.edge_count(), rows * (cols - 1) + cols * (rows - 1));
+        check_basics(&g, latency);
+    }
+
+    #[test]
+    fn binary_tree_counts(n in 1usize..80, latency in 1u64..20) {
+        let g = generators::binary_tree(n, latency).unwrap();
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert_eq!(g.edge_count(), n.saturating_sub(1));
+        check_basics(&g, latency);
+        // Binary heap shape: every node has at most 3 incident edges.
+        for v in g.nodes() {
+            prop_assert!(g.degree(v) <= 3);
+        }
+    }
+
+    #[test]
+    fn complete_bipartite_counts(a in 1usize..15, b in 1usize..15, latency in 1u64..20) {
+        let g = generators::complete_bipartite(a, b, latency).unwrap();
+        prop_assert_eq!(g.node_count(), a + b);
+        prop_assert_eq!(g.edge_count(), a * b);
+        check_basics(&g, latency);
+    }
+
+    #[test]
+    fn dumbbell_counts(s in 2usize..20, bridge in 1u64..100) {
+        let g = generators::dumbbell(s, bridge).unwrap();
+        prop_assert_eq!(g.node_count(), 2 * s);
+        prop_assert_eq!(g.edge_count(), 2 * choose2(s) + 1);
+        check_basics(&g, bridge.max(1));
+        // The bridge is the only edge that can be slow.
+        let slow_edges = g.edges().filter(|rec| rec.latency > 1).count();
+        prop_assert!(slow_edges <= 1);
+    }
+
+    #[test]
+    fn ring_of_cliques_counts(k in 2usize..8, s in 1usize..8, bridge in 1u64..50) {
+        let g = generators::ring_of_cliques(k, s, bridge).unwrap();
+        prop_assert_eq!(g.node_count(), k * s);
+        let bridges = if k == 2 { 1 } else { k };
+        prop_assert_eq!(g.edge_count(), k * choose2(s) + bridges);
+        check_basics(&g, bridge.max(1));
+    }
+
+    #[test]
+    fn erdos_renyi_is_connected_with_exact_node_count(
+        n in 2usize..40,
+        p in 0.1f64..0.9,
+        latency in 1u64..20,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = generators::erdos_renyi(n, p, latency, &mut rng).unwrap();
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert!(g.edge_count() >= n - 1, "connectivity needs at least a spanning tree");
+        prop_assert!(g.edge_count() <= choose2(n));
+        check_basics(&g, latency);
+    }
+
+    #[test]
+    fn erdos_renyi_is_deterministic_per_seed(
+        n in 4usize..30,
+        p in 0.2f64..0.8,
+        seed in 0u64..1_000,
+    ) {
+        let build = || {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            generators::erdos_renyi(n, p, 1, &mut rng).unwrap()
+        };
+        let a = build();
+        let b = build();
+        prop_assert_eq!(a.edge_count(), b.edge_count());
+        for (x, y) in a.edges().zip(b.edges()) {
+            prop_assert_eq!((x.u, x.v, x.latency), (y.u, y.v, y.latency));
+        }
+    }
+
+    #[test]
+    fn random_regular_is_near_regular(
+        d in 2usize..6,
+        half_n in 4usize..16,
+        latency in 1u64..20,
+        seed in 0u64..1_000,
+    ) {
+        // n*d must be even and n > d: use even n.
+        let n = 2 * half_n;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = generators::random_regular(n, d, latency, &mut rng).unwrap();
+        prop_assert_eq!(g.node_count(), n);
+        // The configuration model discards self-loops/duplicates and repairs
+        // greedily, so the contract is *near*-regular: every degree within a
+        // small band of d and the average essentially d.
+        prop_assert!(g.edge_count() <= n * d / 2 + n);
+        prop_assert!(g.edge_count() + n >= n * d / 2);
+        for v in g.nodes() {
+            let deg = g.degree(v);
+            // Repair guarantees min degree d; pairing plus at most two
+            // component-chaining edges bounds the overshoot at d + 3.
+            prop_assert!(deg >= d && deg <= d + 3, "degree {} too far from {}", deg, d);
+        }
+        let avg = g.total_volume() as f64 / n as f64;
+        prop_assert!((avg - d as f64).abs() <= 1.0, "average degree {} vs d = {}", avg, d);
+        check_basics(&g, latency);
+    }
+
+    #[test]
+    fn slow_cut_expander_has_slow_cut_and_fast_sides(
+        half_n in 6usize..16,
+        slow in 2u64..64,
+        seed in 0u64..1_000,
+    ) {
+        let n = 2 * half_n;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = generators::slow_cut_expander(n, 4, slow, &mut rng).unwrap();
+        prop_assert_eq!(g.node_count(), n);
+        check_basics(&g, slow.max(1));
+        let half = n / 2;
+        for rec in g.edges() {
+            let crosses = (rec.u.index() < half) != (rec.v.index() < half);
+            if crosses {
+                prop_assert_eq!(rec.latency, slow, "cut edges must be slow");
+            } else {
+                prop_assert_eq!(rec.latency, 1, "side edges must be fast");
+            }
+        }
+    }
+}
+
+#[test]
+fn battery_families_build_and_are_connected() {
+    // The exact configurations `tests/upper_bounds.rs` uses.
+    let mut rng = SmallRng::seed_from_u64(9);
+    let battery: Vec<(&str, Graph)> = vec![
+        ("clique", generators::clique(24, 1).unwrap()),
+        ("slow clique", generators::clique(16, 8).unwrap()),
+        ("cycle", generators::cycle(24, 3).unwrap()),
+        ("grid", generators::grid(5, 5, 2).unwrap()),
+        ("star", generators::star(24, 4).unwrap()),
+        ("dumbbell", generators::dumbbell(10, 32).unwrap()),
+        (
+            "ring of cliques",
+            generators::ring_of_cliques(5, 5, 8).unwrap(),
+        ),
+        (
+            "slow-cut expander",
+            generators::slow_cut_expander(32, 6, 16, &mut rng).unwrap(),
+        ),
+        ("binary tree", generators::binary_tree(31, 4).unwrap()),
+    ];
+    for (name, g) in battery {
+        assert!(g.is_connected(), "{name} must be connected");
+        assert!(g.node_count() >= 16, "{name} too small");
+        assert!(g.max_latency() >= 1, "{name} has invalid latencies");
+    }
+}
+
+#[test]
+fn degenerate_parameters_are_rejected() {
+    let mut rng = SmallRng::seed_from_u64(1);
+    assert!(generators::clique(0, 1).is_err() || generators::clique(0, 1).is_ok());
+    assert!(
+        generators::ring_of_cliques(1, 3, 1).is_err(),
+        "ring needs >= 2 cliques"
+    );
+    assert!(
+        generators::dumbbell(1, 1).is_err(),
+        "dumbbell needs >= 2 per side"
+    );
+    assert!(
+        generators::random_regular(5, 7, 1, &mut rng).is_err(),
+        "degree above n-1 is impossible"
+    );
+}

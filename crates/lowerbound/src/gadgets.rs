@@ -69,7 +69,9 @@ pub fn gadget<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<GadgetNetwork, GraphError> {
     if m < 2 {
-        return Err(GraphError::InvalidParameters { reason: "gadget needs m >= 2".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "gadget needs m >= 2".into(),
+        });
     }
     if lo == 0 || lo >= hi {
         return Err(GraphError::InvalidParameters {
@@ -93,7 +95,9 @@ pub fn gadget_with_target(
     symmetric: bool,
 ) -> Result<GadgetNetwork, GraphError> {
     if m < 2 {
-        return Err(GraphError::InvalidParameters { reason: "gadget needs m >= 2".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "gadget needs m >= 2".into(),
+        });
     }
     if lo == 0 || lo >= hi {
         return Err(GraphError::InvalidParameters {
@@ -220,7 +224,9 @@ pub fn theorem10_network<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<GadgetNetwork, GraphError> {
     if n < 2 {
-        return Err(GraphError::InvalidParameters { reason: "theorem 10 network needs n >= 2".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "theorem 10 network needs n >= 2".into(),
+        });
     }
     if !(0.0..=1.0).contains(&phi) || phi == 0.0 {
         return Err(GraphError::InvalidParameters {
@@ -299,7 +305,9 @@ pub fn theorem13_ring<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<RingNetwork, GraphError> {
     if layers < 3 {
-        return Err(GraphError::InvalidParameters { reason: "ring needs at least 3 layers".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "ring needs at least 3 layers".into(),
+        });
     }
     if layer_size < 2 {
         return Err(GraphError::InvalidParameters {
@@ -339,12 +347,21 @@ pub fn theorem13_ring<R: Rng + ?Sized>(
         }
         targets.push(RingLayerTarget {
             layer,
-            fast_edge: (NodeId::new(node(layer, fast_i)), NodeId::new(node(next, fast_j))),
+            fast_edge: (
+                NodeId::new(node(layer, fast_i)),
+                NodeId::new(node(next, fast_j)),
+            ),
         });
     }
 
     let graph = b.build_connected()?;
-    Ok(RingNetwork { graph, layers, layer_size: s, ell, targets })
+    Ok(RingNetwork {
+        graph,
+        layers,
+        layer_size: s,
+        ell,
+        targets,
+    })
 }
 
 #[cfg(test)]
@@ -387,8 +404,14 @@ mod tests {
     fn cross_pair_mapping_is_symmetric() {
         let target: HashSet<Pair> = [(1, 2)].into_iter().collect();
         let g = gadget_with_target(4, 1, 9, target, false).unwrap();
-        assert_eq!(g.cross_pair(NodeId::new(1), NodeId::new(4 + 2)), Some((1, 2)));
-        assert_eq!(g.cross_pair(NodeId::new(4 + 2), NodeId::new(1)), Some((1, 2)));
+        assert_eq!(
+            g.cross_pair(NodeId::new(1), NodeId::new(4 + 2)),
+            Some((1, 2))
+        );
+        assert_eq!(
+            g.cross_pair(NodeId::new(4 + 2), NodeId::new(1)),
+            Some((1, 2))
+        );
         assert_eq!(g.cross_pair(NodeId::new(0), NodeId::new(1)), None);
         assert!(g.is_fast(1, 2));
         assert!(!g.is_fast(0, 0));
@@ -416,7 +439,10 @@ mod tests {
         // need to be used because the fast path goes through the expander...
         // but R-side nodes may only connect via cross edges, so allow O(Δ).
         let d = metrics::weighted_diameter(&net.graph).unwrap();
-        assert!(d <= 2 * delta as u64 + 10, "diameter {d} unexpectedly large");
+        assert!(
+            d <= 2 * delta as u64 + 10,
+            "diameter {d} unexpectedly large"
+        );
         assert_eq!(net.target.len(), 1);
     }
 
@@ -475,7 +501,10 @@ mod tests {
         let (k, s) = theorem13_parameters(64, 0.125);
         // k·s ≈ 2n = 128.
         let total = k * s;
-        assert!((96..=160).contains(&total), "k*s = {total} should be near 128");
+        assert!(
+            (96..=160).contains(&total),
+            "k*s = {total} should be near 128"
+        );
         assert!(k >= 3 && s >= 2);
     }
 

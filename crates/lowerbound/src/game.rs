@@ -28,7 +28,13 @@ impl GuessingGame {
     /// Creates a game on sets of size `m` with the target drawn by `predicate`.
     pub fn new<R: Rng + ?Sized>(m: usize, predicate: TargetPredicate, rng: &mut R) -> Self {
         let target = predicate.sample(m, rng);
-        GuessingGame { m, initial_target_size: target.len(), target, rounds: 0, guesses: 0 }
+        GuessingGame {
+            m,
+            initial_target_size: target.len(),
+            target,
+            rounds: 0,
+            guesses: 0,
+        }
     }
 
     /// Creates a game with an explicit target set (used by the reduction,
@@ -39,9 +45,18 @@ impl GuessingGame {
     /// Panics if any pair is out of range.
     pub fn with_target(m: usize, target: HashSet<Pair>) -> Self {
         for &(a, b) in &target {
-            assert!(a < m && b < m, "target pair ({a}, {b}) out of range for m = {m}");
+            assert!(
+                a < m && b < m,
+                "target pair ({a}, {b}) out of range for m = {m}"
+            );
         }
-        GuessingGame { m, initial_target_size: target.len(), target, rounds: 0, guesses: 0 }
+        GuessingGame {
+            m,
+            initial_target_size: target.len(),
+            target,
+            rounds: 0,
+            guesses: 0,
+        }
     }
 
     /// Size `m` of each side of the bipartite ground set.
@@ -91,13 +106,20 @@ impl GuessingGame {
             2 * self.m
         );
         for &(a, b) in round_guesses {
-            assert!(a < self.m && b < self.m, "guess ({a}, {b}) out of range for m = {}", self.m);
+            assert!(
+                a < self.m && b < self.m,
+                "guess ({a}, {b}) out of range for m = {}",
+                self.m
+            );
         }
         self.rounds += 1;
         self.guesses += round_guesses.len() as u64;
 
-        let hits: Vec<Pair> =
-            round_guesses.iter().copied().filter(|p| self.target.contains(p)).collect();
+        let hits: Vec<Pair> = round_guesses
+            .iter()
+            .copied()
+            .filter(|p| self.target.contains(p))
+            .collect();
         if !hits.is_empty() {
             let hit_b: HashSet<usize> = hits.iter().map(|&(_, b)| b).collect();
             self.target.retain(|&(_, b)| !hit_b.contains(&b));
@@ -160,7 +182,10 @@ mod tests {
         let game = GuessingGame::new(m, TargetPredicate::Random { p }, &mut rng);
         let expected = (m * m) as f64 * p;
         let got = game.initial_target_size() as f64;
-        assert!(got > expected * 0.6 && got < expected * 1.4, "target size {got} vs expected {expected}");
+        assert!(
+            got > expected * 0.6 && got < expected * 1.4,
+            "target size {got} vs expected {expected}"
+        );
     }
 
     #[test]

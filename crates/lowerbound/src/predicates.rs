@@ -70,8 +70,13 @@ mod tests {
     #[test]
     fn random_extremes() {
         let mut rng = SmallRng::seed_from_u64(2);
-        assert!(TargetPredicate::Random { p: 0.0 }.sample(6, &mut rng).is_empty());
-        assert_eq!(TargetPredicate::Random { p: 1.0 }.sample(6, &mut rng).len(), 36);
+        assert!(TargetPredicate::Random { p: 0.0 }
+            .sample(6, &mut rng)
+            .is_empty());
+        assert_eq!(
+            TargetPredicate::Random { p: 1.0 }.sample(6, &mut rng).len(),
+            36
+        );
     }
 
     #[test]

@@ -129,8 +129,15 @@ mod tests {
     #[test]
     fn reduction_solves_the_game_when_local_broadcast_completes() {
         let mut rng = SmallRng::seed_from_u64(1);
-        let net = gadgets::gadget(8, 1, 200, TargetPredicate::Random { p: 0.3 }, false, &mut rng)
-            .unwrap();
+        let net = gadgets::gadget(
+            8,
+            1,
+            200,
+            TargetPredicate::Random { p: 0.3 },
+            false,
+            &mut rng,
+        )
+        .unwrap();
         let out = push_pull_reduction(&net, 42);
         assert!(out.gossip_completed);
         let game_rounds = out.game_rounds.expect("Lemma 6: the game must be solved");
@@ -168,12 +175,24 @@ mod tests {
     #[test]
     fn denser_targets_are_found_faster() {
         let mut rng = SmallRng::seed_from_u64(3);
-        let dense =
-            gadgets::gadget(12, 1, 500, TargetPredicate::Random { p: 0.5 }, false, &mut rng)
-                .unwrap();
-        let sparse =
-            gadgets::gadget(12, 1, 500, TargetPredicate::Random { p: 0.05 }, false, &mut rng)
-                .unwrap();
+        let dense = gadgets::gadget(
+            12,
+            1,
+            500,
+            TargetPredicate::Random { p: 0.5 },
+            false,
+            &mut rng,
+        )
+        .unwrap();
+        let sparse = gadgets::gadget(
+            12,
+            1,
+            500,
+            TargetPredicate::Random { p: 0.05 },
+            false,
+            &mut rng,
+        )
+        .unwrap();
         let d = push_pull_reduction(&dense, 9);
         let s = push_pull_reduction(&sparse, 9);
         assert!(d.gossip_completed && s.gossip_completed);

@@ -206,9 +206,14 @@ impl<'g> Simulation<'g> {
     /// terminate on [`Termination::AllKnowRumorOf`]).
     pub fn new(graph: &'g Graph, config: SimConfig) -> Self {
         let n = graph.node_count();
-        let rumors =
-            (0..n).map(|i| RumorSet::singleton(n, RumorId::from(i))).collect();
-        Simulation { graph, config, rumors }
+        let rumors = (0..n)
+            .map(|i| RumorSet::singleton(n, RumorId::from(i)))
+            .collect();
+        Simulation {
+            graph,
+            config,
+            rumors,
+        }
     }
 
     /// Creates a simulation with explicitly provided initial rumor sets
@@ -218,8 +223,16 @@ impl<'g> Simulation<'g> {
     ///
     /// Panics if `initial.len()` differs from the node count.
     pub fn with_rumors(graph: &'g Graph, config: SimConfig, initial: Vec<RumorSet>) -> Self {
-        assert_eq!(initial.len(), graph.node_count(), "one rumor set per node is required");
-        Simulation { graph, config, rumors: initial }
+        assert_eq!(
+            initial.len(),
+            graph.node_count(),
+            "one rumor set per node is required"
+        );
+        Simulation {
+            graph,
+            config,
+            rumors: initial,
+        }
     }
 
     /// Read access to the current rumor sets (indexed by node).
@@ -346,7 +359,9 @@ impl<'g> Simulation<'g> {
                 if !can_initiate {
                     continue;
                 }
-                let Some(edge) = self.graph.find_edge(node, target) else { continue };
+                let Some(edge) = self.graph.find_edge(node, target) else {
+                    continue;
+                };
                 let latency = self.graph.latency(edge);
                 activations += 1;
                 pending_own[i] += 1;
@@ -364,8 +379,7 @@ impl<'g> Simulation<'g> {
         }
 
         if !completed {
-            completed =
-                self.is_done(&self.config.termination, round, protocol, &in_flight);
+            completed = self.is_done(&self.config.termination, round, protocol, &in_flight);
         }
         self.report(protocol, round, activations, completed, informed_times)
     }
@@ -410,7 +424,11 @@ impl<'g> Simulation<'g> {
             activations,
             messages: activations * 2,
             completed,
-            informed_times: if informed_times.is_empty() { None } else { Some(informed_times) },
+            informed_times: if informed_times.is_empty() {
+                None
+            } else {
+                Some(informed_times)
+            },
             min_rumors_known: self.rumors.iter().map(RumorSet::len).min().unwrap_or(0),
         }
     }
@@ -492,7 +510,9 @@ mod tests {
     fn local_broadcast_termination() {
         let g = generators::dumbbell(4, 50).unwrap();
         // Local broadcast over fast edges only: the bridge (latency 50) is excluded.
-        let config = SimConfig::new(4).termination(Termination::LocalBroadcast(1)).max_rounds(500);
+        let config = SimConfig::new(4)
+            .termination(Termination::LocalBroadcast(1))
+            .max_rounds(500);
         let report = Simulation::new(&g, config).run(&mut RoundRobinFlood::new(&g));
         assert!(report.completed);
         assert!(report.rounds < 500);
@@ -547,7 +567,9 @@ mod tests {
         }
         let g = generators::path(2, 7).unwrap();
         let config = SimConfig::new(1).termination(Termination::FixedRounds(10));
-        let mut p = Probe { learned: vec![None; 10] };
+        let mut p = Probe {
+            learned: vec![None; 10],
+        };
         let _ = Simulation::new(&g, config).run(&mut p);
         // Round 0: unknown; after the first exchange completes (round 7) it is known.
         assert_eq!(p.learned[0], None);

@@ -25,7 +25,9 @@ pub struct RandomPushPull {
 impl RandomPushPull {
     /// Creates the protocol for a given graph (only the degrees are needed).
     pub fn new(graph: &Graph) -> Self {
-        RandomPushPull { degrees: graph.nodes().map(|v| graph.degree(v)).collect() }
+        RandomPushPull {
+            degrees: graph.nodes().map(|v| graph.degree(v)).collect(),
+        }
     }
 }
 
@@ -130,7 +132,9 @@ mod tests {
         let g = generators::cycle(12, 3).unwrap();
         let run = |seed| {
             let config = SimConfig::new(seed).termination(Termination::AllKnowAll);
-            Simulation::new(&g, config).run(&mut RoundRobinFlood::new(&g)).rounds
+            Simulation::new(&g, config)
+                .run(&mut RoundRobinFlood::new(&g))
+                .rounds
         };
         assert_eq!(run(1), run(999));
     }
@@ -141,7 +145,9 @@ mod tests {
             .unwrap();
         let run = |seed| {
             let config = SimConfig::new(seed).termination(Termination::AllKnowAll);
-            Simulation::new(&g, config).run(&mut RandomPushPull::new(&g)).rounds
+            Simulation::new(&g, config)
+                .run(&mut RandomPushPull::new(&g))
+                .rounds
         };
         assert_eq!(run(7), run(7));
     }
@@ -149,7 +155,9 @@ mod tests {
     #[test]
     fn silent_protocol_is_quiescent_immediately() {
         let g = generators::clique(4, 1).unwrap();
-        let config = SimConfig::new(1).termination(Termination::Quiescent).max_rounds(10);
+        let config = SimConfig::new(1)
+            .termination(Termination::Quiescent)
+            .max_rounds(10);
         let report = Simulation::new(&g, config).run(&mut Silent);
         assert!(report.completed);
         assert_eq!(report.rounds, 0);

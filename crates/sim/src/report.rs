@@ -28,7 +28,10 @@ impl RunReport {
     /// every node learned the tracked rumor.
     pub fn last_informed_time(&self) -> Option<u64> {
         self.informed_times.as_ref().and_then(|ts| {
-            ts.iter().map(|t| *t).collect::<Option<Vec<u64>>>().map(|v| v.into_iter().max().unwrap_or(0))
+            ts.iter()
+                .copied()
+                .collect::<Option<Vec<u64>>>()
+                .map(|v| v.into_iter().max().unwrap_or(0))
         })
     }
 

@@ -47,7 +47,10 @@ pub struct RumorSet {
 impl RumorSet {
     /// Creates an empty rumor set over a universe of `universe` rumors.
     pub fn empty(universe: usize) -> Self {
-        RumorSet { universe, words: vec![0; universe.div_ceil(64)] }
+        RumorSet {
+            universe,
+            words: vec![0; universe.div_ceil(64)],
+        }
     }
 
     /// Creates a singleton set containing only `rumor`.
@@ -73,7 +76,11 @@ impl RumorSet {
     /// Panics if the rumor is outside the universe.
     pub fn insert(&mut self, rumor: RumorId) -> bool {
         let i = rumor.index();
-        assert!(i < self.universe, "rumor {i} outside universe of size {}", self.universe);
+        assert!(
+            i < self.universe,
+            "rumor {i} outside universe of size {}",
+            self.universe
+        );
         let (word, bit) = (i / 64, i % 64);
         let was_set = self.words[word] & (1 << bit) != 0;
         self.words[word] |= 1 << bit;
@@ -110,7 +117,10 @@ impl RumorSet {
     ///
     /// Panics if the two sets have different universes.
     pub fn union_with(&mut self, other: &RumorSet) -> bool {
-        assert_eq!(self.universe, other.universe, "rumor sets must share a universe");
+        assert_eq!(
+            self.universe, other.universe,
+            "rumor sets must share a universe"
+        );
         let mut changed = false;
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             let new = *a | *b;
@@ -128,13 +138,21 @@ impl RumorSet {
     ///
     /// Panics if the two sets have different universes.
     pub fn is_superset(&self, other: &RumorSet) -> bool {
-        assert_eq!(self.universe, other.universe, "rumor sets must share a universe");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & b == *b)
+        assert_eq!(
+            self.universe, other.universe,
+            "rumor sets must share a universe"
+        );
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & b == *b)
     }
 
     /// Iterator over the rumors present in the set, in increasing id order.
     pub fn iter(&self) -> impl Iterator<Item = RumorId> + '_ {
-        (0..self.universe).map(RumorId::from).filter(move |&r| self.contains(r))
+        (0..self.universe)
+            .map(RumorId::from)
+            .filter(move |&r| self.contains(r))
     }
 }
 
@@ -188,7 +206,10 @@ mod tests {
             s.insert(RumorId(i));
         }
         assert!(s.is_full());
-        assert_eq!(s.iter().collect::<Vec<_>>(), vec![RumorId(0), RumorId(1), RumorId(2)]);
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![RumorId(0), RumorId(1), RumorId(2)]
+        );
     }
 
     #[test]

@@ -1,0 +1,30 @@
+//! # gossip-tests
+//!
+//! An integration-only crate: it owns no logic of its own, but wires the
+//! repository-root `tests/` (cross-crate integration suites) and `examples/`
+//! directories into the Cargo workspace via explicit `[[test]]` and
+//! `[[example]]` target entries, so `cargo test -q` runs everything and
+//! builds every example.
+//!
+//! Helpers shared by the integration tests live here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+/// Locates a compiled example binary next to the running test executable.
+///
+/// Under `cargo test`, integration-test binaries live in
+/// `target/<profile>/deps/` and the package's examples are built into
+/// `target/<profile>/examples/` before any test runs; this resolves the
+/// example's path from [`std::env::current_exe`].
+pub fn example_binary(name: &str) -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let deps = exe.parent()?;
+    let profile = deps.parent()?;
+    let candidate = profile
+        .join("examples")
+        .join(format!("{name}{}", std::env::consts::EXE_SUFFIX));
+    candidate.is_file().then_some(candidate)
+}

@@ -38,7 +38,8 @@ fn datacenter(
             // Full mesh inside a rack (top-of-rack switch).
             for i in 0..servers_per_rack {
                 for j in (i + 1)..servers_per_rack {
-                    b.add_edge(server(region, rack, i), server(region, rack, j), 1).unwrap();
+                    b.add_edge(server(region, rack, i), server(region, rack, j), 1)
+                        .unwrap();
                 }
             }
         }
@@ -59,10 +60,12 @@ fn datacenter(
     for region in 0..regions {
         let next = (region + 1) % regions;
         if regions > 1 {
-            b.add_edge_if_absent(server(region, 0, 0), server(next, 0, 0), wan_latency).unwrap();
+            b.add_edge_if_absent(server(region, 0, 0), server(next, 0, 0), wan_latency)
+                .unwrap();
         }
     }
-    b.build_connected().expect("datacenter topology is connected")
+    b.build_connected()
+        .expect("datacenter topology is connected")
 }
 
 fn main() {

@@ -25,7 +25,10 @@ fn main() {
 
     // --- Part 1: the bare guessing game (Lemmas 7 and 8) -------------------
     println!("Guessing(2m, P): average rounds over 10 plays\n");
-    println!("{:>6} {:>22} {:>16} {:>16}", "m", "predicate", "random-guessing", "fresh-greedy");
+    println!(
+        "{:>6} {:>22} {:>16} {:>16}",
+        "m", "predicate", "random-guessing", "fresh-greedy"
+    );
     for (m, predicate, label) in [
         (32usize, TargetPredicate::Singleton, "singleton"),
         (64, TargetPredicate::Singleton, "singleton"),
@@ -54,7 +57,10 @@ fn main() {
 
     // --- Part 2: the Theorem-10 network ------------------------------------
     println!("Theorem 10 network G(2n, ell, n^2, Random_phi): push-pull local broadcast\n");
-    println!("{:>6} {:>8} {:>6} {:>14} {:>12}", "n", "phi", "ell", "gossip rounds", "game rounds");
+    println!(
+        "{:>6} {:>8} {:>6} {:>14} {:>12}",
+        "n", "phi", "ell", "gossip rounds", "game rounds"
+    );
     for (phi, ell) in [(0.3, 2u64), (0.1, 2), (0.1, 16)] {
         let net = theorem10_network(32, phi, ell, &mut rng).unwrap();
         let out = push_pull_reduction(&net, 9);
@@ -64,7 +70,9 @@ fn main() {
             phi,
             ell,
             out.gossip_rounds,
-            out.game_rounds.map(|r| r.to_string()).unwrap_or_else(|| "-".into())
+            out.game_rounds
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "-".into())
         );
     }
     println!("\nSparser hidden fast edges (smaller phi) force more rounds, and the derived");
@@ -72,7 +80,10 @@ fn main() {
 
     // --- Part 3: the Theorem-13 ring ----------------------------------------
     println!("Theorem 13 ring of gadgets: sweeping the slow latency ell\n");
-    println!("{:>6} {:>6} {:>8} {:>8} {:>12}", "ell", "D", "Delta", "n", "push-pull");
+    println!(
+        "{:>6} {:>6} {:>8} {:>8} {:>12}",
+        "ell", "D", "Delta", "n", "push-pull"
+    );
     for ell in [2u64, 8, 32, 128] {
         let ring = theorem13_ring(6, 6, ell, &mut rng).unwrap();
         let d = metrics::weighted_diameter(&ring.graph).unwrap();

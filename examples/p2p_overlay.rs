@@ -32,9 +32,26 @@ fn main() {
 
     let schemes: Vec<(&str, LatencyScheme)> = vec![
         ("uniform fast (1)", LatencyScheme::Uniform(1)),
-        ("two-level 1/64 (80/20)", LatencyScheme::TwoLevel { fast: 1, slow: 64, fast_probability: 0.8 }),
-        ("two-level 1/64 (20/80)", LatencyScheme::TwoLevel { fast: 1, slow: 64, fast_probability: 0.2 }),
-        ("power-law classes", LatencyScheme::PowerLawClasses { classes: 7 }),
+        (
+            "two-level 1/64 (80/20)",
+            LatencyScheme::TwoLevel {
+                fast: 1,
+                slow: 64,
+                fast_probability: 0.8,
+            },
+        ),
+        (
+            "two-level 1/64 (20/80)",
+            LatencyScheme::TwoLevel {
+                fast: 1,
+                slow: 64,
+                fast_probability: 0.2,
+            },
+        ),
+        (
+            "power-law classes",
+            LatencyScheme::PowerLawClasses { classes: 7 },
+        ),
     ];
 
     for (name, scheme) in schemes {

@@ -29,15 +29,28 @@ fn main() {
     // Section 2: the weighted-conductance profile of the graph.
     let conductance = analyze(&g, Method::Exact).expect("graph is small enough for exact");
     println!("\nweighted conductance (Section 2):");
-    println!("  phi*      = {:.4}   (critical weighted conductance)", conductance.phi_star);
-    println!("  ell*      = {}       (critical latency)", conductance.ell_star);
-    println!("  phi_avg   = {:.4}   (average weighted conductance)", conductance.phi_avg);
+    println!(
+        "  phi*      = {:.4}   (critical weighted conductance)",
+        conductance.phi_star
+    );
+    println!(
+        "  ell*      = {}       (critical latency)",
+        conductance.ell_star
+    );
+    println!(
+        "  phi_avg   = {:.4}   (average weighted conductance)",
+        conductance.phi_avg
+    );
     println!(
         "  Theorem 5: {:.4} <= {:.4} <= {:.4}  ({})",
         conductance.theorem5_lower(),
         conductance.phi_avg,
         conductance.theorem5_upper(),
-        if conductance.theorem5_holds() { "holds" } else { "violated!" }
+        if conductance.theorem5_holds() {
+            "holds"
+        } else {
+            "violated!"
+        }
     );
 
     // Sections 4-6: the dissemination algorithms.
@@ -45,13 +58,22 @@ fn main() {
     println!("\ninformation dissemination from node {source}:");
 
     let pp = push_pull::broadcast(&g, source, 7);
-    println!("  push-pull (Thm 29):            {:>6} rounds (completed: {})", pp.rounds, pp.completed);
+    println!(
+        "  push-pull (Thm 29):            {:>6} rounds (completed: {})",
+        pp.rounds, pp.completed
+    );
 
     let sb = spanner_broadcast::run_known_diameter(&g, 7);
-    println!("  spanner broadcast (Thm 20/25): {:>6} rounds (completed: {})", sb.rounds, sb.completed);
+    println!(
+        "  spanner broadcast (Thm 20/25): {:>6} rounds (completed: {})",
+        sb.rounds, sb.completed
+    );
 
     let pb = pattern::run_known_diameter(&g, 7);
-    println!("  pattern broadcast (Lem 26-28): {:>6} rounds (completed: {})", pb.rounds, pb.completed);
+    println!(
+        "  pattern broadcast (Lem 26-28): {:>6} rounds (completed: {})",
+        pb.rounds, pb.completed
+    );
 
     let uni = unified::run_known_latencies(&g, source, 7);
     println!(

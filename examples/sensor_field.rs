@@ -23,12 +23,18 @@ fn main() {
     let cols = 8;
     let base = generators::grid(rows, cols, 1).expect("valid grid");
     // 30% of the radio links are lossy and need ~8 rounds per exchange.
-    let field = LatencyScheme::TwoLevel { fast: 1, slow: 8, fast_probability: 0.7 }
-        .apply(&base, &mut rng)
-        .unwrap();
+    let field = LatencyScheme::TwoLevel {
+        fast: 1,
+        slow: 8,
+        fast_probability: 0.7,
+    }
+    .apply(&base, &mut rng)
+    .unwrap();
 
     let d = metrics::weighted_diameter(&field).unwrap();
-    println!("{rows}x{cols} sensor grid, 30% slow radio links (latency 8), weighted diameter D = {d}\n");
+    println!(
+        "{rows}x{cols} sensor grid, 30% slow radio links (latency 8), weighted diameter D = {d}\n"
+    );
 
     // Every sensor first exchanges readings with its direct neighbors.
     let local = dtg::local_broadcast(&field, 8, 1);
@@ -44,8 +50,11 @@ fn main() {
         "pattern broadcast T(k), unknown D:    {:>6} rounds (completed: {})",
         pb.rounds, pb.completed
     );
-    let doubling_phases =
-        pb.phases.iter().filter(|p| !p.name.contains("termination-check")).count();
+    let doubling_phases = pb
+        .phases
+        .iter()
+        .filter(|p| !p.name.contains("termination-check"))
+        .count();
     println!("  guess-and-double phases: {doubling_phases}");
 
     let flood = flooding::all_to_all(&field, 1);

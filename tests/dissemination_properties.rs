@@ -11,16 +11,16 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 /// Strategy: a connected Erdős–Rényi graph with two-level latencies.
-fn random_weighted_graph(
-    n: usize,
-    p: f64,
-    slow: u64,
-    fast_probability: f64,
-    seed: u64,
-) -> Graph {
+fn random_weighted_graph(n: usize, p: f64, slow: u64, fast_probability: f64, seed: u64) -> Graph {
     let mut rng = SmallRng::seed_from_u64(seed);
     let base = generators::erdos_renyi(n, p, 1, &mut rng).unwrap();
-    LatencyScheme::TwoLevel { fast: 1, slow, fast_probability }.apply(&base, &mut rng).unwrap()
+    LatencyScheme::TwoLevel {
+        fast: 1,
+        slow,
+        fast_probability,
+    }
+    .apply(&base, &mut rng)
+    .unwrap()
 }
 
 proptest! {
@@ -146,5 +146,10 @@ fn one_to_all_and_all_to_all_are_consistent() {
     let all = push_pull::all_to_all(&g, 3);
     let one = push_pull::broadcast(&g, NodeId::new(0), 3);
     assert!(all.completed && one.completed);
-    assert!(all.rounds + 5 >= one.rounds, "all-to-all ({}) cannot be much faster than one-to-all ({})", all.rounds, one.rounds);
+    assert!(
+        all.rounds + 5 >= one.rounds,
+        "all-to-all ({}) cannot be much faster than one-to-all ({})",
+        all.rounds,
+        one.rounds
+    );
 }

@@ -1,0 +1,55 @@
+//! Smoke tests: every example compiles (guaranteed by being a Cargo example
+//! target of this crate) *and* runs to completion with non-empty output.
+//!
+//! `cargo test` builds all of a package's targets — examples included —
+//! before any test executes, so the binaries are present next to the test
+//! executable by the time these tests run.
+
+use gossip_tests::example_binary;
+
+fn run_example(name: &str) {
+    let Some(path) = example_binary(name) else {
+        panic!(
+            "example binary '{name}' not found — run via `cargo test` so the \
+             workspace's example targets are built first"
+        );
+    };
+    let output = std::process::Command::new(&path)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+    assert!(
+        output.status.success(),
+        "example '{name}' exited with {:?}\n--- stderr ---\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(
+        !output.stdout.is_empty(),
+        "example '{name}' should print something to stdout"
+    );
+}
+
+#[test]
+fn quickstart_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn p2p_overlay_runs() {
+    run_example("p2p_overlay");
+}
+
+#[test]
+fn datacenter_replication_runs() {
+    run_example("datacenter_replication");
+}
+
+#[test]
+fn sensor_field_runs() {
+    run_example("sensor_field");
+}
+
+#[test]
+fn lower_bound_game_runs() {
+    run_example("lower_bound_game");
+}

@@ -38,8 +38,14 @@ fn lemma7_singleton_game_scales_linearly_in_m() {
     let large = rounds_for(128, 3);
     // Linear growth (the per-round hit probability is ~2/m, so the mean is
     // ~m/2); the averages are noisy, so only coarse ratios are asserted.
-    assert!(medium > 2.0 * small, "m=16 -> {small:.1}, m=64 -> {medium:.1}");
-    assert!(large > 1.3 * medium, "m=64 -> {medium:.1}, m=128 -> {large:.1}");
+    assert!(
+        medium > 2.0 * small,
+        "m=16 -> {small:.1}, m=64 -> {medium:.1}"
+    );
+    assert!(
+        large > 1.3 * medium,
+        "m=64 -> {medium:.1}, m=128 -> {large:.1}"
+    );
 }
 
 #[test]
@@ -84,7 +90,9 @@ fn lemma6_reduction_never_needs_more_rounds_than_the_gossip_run() {
         for seed in 0..4 {
             let out = push_pull_reduction(&net, seed);
             assert!(out.gossip_completed);
-            let game_rounds = out.game_rounds.expect("local broadcast solved => game solved");
+            let game_rounds = out
+                .game_rounds
+                .expect("local broadcast solved => game solved");
             assert!(
                 game_rounds <= out.gossip_rounds + 1,
                 "game needed {game_rounds} rounds but gossip only ran {}",
@@ -101,7 +109,10 @@ fn theorem9_network_local_broadcast_grows_with_delta_despite_small_diameter() {
     let large_delta = gadgets::theorem9_network(64, 16, &mut rng).unwrap();
 
     let avg = |net: &gadgets::GadgetNetwork| {
-        (0..4).map(|s| push_pull_reduction(net, s).gossip_rounds).sum::<u64>() as f64 / 4.0
+        (0..4)
+            .map(|s| push_pull_reduction(net, s).gossip_rounds)
+            .sum::<u64>() as f64
+            / 4.0
     };
     let small = avg(&small_delta);
     let large = avg(&large_delta);
@@ -132,7 +143,10 @@ fn theorem10_push_pull_cost_grows_as_phi_shrinks() {
     let dense = gadgets::theorem10_network(32, 0.4, 2, &mut rng).unwrap();
     let sparse = gadgets::theorem10_network(32, 0.05, 2, &mut rng).unwrap();
     let avg = |net: &gadgets::GadgetNetwork| {
-        (0..4).map(|s| push_pull_reduction(net, s).gossip_rounds).sum::<u64>() as f64 / 4.0
+        (0..4)
+            .map(|s| push_pull_reduction(net, s).gossip_rounds)
+            .sum::<u64>() as f64
+            / 4.0
     };
     let dense_rounds = avg(&dense);
     let sparse_rounds = avg(&sparse);

@@ -22,8 +22,14 @@ fn battery() -> Vec<(&'static str, Graph)> {
         ("grid", generators::grid(5, 5, 2).unwrap()),
         ("star", generators::star(24, 4).unwrap()),
         ("dumbbell", generators::dumbbell(10, 32).unwrap()),
-        ("ring of cliques", generators::ring_of_cliques(5, 5, 8).unwrap()),
-        ("slow-cut expander", generators::slow_cut_expander(32, 6, 16, &mut rng).unwrap()),
+        (
+            "ring of cliques",
+            generators::ring_of_cliques(5, 5, 8).unwrap(),
+        ),
+        (
+            "slow-cut expander",
+            generators::slow_cut_expander(32, 6, 16, &mut rng).unwrap(),
+        ),
         ("binary tree", generators::binary_tree(31, 4).unwrap()),
     ]
 }
@@ -53,7 +59,10 @@ fn push_pull_beats_the_flooding_baseline_on_poorly_conductive_graphs() {
     let pp = push_pull::broadcast(&g, NodeId::new(1), 3);
     let flood = gossip_core::flooding::broadcast(&g, NodeId::new(1), 3);
     assert!(pp.completed && flood.completed);
-    assert!(pp.rounds >= 2, "a latency-2 star cannot finish in under one exchange");
+    assert!(
+        pp.rounds >= 2,
+        "a latency-2 star cannot finish in under one exchange"
+    );
 }
 
 #[test]
@@ -61,7 +70,10 @@ fn spanner_broadcast_completes_within_theorem25_bound() {
     for (name, g) in battery() {
         let d = metrics::weighted_diameter(&g).unwrap();
         let report = spanner_broadcast::run_known_diameter(&g, 5);
-        assert!(report.completed, "{name}: spanner broadcast did not complete");
+        assert!(
+            report.completed,
+            "{name}: spanner broadcast did not complete"
+        );
         let bound = (d as f64) * log2(g.node_count()).powi(3);
         assert!(
             (report.rounds as f64) <= 12.0 * bound + 50.0,
@@ -75,7 +87,10 @@ fn spanner_broadcast_completes_within_theorem25_bound() {
 fn unknown_diameter_costs_at_most_a_constant_factor_more() {
     for (name, g) in [
         ("dumbbell", generators::dumbbell(8, 16).unwrap()),
-        ("ring of cliques", generators::ring_of_cliques(4, 6, 8).unwrap()),
+        (
+            "ring of cliques",
+            generators::ring_of_cliques(4, 6, 8).unwrap(),
+        ),
         ("grid", generators::grid(4, 6, 3).unwrap()),
     ] {
         let known = spanner_broadcast::run_known_diameter(&g, 8);
@@ -99,11 +114,17 @@ fn pattern_broadcast_completes_within_lemma27_bound() {
         ("cycle", generators::cycle(16, 2).unwrap()),
         ("grid", generators::grid(4, 4, 3).unwrap()),
         ("dumbbell", generators::dumbbell(6, 8).unwrap()),
-        ("ring of cliques", generators::ring_of_cliques(4, 4, 4).unwrap()),
+        (
+            "ring of cliques",
+            generators::ring_of_cliques(4, 4, 4).unwrap(),
+        ),
     ] {
         let d = metrics::weighted_diameter(&g).unwrap().max(1);
         let report = pattern::run_known_diameter(&g, 3);
-        assert!(report.completed, "{name}: pattern broadcast did not complete");
+        assert!(
+            report.completed,
+            "{name}: pattern broadcast did not complete"
+        );
         let bound = d as f64 * log2(g.node_count()).powi(2) * (d as f64).log2().max(1.0);
         assert!(
             (report.rounds as f64) <= 20.0 * bound + 50.0,

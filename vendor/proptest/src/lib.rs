@@ -1,0 +1,226 @@
+//! Offline, API-compatible subset of
+//! [`proptest`](https://crates.io/crates/proptest), vendored because the build
+//! container has no network access.
+//!
+//! Supports the shape this workspace uses:
+//!
+//! ```ignore
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(20))]
+//!
+//!     #[test]
+//!     fn my_property(n in 4usize..32, p in 0.1f64..0.9) { ... }
+//! }
+//! ```
+//!
+//! Ranges of integers and floats are the only strategies.  Each generated
+//! test draws its cases from a [`rand::rngs::SmallRng`] seeded from a stable
+//! hash of the test's name, so runs are fully deterministic — there is no
+//! failure persistence and no shrinking; a failing case panics with the
+//! sampled arguments printed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+pub mod prelude {
+    //! Glob-importable names, mirroring `proptest::prelude`.
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestRng};
+}
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The deterministic source of cases for generated property tests.
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// Creates the RNG for a property, seeded from a stable hash of its name.
+    pub fn deterministic(test_name: &str) -> Self {
+        // FNV-1a: stable across platforms and compiler versions.
+        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+        for byte in test_name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: SmallRng::seed_from_u64(hash),
+        }
+    }
+
+    /// Access to the underlying generator.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.inner
+    }
+}
+
+/// A source of random values for one property argument.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample_value(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample_value(&self, rng: &mut TestRng) -> f64 {
+        rng.rng().gen_range(self.clone())
+    }
+}
+
+/// Asserts a condition inside a property, printing the failing expression.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Defines deterministic property tests over range strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut cases = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for case_index in 0..config.cases {
+                $(let $arg = $crate::Strategy::sample_value(&($strategy), &mut cases);)*
+                let guard = $crate::__CaseReporter {
+                    name: stringify!($name),
+                    case_index,
+                    values: || vec![$( (stringify!($arg), format!("{:?}", $arg)) ),*],
+                };
+                $body
+                std::mem::forget(guard);
+            }
+        }
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    (($config:expr);) => {};
+}
+
+/// Prints the sampled arguments of a failing case while unwinding.
+#[doc(hidden)]
+pub struct __CaseReporter<F: Fn() -> Vec<(&'static str, String)>> {
+    #[doc(hidden)]
+    pub name: &'static str,
+    #[doc(hidden)]
+    pub case_index: u32,
+    #[doc(hidden)]
+    pub values: F,
+}
+
+impl<F: Fn() -> Vec<(&'static str, String)>> Drop for __CaseReporter<F> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest case {} of `{}` failed with:",
+                self.case_index, self.name
+            );
+            for (arg, value) in (self.values)() {
+                eprintln!("    {arg} = {value}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::Rng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        /// Sampled values respect their ranges.
+        #[test]
+        fn samples_stay_in_range(n in 3usize..9, x in 0.25f64..0.75, s in 10u64..1_000) {
+            prop_assert!((3..9).contains(&n));
+            prop_assert!((0.25..0.75).contains(&x));
+            prop_assert!((10..1_000).contains(&s));
+        }
+    }
+
+    proptest! {
+        /// The default config applies when no inner attribute is given.
+        #[test]
+        fn default_config_runs(k in 1u32..4) {
+            prop_assert!((1..4).contains(&k));
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_is_stable_per_name() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        let xs: Vec<u64> = (0..8).map(|_| a.rng().gen_range(0u64..1_000)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.rng().gen_range(0u64..1_000)).collect();
+        assert_eq!(xs, ys);
+    }
+}

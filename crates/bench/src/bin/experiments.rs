@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! experiments [EXPERIMENT-ID ...] [--quick] [--json] [--markdown]
-//! experiments sweep [--quick] [--seed N] [--trials N] [--out PATH] [--json] [--markdown]
+//! experiments sweep [--quick|--full|--large] [--seed N] [--trials N] [--max-size N]
+//!                   [--out PATH] [--timing-out PATH] [--json] [--markdown]
 //! ```
 //!
 //! With no experiment ids, every experiment (E1–E8, F1, F2, F8) is run.
@@ -14,10 +15,17 @@
 //! `EXPERIMENTS.md`.  `--json` and `--markdown` change the output format from
 //! the plain-text tables.
 //!
-//! The `sweep` subcommand executes the standard scenario grid (six graph
+//! The `sweep` subcommand executes the standard scenario grid (seven graph
 //! families × sizes × latency profiles × protocols, multi-seed) in parallel
 //! and writes the aggregated median/p95 round counts as a deterministic JSON
-//! report: the same `--seed` always produces a byte-identical file.
+//! report: the same `--seed` always produces a byte-identical file,
+//! regardless of thread count.  `--large` swaps in the large-scale grid
+//! (up to 4096 nodes everywhere, 32768 for the cheap protocols);
+//! `--max-size` drops grid cells above a node budget without changing the
+//! seeds of the remaining cells.  Alongside the report, every sweep writes a
+//! `BENCH_sweep.json` wall-clock timing artifact (schema
+//! `gossip-bench-timing/v1`, `--timing-out` to relocate) that CI uploads to
+//! track the perf trajectory.
 
 use std::process::ExitCode;
 
@@ -80,7 +88,9 @@ struct SweepOptions {
     scale: Scale,
     seed: Option<u64>,
     trials: Option<u64>,
+    max_size: Option<usize>,
     out: String,
+    timing_out: String,
     json: bool,
     markdown: bool,
 }
@@ -90,7 +100,9 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepOptions, String> {
         scale: Scale::Full,
         seed: None,
         trials: None,
+        max_size: None,
         out: "sweep_report.json".to_string(),
+        timing_out: "BENCH_sweep.json".to_string(),
         json: false,
         markdown: false,
     };
@@ -104,25 +116,42 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepOptions, String> {
         match arg.as_str() {
             "--quick" => options.scale = Scale::Quick,
             "--full" => options.scale = Scale::Full,
+            "--large" => options.scale = Scale::Large,
             "--json" => options.json = true,
             "--markdown" => options.markdown = true,
             "--seed" => {
                 let v = value_of("--seed")?;
-                options.seed =
-                    Some(v.parse().map_err(|e| format!("invalid --seed '{v}': {e}"))?);
+                options.seed = Some(
+                    v.parse()
+                        .map_err(|e| format!("invalid --seed '{v}': {e}"))?,
+                );
             }
             "--trials" => {
                 let v = value_of("--trials")?;
-                let trials: u64 = v.parse().map_err(|e| format!("invalid --trials '{v}': {e}"))?;
+                let trials: u64 = v
+                    .parse()
+                    .map_err(|e| format!("invalid --trials '{v}': {e}"))?;
                 if trials == 0 {
                     return Err("--trials must be at least 1".to_string());
                 }
                 options.trials = Some(trials);
             }
+            "--max-size" => {
+                let v = value_of("--max-size")?;
+                let max: usize = v
+                    .parse()
+                    .map_err(|e| format!("invalid --max-size '{v}': {e}"))?;
+                if max == 0 {
+                    return Err("--max-size must be at least 1".to_string());
+                }
+                options.max_size = Some(max);
+            }
             "--out" => options.out = value_of("--out")?,
+            "--timing-out" => options.timing_out = value_of("--timing-out")?,
             "--help" | "-h" => {
                 return Err(
-                    "usage: experiments sweep [--quick] [--seed N] [--trials N] [--out PATH] [--json] [--markdown]"
+                    "usage: experiments sweep [--quick|--full|--large] [--seed N] [--trials N] \
+                     [--max-size N] [--out PATH] [--timing-out PATH] [--json] [--markdown]"
                         .to_string(),
                 )
             }
@@ -147,17 +176,30 @@ fn run_sweep(args: &[String]) -> ExitCode {
     if let Some(trials) = options.trials {
         spec.trials = trials;
     }
+    if let Some(max) = options.max_size {
+        // Trial seeds hash scenario content, so dropping cells leaves the
+        // results of the remaining cells untouched.
+        spec.sizes.retain(|&s| s <= max);
+        spec.extra.retain(|cell| cell.size <= max);
+        if spec.sizes.is_empty() && spec.extra.is_empty() {
+            eprintln!("--max-size {max} leaves no scenarios in the grid");
+            return ExitCode::FAILURE;
+        }
+    }
+    let threads = rayon::current_num_threads();
+    let scenario_count = spec.scenario_count();
     eprintln!(
         "sweep: {} scenarios x {} trials = {} runs on {} threads (seed {:#x})",
-        spec.scenario_count(),
+        scenario_count,
         spec.trials,
         spec.trial_count(),
-        rayon::current_num_threads(),
+        threads,
         spec.base_seed
     );
     let started = std::time::Instant::now();
     let report = spec.run();
-    eprintln!("sweep: finished in {:.2?}", started.elapsed());
+    let elapsed = started.elapsed();
+    eprintln!("sweep: finished in {elapsed:.2?}");
 
     let json = report.to_json();
     if let Err(e) = std::fs::write(&options.out, format!("{json}\n")) {
@@ -165,6 +207,55 @@ fn run_sweep(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("sweep: report written to {}", options.out);
+
+    // Wall-clock timing artifact (schema gossip-bench-timing/v1): unlike the
+    // report it is *not* deterministic — it records how fast this machine ran
+    // the sweep, so CI can track the perf trajectory across commits.
+    let elapsed_seconds = elapsed.as_secs_f64();
+    let total_runs = spec.trial_count();
+    let timing = gossip_bench::json::Json::object(vec![
+        (
+            "schema",
+            gossip_bench::json::Json::Str("gossip-bench-timing/v1".to_string()),
+        ),
+        (
+            "scale",
+            gossip_bench::json::Json::Str(options.scale.name().to_string()),
+        ),
+        ("threads", gossip_bench::json::Json::Int(threads as i64)),
+        (
+            "scenarios",
+            gossip_bench::json::Json::Int(scenario_count as i64),
+        ),
+        (
+            "trials_per_scenario",
+            gossip_bench::json::Json::Int(spec.trials as i64),
+        ),
+        (
+            "total_runs",
+            gossip_bench::json::Json::Int(total_runs as i64),
+        ),
+        (
+            "elapsed_seconds",
+            gossip_bench::json::Json::Float(elapsed_seconds),
+        ),
+        (
+            "runs_per_second",
+            gossip_bench::json::Json::Float(if elapsed_seconds > 0.0 {
+                total_runs as f64 / elapsed_seconds
+            } else {
+                0.0
+            }),
+        ),
+    ]);
+    if let Err(e) = std::fs::write(&options.timing_out, format!("{}\n", timing.to_pretty())) {
+        eprintln!(
+            "cannot write timing artifact to '{}': {e}",
+            options.timing_out
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!("sweep: timing artifact written to {}", options.timing_out);
 
     let table = report.to_table();
     if options.json {

@@ -27,14 +27,28 @@ pub enum Scale {
     /// The parameters recorded in `EXPERIMENTS.md`.
     #[default]
     Full,
+    /// The large-scale scenario grid (thousands of nodes per instance; tens
+    /// of thousands for the cheap protocols).  Only the sweep runner
+    /// distinguishes this from [`Scale::Full`]; the table experiments treat
+    /// it as full-size.
+    Large,
 }
 
 impl Scale {
-    /// Picks between the quick and full value.
+    /// Picks between the quick and full value ([`Scale::Large`] counts as full).
     pub fn pick<T>(self, quick: T, full: T) -> T {
         match self {
             Scale::Quick => quick,
-            Scale::Full => full,
+            Scale::Full | Scale::Large => full,
+        }
+    }
+
+    /// Stable identifier used in reports and artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+            Scale::Large => "large",
         }
     }
 }

@@ -46,6 +46,13 @@ pub enum GraphFamily {
     RingOfCliques,
     /// Balanced binary tree on `n` nodes.
     BinaryTree,
+    /// Two cliques joined by a *path* of `bridge_len` bridge edges (each of
+    /// latency [`BRIDGE_LATENCY`]): a single-edge-wide cut that additionally
+    /// costs `bridge_len` slow hops in series.
+    Barbell {
+        /// Number of bridge edges between the two cliques.
+        bridge_len: usize,
+    },
     /// Connected Erdős–Rényi graph with edge probability `p`.
     ErdosRenyi {
         /// Edge probability.
@@ -64,8 +71,23 @@ impl GraphFamily {
             GraphFamily::Dumbbell => "dumbbell".to_string(),
             GraphFamily::RingOfCliques => "ring-of-cliques".to_string(),
             GraphFamily::BinaryTree => "binary-tree".to_string(),
+            GraphFamily::Barbell { bridge_len } => format!("barbell(bridge={bridge_len})"),
             GraphFamily::ErdosRenyi { p } => format!("erdos-renyi(p={p})"),
         }
+    }
+
+    /// `true` for the families whose edge count grows quadratically in `n`
+    /// (cliques and clique compounds, dense random graphs) — the ones a
+    /// [`SweepSpec::dense_size_cap`] protects against memory blow-up.
+    pub fn is_dense(&self) -> bool {
+        matches!(
+            self,
+            GraphFamily::Clique
+                | GraphFamily::Dumbbell
+                | GraphFamily::RingOfCliques
+                | GraphFamily::Barbell { .. }
+                | GraphFamily::ErdosRenyi { .. }
+        )
     }
 
     /// Builds an instance with roughly `n` nodes: unit latencies everywhere
@@ -89,6 +111,13 @@ impl GraphFamily {
                 generators::ring_of_cliques(4, (n / 4).max(2), BRIDGE_LATENCY)
             }
             GraphFamily::BinaryTree => generators::binary_tree(n, 1),
+            GraphFamily::Barbell { bridge_len } => {
+                // An invalid bridge_len must fail loudly (via the expect
+                // below), not silently build a graph the scenario name lies
+                // about.
+                let side = (n.saturating_sub(bridge_len.saturating_sub(1)) / 2).max(2);
+                generators::barbell(side, *bridge_len, BRIDGE_LATENCY)
+            }
             GraphFamily::ErdosRenyi { p } => generators::erdos_renyi(n, *p, 1, rng),
         }
         .expect("sweep families are valid for n >= 4")
@@ -123,6 +152,14 @@ pub enum LatencyProfile {
         /// Number of latency classes.
         classes: usize,
     },
+    /// Exactly `round(slow_fraction · m)` edges (chosen uniformly without
+    /// replacement) get latency `slow`; the rest are fast (latency 1).
+    Bimodal {
+        /// Latency of slow edges.
+        slow: u64,
+        /// Fraction of edges that is slow.
+        slow_fraction: f64,
+    },
 }
 
 impl LatencyProfile {
@@ -138,6 +175,10 @@ impl LatencyProfile {
             }
             LatencyProfile::UniformRandom { max } => format!("uniform(1..={max})"),
             LatencyProfile::PowerLaw { classes } => format!("power-law(classes={classes})"),
+            LatencyProfile::Bimodal {
+                slow,
+                slow_fraction,
+            } => format!("bimodal(slow={slow},slow_frac={slow_fraction})"),
         }
     }
 
@@ -156,6 +197,13 @@ impl LatencyProfile {
             },
             LatencyProfile::UniformRandom { max } => LatencyScheme::UniformRandom { min: 1, max },
             LatencyProfile::PowerLaw { classes } => LatencyScheme::PowerLawClasses { classes },
+            LatencyProfile::Bimodal {
+                slow,
+                slow_fraction,
+            } => LatencyScheme::BimodalFraction {
+                slow,
+                slow_fraction,
+            },
         }
     }
 
@@ -197,6 +245,16 @@ impl ProtocolKind {
             ProtocolKind::PatternBroadcast => "pattern-broadcast",
             ProtocolKind::Unified => "unified",
         }
+    }
+
+    /// `true` for the multi-phase algorithms (spanner / pattern / unified)
+    /// whose setup phases dominate at large `n` — the ones a
+    /// [`SweepSpec::heavy_size_cap`] restricts to moderate sizes.
+    pub fn is_heavyweight(&self) -> bool {
+        matches!(
+            self,
+            ProtocolKind::SpannerBroadcast | ProtocolKind::PatternBroadcast | ProtocolKind::Unified
+        )
     }
 
     /// Runs one trial of this protocol from node 0 and reports
@@ -243,45 +301,99 @@ pub struct SweepSpec {
     pub trials: u64,
     /// Base seed every trial seed is derived from.
     pub base_seed: u64,
+    /// If set, grid cells pairing a [dense](GraphFamily::is_dense) family
+    /// with a size above the cap are skipped (quadratic edge counts exhaust
+    /// memory long before sparse families do).
+    pub dense_size_cap: Option<usize>,
+    /// If set, grid cells pairing a
+    /// [heavyweight](ProtocolKind::is_heavyweight) protocol with a size above
+    /// the cap are skipped.
+    pub heavy_size_cap: Option<usize>,
+    /// Extra scenario cells appended after the cross product (e.g. the
+    /// extra-large sparse instances of the cheap protocols).  Caps do not
+    /// apply to these — they are opted in explicitly.
+    pub extra: Vec<Scenario>,
 }
 
 impl SweepSpec {
-    /// The default grid: six families, three sizes, three latency profiles,
-    /// four protocols.  `Scale::Quick` shrinks sizes and trials for tests and
-    /// `cargo bench`.
+    /// The default grid: seven families, sizes by scale, four latency
+    /// profiles, four protocols.
+    ///
+    /// * `Scale::Quick` shrinks sizes and trials for tests and `cargo bench`.
+    /// * `Scale::Full` is the grid recorded in `EXPERIMENTS.md`.
+    /// * `Scale::Large` opens the `10³`–`10⁴`-node regime: sizes up to 4096
+    ///   across every family (heavyweight protocols capped at 1024), plus
+    ///   32768-node star instances for the cheap protocols, where termination
+    ///   happens before per-node knowledge — and therefore acquisition-log
+    ///   memory — grows beyond `O(1)` rumors per node.
     pub fn standard(scale: Scale) -> Self {
-        SweepSpec {
-            families: vec![
-                GraphFamily::Clique,
-                GraphFamily::Cycle,
-                GraphFamily::Grid,
-                GraphFamily::Dumbbell,
-                GraphFamily::RingOfCliques,
-                GraphFamily::ErdosRenyi { p: 0.2 },
-            ],
-            sizes: scale.pick(vec![12, 24], vec![16, 32, 48]),
-            profiles: vec![
-                LatencyProfile::AsBuilt,
-                LatencyProfile::TwoLevel {
-                    slow: 16,
-                    fast_probability: 0.5,
-                },
-                LatencyProfile::UniformRandom { max: 12 },
-            ],
-            protocols: vec![
-                ProtocolKind::PushPull,
-                ProtocolKind::Flooding,
-                ProtocolKind::SpannerBroadcast,
-                ProtocolKind::Unified,
-            ],
-            trials: scale.pick(3, 7),
-            base_seed: 0xC057_0F60_5517,
+        let families = vec![
+            GraphFamily::Clique,
+            GraphFamily::Cycle,
+            GraphFamily::Grid,
+            GraphFamily::Dumbbell,
+            GraphFamily::RingOfCliques,
+            GraphFamily::Barbell { bridge_len: 4 },
+            GraphFamily::ErdosRenyi { p: 0.2 },
+        ];
+        let protocols = vec![
+            ProtocolKind::PushPull,
+            ProtocolKind::Flooding,
+            ProtocolKind::SpannerBroadcast,
+            ProtocolKind::Unified,
+        ];
+        let bimodal = LatencyProfile::Bimodal {
+            slow: 16,
+            slow_fraction: 0.25,
+        };
+        let base_seed = 0xC057_0F60_5517;
+        match scale {
+            Scale::Quick | Scale::Full => SweepSpec {
+                families,
+                sizes: scale.pick(vec![12, 24], vec![16, 32, 48]),
+                profiles: vec![
+                    LatencyProfile::AsBuilt,
+                    LatencyProfile::TwoLevel {
+                        slow: 16,
+                        fast_probability: 0.5,
+                    },
+                    LatencyProfile::UniformRandom { max: 12 },
+                    bimodal,
+                ],
+                protocols,
+                trials: scale.pick(3, 7),
+                base_seed,
+                dense_size_cap: None,
+                heavy_size_cap: None,
+                extra: Vec::new(),
+            },
+            Scale::Large => SweepSpec {
+                families,
+                sizes: vec![256, 1024, 4096],
+                profiles: vec![LatencyProfile::AsBuilt, bimodal],
+                protocols,
+                trials: 2,
+                base_seed,
+                // Dense families deliberately run at the full 4096 (the cap
+                // mechanism exists for user specs that push sizes further).
+                dense_size_cap: None,
+                heavy_size_cap: Some(1024),
+                extra: [ProtocolKind::PushPull, ProtocolKind::Flooding]
+                    .into_iter()
+                    .map(|protocol| Scenario {
+                        family: GraphFamily::Star,
+                        size: 32768,
+                        profile: LatencyProfile::AsBuilt,
+                        protocol,
+                    })
+                    .collect(),
+            },
         }
     }
 
-    /// Number of scenarios in the grid.
+    /// Number of scenarios in the grid (after size caps, including extras).
     pub fn scenario_count(&self) -> usize {
-        self.families.len() * self.sizes.len() * self.profiles.len() * self.protocols.len()
+        self.scenarios().len()
     }
 
     /// Number of individual trials the sweep will execute.
@@ -290,13 +402,26 @@ impl SweepSpec {
     }
 
     /// Expands the grid in deterministic (family, size, profile, protocol)
-    /// nested order.
+    /// nested order, skipping cells excluded by the size caps, then appends
+    /// the [`extra`](Self::extra) cells.
     fn scenarios(&self) -> Vec<Scenario> {
-        let mut out = Vec::with_capacity(self.scenario_count());
+        let mut out = Vec::new();
         for &family in &self.families {
             for &size in &self.sizes {
+                if self
+                    .dense_size_cap
+                    .is_some_and(|cap| family.is_dense() && size > cap)
+                {
+                    continue;
+                }
                 for &profile in &self.profiles {
                     for &protocol in &self.protocols {
+                        if self
+                            .heavy_size_cap
+                            .is_some_and(|cap| protocol.is_heavyweight() && size > cap)
+                        {
+                            continue;
+                        }
                         out.push(Scenario {
                             family,
                             size,
@@ -307,6 +432,7 @@ impl SweepSpec {
                 }
             }
         }
+        out.extend(self.extra.iter().copied());
         out
     }
 
@@ -348,11 +474,15 @@ impl SweepSpec {
 
 /// One cell of the sweep grid.
 #[derive(Debug, Clone, Copy)]
-struct Scenario {
-    family: GraphFamily,
-    size: usize,
-    profile: LatencyProfile,
-    protocol: ProtocolKind,
+pub struct Scenario {
+    /// Graph family of the cell.
+    pub family: GraphFamily,
+    /// Node budget of the cell.
+    pub size: usize,
+    /// Latency profile of the cell.
+    pub profile: LatencyProfile,
+    /// Protocol of the cell.
+    pub protocol: ProtocolKind,
 }
 
 /// The measured outcome of a single trial.
@@ -596,6 +726,9 @@ mod tests {
             protocols: vec![ProtocolKind::PushPull, ProtocolKind::Flooding],
             trials: 3,
             base_seed: 42,
+            dense_size_cap: None,
+            heavy_size_cap: None,
+            extra: Vec::new(),
         }
     }
 
@@ -668,6 +801,9 @@ mod tests {
             ],
             trials: 16,
             base_seed: 7,
+            dense_size_cap: None,
+            heavy_size_cap: None,
+            extra: Vec::new(),
         };
         let mut seen = HashSet::new();
         for scenario in big.scenarios() {
@@ -714,5 +850,64 @@ mod tests {
         assert!(spec.families.len() >= 4);
         assert!(spec.trials >= 2);
         assert!(!spec.protocols.is_empty());
+        // The diversity additions of the large-scale rework ride along on
+        // every scale: the barbell family and the bimodal latency profile.
+        assert!(spec
+            .families
+            .iter()
+            .any(|f| matches!(f, GraphFamily::Barbell { .. })));
+        assert!(spec
+            .profiles
+            .iter()
+            .any(|p| matches!(p, LatencyProfile::Bimodal { .. })));
+    }
+
+    #[test]
+    fn size_caps_filter_the_cross_product() {
+        let mut spec = tiny_spec();
+        spec.families = vec![GraphFamily::Clique, GraphFamily::Cycle];
+        spec.sizes = vec![8, 64];
+        let uncapped = spec.scenario_count();
+        assert_eq!(uncapped, 2 * 2 * 2 * 2);
+
+        spec.dense_size_cap = Some(32); // drops clique @ 64 (4 cells)
+        assert_eq!(spec.scenario_count(), uncapped - 4);
+
+        spec.protocols = vec![ProtocolKind::PushPull, ProtocolKind::Unified];
+        spec.heavy_size_cap = Some(32); // additionally drops unified @ 64 on cycle
+        assert_eq!(spec.scenario_count(), uncapped - 4 - 2);
+
+        spec.extra.push(Scenario {
+            family: GraphFamily::Star,
+            size: 1 << 15,
+            profile: LatencyProfile::AsBuilt,
+            protocol: ProtocolKind::Flooding,
+        });
+        // Extras bypass the caps.
+        assert_eq!(spec.scenario_count(), uncapped - 4 - 2 + 1);
+    }
+
+    #[test]
+    fn large_spec_reaches_past_ten_thousand_nodes() {
+        let spec = SweepSpec::standard(Scale::Large);
+        let scenarios = spec.scenarios();
+        let max_size = scenarios.iter().map(|s| s.size).max().unwrap();
+        assert!(max_size > 10_000, "large tier must pass 10^4 nodes");
+        // Every family reaches 4096 …
+        for family in &spec.families {
+            assert!(
+                scenarios
+                    .iter()
+                    .any(|s| s.family.name() == family.name() && s.size == 4096),
+                "{} missing at 4096",
+                family.name()
+            );
+        }
+        // … but the heavyweight protocols stay within their cap.
+        for s in &scenarios {
+            if s.protocol.is_heavyweight() {
+                assert!(s.size <= 1024, "{} at {}", s.protocol.name(), s.size);
+            }
+        }
     }
 }

@@ -9,15 +9,17 @@
 use gossip_bench::json::Json;
 
 #[test]
-fn sweep_subcommand_writes_reproducible_reports() {
+fn sweep_subcommand_writes_reproducible_reports_and_timing_artifact() {
     let experiments = env!("CARGO_BIN_EXE_experiments");
     let dir = std::env::temp_dir().join(format!("gossip-sweep-cli-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
-    let run = |out: &std::path::Path| {
+    let run = |out: &std::path::Path, timing: &std::path::Path| {
         let output = std::process::Command::new(experiments)
             .args(["sweep", "--quick", "--trials", "2", "--seed", "7"])
             .arg("--out")
             .arg(out)
+            .arg("--timing-out")
+            .arg(timing)
             .output()
             .expect("experiments sweep runs");
         assert!(
@@ -27,8 +29,9 @@ fn sweep_subcommand_writes_reproducible_reports() {
         );
         std::fs::read(out).expect("report file written")
     };
-    let first = run(&dir.join("a.json"));
-    let second = run(&dir.join("b.json"));
+    let timing_path = dir.join("BENCH_sweep.json");
+    let first = run(&dir.join("a.json"), &timing_path);
+    let second = run(&dir.join("b.json"), &dir.join("BENCH_sweep2.json"));
     assert!(!first.is_empty());
     assert_eq!(
         first, second,
@@ -42,6 +45,67 @@ fn sweep_subcommand_writes_reproducible_reports() {
     );
     let scenarios = parsed.get("scenarios").and_then(Json::as_array).unwrap();
     assert!(scenarios.len() >= 4, "sweep must cover the standard grid");
+
+    // The wall-clock timing artifact rides along with every sweep.
+    let timing = std::fs::read_to_string(&timing_path).expect("timing artifact written");
+    let timing = Json::parse(timing.trim()).expect("timing artifact is valid JSON");
+    assert_eq!(
+        timing.get("schema").and_then(Json::as_str),
+        Some("gossip-bench-timing/v1")
+    );
+    assert_eq!(timing.get("scale").and_then(Json::as_str), Some("quick"));
+    assert!(timing.get("threads").and_then(Json::as_i64).unwrap() >= 1);
+    assert!(timing.get("total_runs").and_then(Json::as_i64).unwrap() > 0);
+    assert!(timing.get("elapsed_seconds").is_some());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn large_sweep_json_is_byte_identical_across_thread_counts() {
+    // The Scale::Large grid, budget-capped to its smallest tier so the test
+    // stays fast, run once on 1 worker thread and once on 4: the report files
+    // must match byte for byte.  (The full-size large sweep runs in CI via
+    // `experiments sweep --large`.)
+    let experiments = env!("CARGO_BIN_EXE_experiments");
+    let dir = std::env::temp_dir().join(format!("gossip-sweep-threads-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let run = |threads: &str, out: &std::path::Path| {
+        let output = std::process::Command::new(experiments)
+            .args([
+                "sweep",
+                "--large",
+                "--max-size",
+                "256",
+                "--trials",
+                "1",
+                "--seed",
+                "11",
+            ])
+            .arg("--out")
+            .arg(out)
+            .arg("--timing-out")
+            .arg(dir.join(format!("timing-{threads}.json")))
+            .env("RAYON_NUM_THREADS", threads)
+            .output()
+            .expect("experiments sweep runs");
+        assert!(
+            output.status.success(),
+            "experiments sweep --large failed:\n{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        std::fs::read(out).expect("report file written")
+    };
+    let single = run("1", &dir.join("t1.json"));
+    let parallel = run("4", &dir.join("t4.json"));
+    assert_eq!(
+        single, parallel,
+        "thread count must not leak into the sweep report"
+    );
+    let parsed = Json::parse(std::str::from_utf8(&single).unwrap().trim()).unwrap();
+    let scenarios = parsed.get("scenarios").and_then(Json::as_array).unwrap();
+    // 7 families x 1 size x 2 profiles x 4 protocols (the 32768-star extras
+    // are above the budget cap).
+    assert_eq!(scenarios.len(), 7 * 2 * 4);
     std::fs::remove_dir_all(&dir).ok();
 }
 

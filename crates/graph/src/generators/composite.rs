@@ -73,6 +73,54 @@ pub fn dumbbell(s: usize, bridge_latency: Latency) -> Result<Graph, GraphError> 
     b.build_connected()
 }
 
+/// Barbell: two cliques of `s` nodes connected by a *path* of `bridge_len`
+/// edges (so `bridge_len - 1` intermediate relay nodes), every bridge edge
+/// with latency `bridge_latency`.
+///
+/// With `bridge_len == 1` this degenerates to the [`dumbbell`].  Longer
+/// bridges separate the two effects the dumbbell conflates: the cut is still
+/// a single edge wide (conductance is unchanged), but information must now
+/// traverse `bridge_len` slow hops *in series*, so the dissemination time of
+/// any protocol grows linearly in `bridge_len` while the cut volume does not.
+///
+/// Node layout: `0..s` is the left clique, `s..2s` the right clique, and
+/// `2s..2s + bridge_len - 1` the relay nodes in left-to-right order.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] if `s < 2` or `bridge_len < 1`.
+pub fn barbell(s: usize, bridge_len: usize, bridge_latency: Latency) -> Result<Graph, GraphError> {
+    if s < 2 {
+        return Err(GraphError::InvalidParameters {
+            reason: "barbell needs at least two nodes per side".into(),
+        });
+    }
+    if bridge_len < 1 {
+        return Err(GraphError::InvalidParameters {
+            reason: "barbell needs a bridge of at least one edge".into(),
+        });
+    }
+    let mut b = GraphBuilder::new(2 * s + bridge_len - 1);
+    for side in 0..2 {
+        let offset = side * s;
+        for i in 0..s {
+            for j in (i + 1)..s {
+                b.add_edge(offset + i, offset + j, 1)?;
+            }
+        }
+    }
+    // Path from the last left-clique node through the relays to the first
+    // right-clique node.
+    let mut prev = s - 1;
+    for relay in 0..bridge_len - 1 {
+        let node = 2 * s + relay;
+        b.add_edge(prev, node, bridge_latency)?;
+        prev = node;
+    }
+    b.add_edge(prev, s, bridge_latency)?;
+    b.build_connected()
+}
+
 /// A well-connected graph with a planted slow cut: a random `d`-regular
 /// expander on `n` nodes where every edge crossing the balanced cut
 /// `({0..n/2}, {n/2..n})` gets latency `slow_latency` and every other edge
@@ -138,6 +186,32 @@ mod tests {
         assert_eq!(g.edge_count(), 2 * 3 + 1);
         assert!(ring_of_cliques(1, 3, 1).is_err());
         assert!(ring_of_cliques(3, 0, 1).is_err());
+    }
+
+    #[test]
+    fn barbell_structure() {
+        let g = barbell(4, 3, 9).unwrap();
+        // Two 4-cliques plus two relay nodes.
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.edge_count(), 2 * 6 + 3);
+        assert_eq!(g.max_latency(), 9);
+        assert!(g.is_connected());
+        // Crossing the bridge costs bridge_len hops of bridge latency.
+        assert_eq!(metrics::weighted_diameter(&g), Some(1 + 3 * 9 + 1));
+        assert!(barbell(1, 2, 1).is_err());
+        assert!(barbell(3, 0, 1).is_err());
+    }
+
+    #[test]
+    fn barbell_with_unit_bridge_matches_dumbbell_shape() {
+        let b = barbell(5, 1, 7).unwrap();
+        let d = dumbbell(5, 7).unwrap();
+        assert_eq!(b.node_count(), d.node_count());
+        assert_eq!(b.edge_count(), d.edge_count());
+        assert_eq!(
+            metrics::weighted_diameter(&b),
+            metrics::weighted_diameter(&d)
+        );
     }
 
     #[test]

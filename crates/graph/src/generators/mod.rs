@@ -9,12 +9,12 @@
 //!   [`grid`], [`binary_tree`], [`complete_bipartite`],
 //! * random families: [`erdos_renyi`], [`random_regular`],
 //! * composite families used in the paper's constructions and experiments:
-//!   [`ring_of_cliques`], [`dumbbell`], [`slow_cut_expander`].
+//!   [`ring_of_cliques`], [`dumbbell`], [`barbell`], [`slow_cut_expander`].
 
 mod basic;
 mod composite;
 mod random;
 
 pub use basic::{binary_tree, clique, complete_bipartite, cycle, grid, path, star};
-pub use composite::{dumbbell, ring_of_cliques, slow_cut_expander};
+pub use composite::{barbell, dumbbell, ring_of_cliques, slow_cut_expander};
 pub use random::{erdos_renyi, random_regular};

@@ -40,6 +40,20 @@ pub enum LatencyScheme {
         /// Largest possible latency.
         max: Latency,
     },
+    /// An *exact* fraction of the edges is slow: `round(slow_fraction · m)`
+    /// edges, chosen uniformly without replacement, get latency `slow`; every
+    /// other edge gets latency 1.
+    ///
+    /// Unlike [`TwoLevel`](Self::TwoLevel) (independent per-edge coin flips),
+    /// the slow-edge *count* here is deterministic, so small instances cannot
+    /// accidentally come out all-fast or all-slow — useful when sweeping the
+    /// slow fraction as a controlled variable.
+    BimodalFraction {
+        /// Latency of slow edges.
+        slow: Latency,
+        /// Fraction of edges (in `[0, 1]`) that is slow.
+        slow_fraction: f64,
+    },
 }
 
 impl LatencyScheme {
@@ -85,17 +99,72 @@ impl LatencyScheme {
                 assert!(min <= max, "latency range must be non-empty");
                 rng.gen_range(min..=max)
             }
+            LatencyScheme::BimodalFraction {
+                slow,
+                slow_fraction,
+            } => {
+                // The exact-count guarantee only exists across a whole edge
+                // set; a single draw uses the marginal distribution.
+                assert!(slow > 0, "latencies must be positive");
+                assert!(
+                    (0.0..=1.0).contains(&slow_fraction),
+                    "slow_fraction must lie in [0, 1]"
+                );
+                if rng.gen_bool(slow_fraction) {
+                    slow
+                } else {
+                    1
+                }
+            }
         }
     }
 
     /// Returns a copy of `g` with every edge latency re-drawn from this scheme.
     ///
-    /// The topology (node and edge set) is unchanged.
+    /// The topology (node and edge set) is unchanged.  For
+    /// [`BimodalFraction`](Self::BimodalFraction) the slow edges are sampled
+    /// *without* replacement so exactly `round(slow_fraction · m)` of them are
+    /// slow; every other scheme draws latencies independently per edge.
     ///
     /// # Errors
     ///
     /// Never fails for a valid input graph; the `Result` mirrors the builder API.
     pub fn apply<R: Rng + ?Sized>(&self, g: &Graph, rng: &mut R) -> Result<Graph, GraphError> {
+        if let LatencyScheme::BimodalFraction {
+            slow,
+            slow_fraction,
+        } = *self
+        {
+            assert!(slow > 0, "latencies must be positive");
+            assert!(
+                (0.0..=1.0).contains(&slow_fraction),
+                "slow_fraction must lie in [0, 1]"
+            );
+            let m = g.edge_count();
+            let k = ((m as f64) * slow_fraction).round() as usize;
+            let k = k.min(m);
+            // Partial Fisher–Yates: after k swaps, indices[..k] is a uniform
+            // k-subset of the edge ids.
+            let mut indices: Vec<usize> = (0..m).collect();
+            for i in 0..k {
+                let j = rng.gen_range(i..m);
+                indices.swap(i, j);
+            }
+            let mut is_slow = vec![false; m];
+            for &e in &indices[..k] {
+                is_slow[e] = true;
+            }
+            let edges = g
+                .edges()
+                .enumerate()
+                .map(|(i, rec)| crate::EdgeRecord {
+                    u: rec.u,
+                    v: rec.v,
+                    latency: if is_slow[i] { slow } else { 1 },
+                })
+                .collect();
+            return Graph::from_parts(g.node_count(), edges);
+        }
         let edges = g
             .edges()
             .map(|rec| crate::EdgeRecord {
@@ -191,6 +260,36 @@ mod tests {
             assert_eq!((a.u, a.v), (b.u, b.v));
             assert!((1..=5).contains(&b.latency));
         }
+    }
+
+    #[test]
+    fn bimodal_fraction_is_exact() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let g = generators::clique(12, 1).unwrap(); // 66 edges
+        for frac in [0.0, 0.25, 0.5, 1.0] {
+            let s = LatencyScheme::BimodalFraction {
+                slow: 40,
+                slow_fraction: frac,
+            };
+            let w = s.apply(&g, &mut rng).unwrap();
+            let slow_edges = w.edges().filter(|e| e.latency == 40).count();
+            let expected = (66.0_f64 * frac).round() as usize;
+            assert_eq!(slow_edges, expected, "fraction {frac}");
+            assert!(w.edges().all(|e| e.latency == 1 || e.latency == 40));
+        }
+    }
+
+    #[test]
+    fn bimodal_fraction_sample_is_marginal() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let s = LatencyScheme::BimodalFraction {
+            slow: 10,
+            slow_fraction: 0.5,
+        };
+        let draws: Vec<Latency> = (0..200).map(|_| s.sample(&mut rng)).collect();
+        assert!(draws.contains(&1));
+        assert!(draws.contains(&10));
+        assert!(draws.iter().all(|&l| l == 1 || l == 10));
     }
 
     #[test]

@@ -1,4 +1,36 @@
 //! The synchronous round engine.
+//!
+//! # Architecture: the snapshot-free hot path
+//!
+//! The engine is built so that the per-round cost is `O(n)` protocol
+//! decisions plus work proportional to what actually *happens* — never a
+//! rescan of global state:
+//!
+//! * **Acquisition logs.**  Alongside its rumor bitset, every node keeps an
+//!   append-only log of the rumors it learned, in learn order.  A node's
+//!   rumor set at any past instant is exactly a *prefix* of that log, so an
+//!   exchange records only `(node, log length)` at initiation — an `O(1)`
+//!   snapshot instead of an `O(n/64)` bitset clone — and a completion merges
+//!   the peer's log prefix.  A per-edge watermark remembers how much of the
+//!   peer's log already arrived over that edge, so repeated exchanges over
+//!   the same edge never rescan old entries.
+//! * **Calendar queue.**  In-flight exchanges live in a ring of
+//!   `max_latency + 1` buckets indexed by `completes_at % (max_latency + 1)`.
+//!   Since every latency is in `1..=max_latency`, the bucket drained at the
+//!   start of a round holds exactly the exchanges completing that round, in
+//!   initiation order — delivery is `O(completions)`, not `O(in flight)`.
+//! * **Incremental termination.**  Counters (nodes with a full set, nodes
+//!   knowing the tracked rumor, outstanding local-broadcast pairs) are
+//!   updated inside the merge, so every [`Termination`] check is `O(1)`;
+//!   `informed_times` is folded into the same path.
+//! * **Flat latency discovery.**  Which endpoint has discovered which edge
+//!   latency is a bitset with two bits per edge (one per endpoint); the
+//!   latency itself is read from the graph.
+//!
+//! The previous snapshot-per-exchange implementation is preserved verbatim in
+//! [`crate::reference`] and pinned against this engine by the
+//! `engine_equivalence` integration suite: both must produce byte-identical
+//! [`RunReport`]s and rumor states on the standard scenario grid.
 
 use std::collections::HashMap;
 
@@ -39,12 +71,12 @@ pub enum Termination {
 /// Configuration of a [`Simulation`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimConfig {
-    seed: u64,
-    mode: ExchangeMode,
-    termination: Termination,
-    max_rounds: u64,
-    latencies_known: bool,
-    tracked_rumor: Option<RumorId>,
+    pub(crate) seed: u64,
+    pub(crate) mode: ExchangeMode,
+    pub(crate) termination: Termination,
+    pub(crate) max_rounds: u64,
+    pub(crate) latencies_known: bool,
+    pub(crate) tracked_rumor: Option<RumorId>,
 }
 
 impl SimConfig {
@@ -95,6 +127,31 @@ impl SimConfig {
     }
 }
 
+/// Which endpoints have discovered which edge latencies: two bits per edge,
+/// one per endpoint.  The latency value itself always comes from the graph.
+#[derive(Debug)]
+pub(crate) struct DiscoveredLatencies {
+    bits: Vec<u64>,
+}
+
+impl DiscoveredLatencies {
+    fn new(edge_count: usize) -> Self {
+        DiscoveredLatencies {
+            bits: vec![0; (2 * edge_count).div_ceil(64)],
+        }
+    }
+
+    fn mark(&mut self, edge: EdgeId, second_endpoint: bool) {
+        let i = edge.index() * 2 + second_endpoint as usize;
+        self.bits[i / 64] |= 1 << (i % 64);
+    }
+
+    fn known(&self, edge: EdgeId, second_endpoint: bool) -> bool {
+        let i = edge.index() * 2 + second_endpoint as usize;
+        self.bits[i / 64] & (1 << (i % 64)) != 0
+    }
+}
+
 /// Everything a protocol can see about one node at the start of a round.
 #[derive(Debug)]
 pub struct NodeView<'a> {
@@ -111,14 +168,25 @@ pub struct NodeView<'a> {
     pub can_initiate: bool,
     /// Number of exchanges this node initiated that are still in flight.
     pub pending_own: usize,
-    latency_oracle: LatencyOracle<'a>,
+    pub(crate) latency_oracle: LatencyOracle<'a>,
 }
 
 #[derive(Debug)]
-struct LatencyOracle<'a> {
-    graph: &'a Graph,
-    known_all: bool,
-    discovered: &'a HashMap<EdgeId, Latency>,
+pub(crate) struct LatencyOracle<'a> {
+    pub(crate) graph: &'a Graph,
+    pub(crate) known_all: bool,
+    pub(crate) source: OracleSource<'a>,
+}
+
+/// Where an oracle looks up per-node discovery state.  The engine uses the
+/// flat bitset; the reference engine keeps the historical per-node maps.
+#[derive(Debug)]
+pub(crate) enum OracleSource<'a> {
+    Flat {
+        node: NodeId,
+        discovered: &'a DiscoveredLatencies,
+    },
+    Map(&'a HashMap<EdgeId, Latency>),
 }
 
 impl NodeView<'_> {
@@ -127,9 +195,25 @@ impl NodeView<'_> {
     /// an exchange over the edge has completed at this node.
     pub fn known_latency(&self, edge: EdgeId) -> Option<Latency> {
         if self.latency_oracle.known_all {
-            Some(self.latency_oracle.graph.latency(edge))
-        } else {
-            self.latency_oracle.discovered.get(&edge).copied()
+            return Some(self.latency_oracle.graph.latency(edge));
+        }
+        match self.latency_oracle.source {
+            OracleSource::Map(map) => map.get(&edge).copied(),
+            OracleSource::Flat { node, discovered } => {
+                let graph = self.latency_oracle.graph;
+                if edge.index() >= graph.edge_count() {
+                    return None;
+                }
+                let rec = graph.edge(edge);
+                let second = if node == rec.u {
+                    false
+                } else if node == rec.v {
+                    true
+                } else {
+                    return None;
+                };
+                discovered.known(edge, second).then_some(rec.latency)
+            }
         }
     }
 
@@ -167,8 +251,26 @@ pub trait Protocol {
 
     /// Decides which neighbor `view.node` contacts this round, or `None` to stay silent.
     ///
-    /// Returning a node that is not a neighbor is treated as staying silent.
+    /// Returning a node that is not a neighbor is a schedule error: the
+    /// engine rejects the exchange, reports it back through
+    /// [`on_rejected`](Self::on_rejected), and counts it in
+    /// [`RunReport::rejections`].
     fn on_round(&mut self, view: &NodeView<'_>, rng: &mut SmallRng) -> Option<NodeId>;
+
+    /// Notification that `node`'s choice of `target` was rejected because
+    /// `target` is not one of `node`'s neighbors.
+    ///
+    /// The default implementation treats this as a protocol bug: it fails a
+    /// `debug_assert!` in debug builds (and is a no-op in release builds,
+    /// where the rejection is still visible in [`RunReport::rejections`]).
+    /// Protocols that probe the topology on purpose can override it.
+    fn on_rejected(&mut self, node: NodeId, target: NodeId, round: u64) {
+        debug_assert!(
+            false,
+            "protocol targeted non-neighbor {target:?} from {node:?} at round {round}"
+        );
+        let _ = (node, target, round);
+    }
 
     /// Notification that an exchange incident to `node` completed.
     fn on_exchange(&mut self, node: NodeId, event: &ExchangeEvent) {
@@ -182,15 +284,162 @@ pub trait Protocol {
     }
 }
 
-struct InFlight {
+/// An in-flight exchange: its endpoints plus the `O(1)` snapshot of what each
+/// endpoint knew at initiation — the length of its acquisition log.
+struct Flight {
     initiator: NodeId,
     responder: NodeId,
     edge: EdgeId,
-    completes_at: u64,
-    /// Snapshot of the initiator's rumors at initiation time.
-    initiator_snapshot: RumorSet,
-    /// Snapshot of the responder's rumors at initiation time.
-    responder_snapshot: RumorSet,
+    /// Initiator's log length at initiation time.
+    initiator_known: u32,
+    /// Responder's log length at initiation time.
+    responder_known: u32,
+}
+
+/// Incrementally maintained dissemination state: acquisition logs plus the
+/// counters that make every termination check `O(1)`.
+struct Progress<'g> {
+    graph: &'g Graph,
+    /// Per-node acquisition log: every rumor the node knows, in learn order.
+    logs: Vec<Vec<RumorId>>,
+    /// `logs[i].len()`, cached as a plain counter (== rumor-set size).
+    counts: Vec<usize>,
+    /// Number of nodes whose rumor set is full.
+    full_nodes: usize,
+    /// Rumor whose spread decides [`Termination::AllKnowRumorOf`], if any.
+    source_rumor: Option<RumorId>,
+    /// Number of nodes that know `source_rumor`.
+    source_known_by: usize,
+    /// Latency bound of [`Termination::LocalBroadcast`], if any.
+    lb_bound: Option<Latency>,
+    /// Outstanding `(node, fast neighbor)` pairs for local broadcast.
+    lb_deficit: u64,
+    /// Rumor tracked for [`RunReport::informed_times`], if any.
+    tracked: Option<RumorId>,
+    /// Per-node first round the tracked rumor was known (empty if untracked).
+    informed_times: Vec<Option<u64>>,
+}
+
+impl<'g> Progress<'g> {
+    fn new(graph: &'g Graph, config: &SimConfig, rumors: &[RumorSet]) -> Self {
+        let source_rumor = match config.termination {
+            Termination::AllKnowRumorOf(source) => Some(RumorId::of_node(source)),
+            _ => None,
+        };
+        let lb_bound = match config.termination {
+            Termination::LocalBroadcast(bound) => Some(bound),
+            _ => None,
+        };
+        let lb_deficit = lb_bound.map_or(0, |bound| {
+            graph
+                .nodes()
+                .map(|v| {
+                    graph
+                        .neighbors(v)
+                        .filter(|&(w, e)| {
+                            graph.latency(e) <= bound
+                                && !rumors[v.index()].contains(RumorId::of_node(w))
+                        })
+                        .count() as u64
+                })
+                .sum()
+        });
+        Progress {
+            graph,
+            logs: rumors.iter().map(|s| s.iter().collect()).collect(),
+            counts: rumors.iter().map(RumorSet::len).collect(),
+            full_nodes: rumors.iter().filter(|s| s.is_full()).count(),
+            source_rumor,
+            source_known_by: source_rumor
+                .map_or(0, |r| rumors.iter().filter(|s| s.contains(r)).count()),
+            lb_bound,
+            lb_deficit,
+            tracked: config.tracked_rumor,
+            informed_times: match config.tracked_rumor {
+                Some(r) => rumors
+                    .iter()
+                    .map(|s| if s.contains(r) { Some(0) } else { None })
+                    .collect(),
+                None => Vec::new(),
+            },
+        }
+    }
+
+    /// Merges `src`'s log prefix of length `upto` into `dst`, resuming from
+    /// the per-edge `watermark` so entries already carried over this edge are
+    /// never rescanned.  All termination counters and `informed_times` are
+    /// updated in the same pass.
+    fn merge_log_prefix(
+        &mut self,
+        rumors: &mut [RumorSet],
+        dst: NodeId,
+        src: NodeId,
+        upto: u32,
+        watermark: &mut u32,
+        round: u64,
+    ) {
+        let start = (*watermark).min(upto) as usize;
+        let end = upto as usize;
+        if start < end {
+            let (di, si) = (dst.index(), src.index());
+            // Split-borrow the two logs (no self-loops, so di != si).
+            let (dst_log, src_log) = if di < si {
+                let (lo, hi) = self.logs.split_at_mut(si);
+                (&mut lo[di], &hi[0] as &Vec<RumorId>)
+            } else {
+                let (lo, hi) = self.logs.split_at_mut(di);
+                (&mut hi[0], &lo[si] as &Vec<RumorId>)
+            };
+            let dst_set = &mut rumors[di];
+            for &rumor in &src_log[start..end] {
+                if !dst_set.insert(rumor) {
+                    continue;
+                }
+                dst_log.push(rumor);
+                self.counts[di] += 1;
+                if self.counts[di] == dst_set.universe() {
+                    self.full_nodes += 1;
+                }
+                if self.source_rumor == Some(rumor) {
+                    self.source_known_by += 1;
+                }
+                if self.tracked == Some(rumor) && self.informed_times[di].is_none() {
+                    self.informed_times[di] = Some(round);
+                }
+                if let Some(bound) = self.lb_bound {
+                    let j = rumor.index();
+                    if j < self.graph.node_count() {
+                        let nbrs = self.graph.neighbor_slice(dst);
+                        if let Ok(pos) = nbrs.binary_search_by_key(&NodeId::new(j), |&(w, _)| w) {
+                            if self.graph.latency(nbrs[pos].1) <= bound {
+                                self.lb_deficit -= 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        *watermark = (*watermark).max(upto);
+    }
+
+    fn is_done<P: Protocol>(
+        &self,
+        termination: &Termination,
+        round: u64,
+        protocol: &P,
+        in_flight_count: usize,
+    ) -> bool {
+        let n = self.counts.len();
+        match *termination {
+            Termination::AllKnowRumorOf(_) => self.source_known_by == n,
+            Termination::AllKnowAll => self.full_nodes == n,
+            Termination::LocalBroadcast(_) => self.lb_deficit == 0,
+            Termination::FixedRounds(target) => round >= target,
+            Termination::Quiescent => {
+                in_flight_count == 0 && self.graph.nodes().all(|v| protocol.is_idle(v))
+            }
+        }
+    }
 }
 
 /// The synchronous round simulator.
@@ -246,196 +495,175 @@ impl<'g> Simulation<'g> {
     }
 
     /// Runs `protocol` until the termination condition or the round cap is
-    /// reached and returns the run report.  The simulation can be run again
-    /// (with the same or another protocol) to continue from the reached state.
+    /// reached and returns the run report.
+    ///
+    /// # Re-running a simulation
+    ///
+    /// The rumor sets are the only simulation state that survives between
+    /// runs.  Calling `run` again (with the same or another protocol)
+    /// continues from the *reached rumor state*, but:
+    ///
+    /// * any exchange still **in flight** when the previous run stopped is
+    ///   **dropped** — it never completes and its rumors are never merged;
+    /// * the **round counter restarts at 0**, so `max_rounds`,
+    ///   [`Termination::FixedRounds`] targets, [`RunReport::rounds`] and
+    ///   [`RunReport::informed_times`] are all relative to the new run;
+    /// * discovered latencies, pending-exchange counts (Blocking mode) and
+    ///   activation counters are likewise reset.
+    ///
+    /// Protocol state is owned by the caller and is *not* reset; reuse the
+    /// same protocol value to continue its program, or pass a fresh one.
     pub fn run<P: Protocol>(&mut self, protocol: &mut P) -> RunReport {
         let n = self.graph.node_count();
         let mut rng = SmallRng::seed_from_u64(self.config.seed);
-        let mut in_flight: Vec<InFlight> = Vec::new();
-        let mut discovered: Vec<HashMap<EdgeId, Latency>> = vec![HashMap::new(); n];
+
+        let mut progress = Progress::new(self.graph, &self.config, &self.rumors);
+        // Calendar queue: `completes_at % ring_len` addresses the bucket of
+        // exchanges completing at `completes_at`.  Latencies are in
+        // `1..=max_latency`, so at any instant the live completion times
+        // occupy distinct buckets.
+        let ring_len = self.graph.max_latency() as usize + 1;
+        let mut calendar: Vec<Vec<Flight>> = (0..ring_len).map(|_| Vec::new()).collect();
+        let mut in_flight_count = 0usize;
+        // Per-edge merge watermarks: how much of `v`'s log `u` has already
+        // merged over this edge (`[0]`) and vice versa (`[1]`).
+        let mut watermarks: Vec<[u32; 2]> = vec![[0, 0]; self.graph.edge_count()];
+        let mut discovered = DiscoveredLatencies::new(self.graph.edge_count());
         let mut pending_own = vec![0usize; n];
         let mut activations: u64 = 0;
-        let mut informed_times: Vec<Option<u64>> = match self.config.tracked_rumor {
-            Some(r) => self
-                .rumors
-                .iter()
-                .map(|s| if s.contains(r) { Some(0) } else { None })
-                .collect(),
-            None => Vec::new(),
-        };
+        let mut rejections: u64 = 0;
 
         let mut round: u64 = 0;
-        let mut completed = self.is_done(&self.config.termination, 0, protocol, &in_flight);
-        if completed {
-            return self.report(protocol, 0, activations, true, informed_times);
-        }
-
-        while round < self.config.max_rounds {
-            // 1. Deliver exchanges completing at the start of this round.
-            let mut completions: Vec<InFlight> = Vec::new();
-            in_flight.retain_mut(|ex| {
-                if ex.completes_at == round {
-                    completions.push(InFlight {
-                        initiator: ex.initiator,
-                        responder: ex.responder,
-                        edge: ex.edge,
-                        completes_at: ex.completes_at,
-                        initiator_snapshot: std::mem::replace(
-                            &mut ex.initiator_snapshot,
-                            RumorSet::empty(0),
-                        ),
-                        responder_snapshot: std::mem::replace(
-                            &mut ex.responder_snapshot,
-                            RumorSet::empty(0),
-                        ),
-                    });
-                    false
-                } else {
-                    true
-                }
-            });
-            for ex in completions {
-                let latency = self.graph.latency(ex.edge);
-                pending_own[ex.initiator.index()] =
-                    pending_own[ex.initiator.index()].saturating_sub(1);
-                // Both endpoints merge the peer's snapshot taken at initiation.
-                self.rumors[ex.initiator.index()].union_with(&ex.responder_snapshot);
-                self.rumors[ex.responder.index()].union_with(&ex.initiator_snapshot);
-                discovered[ex.initiator.index()].insert(ex.edge, latency);
-                discovered[ex.responder.index()].insert(ex.edge, latency);
-                if let Some(r) = self.config.tracked_rumor {
-                    for endpoint in [ex.initiator, ex.responder] {
-                        if informed_times[endpoint.index()].is_none()
-                            && self.rumors[endpoint.index()].contains(r)
-                        {
-                            informed_times[endpoint.index()] = Some(round);
-                        }
+        let mut completed =
+            progress.is_done(&self.config.termination, 0, protocol, in_flight_count);
+        if !completed {
+            while round < self.config.max_rounds {
+                // 1. Deliver exchanges completing at the start of this round.
+                let bucket = round as usize % ring_len;
+                let mut completions = std::mem::take(&mut calendar[bucket]);
+                in_flight_count -= completions.len();
+                for fl in completions.drain(..) {
+                    let rec = self.graph.edge(fl.edge);
+                    let latency = rec.latency;
+                    pending_own[fl.initiator.index()] =
+                        pending_own[fl.initiator.index()].saturating_sub(1);
+                    // Both endpoints merge the peer's log prefix as of initiation.
+                    let [toward_u, toward_v] = &mut watermarks[fl.edge.index()];
+                    let (toward_initiator, toward_responder) = if fl.initiator == rec.u {
+                        (toward_u, toward_v)
+                    } else {
+                        (toward_v, toward_u)
+                    };
+                    progress.merge_log_prefix(
+                        &mut self.rumors,
+                        fl.initiator,
+                        fl.responder,
+                        fl.responder_known,
+                        toward_initiator,
+                        round,
+                    );
+                    progress.merge_log_prefix(
+                        &mut self.rumors,
+                        fl.responder,
+                        fl.initiator,
+                        fl.initiator_known,
+                        toward_responder,
+                        round,
+                    );
+                    discovered.mark(fl.edge, fl.initiator == rec.v);
+                    discovered.mark(fl.edge, fl.responder == rec.v);
+                    for (node, here) in [(fl.initiator, true), (fl.responder, false)] {
+                        protocol.on_exchange(
+                            node,
+                            &ExchangeEvent {
+                                peer: if here { fl.responder } else { fl.initiator },
+                                edge: fl.edge,
+                                latency,
+                                initiated_here: here,
+                                round,
+                            },
+                        );
                     }
                 }
-                for (node, here) in [(ex.initiator, true), (ex.responder, false)] {
-                    protocol.on_exchange(
-                        node,
-                        &ExchangeEvent {
-                            peer: if here { ex.responder } else { ex.initiator },
-                            edge: ex.edge,
-                            latency,
-                            initiated_here: here,
-                            round,
-                        },
-                    );
+                calendar[bucket] = completions; // keep the bucket's capacity
+
+                // 2. Check termination (conditions are evaluated on round boundaries).
+                if progress.is_done(&self.config.termination, round, protocol, in_flight_count) {
+                    completed = true;
+                    break;
                 }
-            }
 
-            // 2. Check termination (conditions are evaluated on round boundaries).
-            if self.is_done(&self.config.termination, round, protocol, &in_flight) {
-                completed = true;
-                break;
-            }
-
-            // 3. Let every node act.
-            for i in 0..n {
-                let node = NodeId::new(i);
-                let can_initiate = match self.config.mode {
-                    ExchangeMode::NonBlocking => true,
-                    ExchangeMode::Blocking => pending_own[i] == 0,
-                };
-                let choice = {
-                    let view = NodeView {
-                        node,
-                        round,
-                        rumors: &self.rumors[i],
-                        neighbors: neighbor_slice(self.graph, node),
-                        can_initiate,
-                        pending_own: pending_own[i],
-                        latency_oracle: LatencyOracle {
-                            graph: self.graph,
-                            known_all: self.config.latencies_known,
-                            discovered: &discovered[i],
-                        },
+                // 3. Let every node act.
+                for (i, pending) in pending_own.iter_mut().enumerate() {
+                    let node = NodeId::new(i);
+                    let can_initiate = match self.config.mode {
+                        ExchangeMode::NonBlocking => true,
+                        ExchangeMode::Blocking => *pending == 0,
                     };
-                    protocol.on_round(&view, &mut rng)
-                };
-                let Some(target) = choice else { continue };
-                if !can_initiate {
-                    continue;
+                    let choice = {
+                        let view = NodeView {
+                            node,
+                            round,
+                            rumors: &self.rumors[i],
+                            neighbors: self.graph.neighbor_slice(node),
+                            can_initiate,
+                            pending_own: *pending,
+                            latency_oracle: LatencyOracle {
+                                graph: self.graph,
+                                known_all: self.config.latencies_known,
+                                source: OracleSource::Flat {
+                                    node,
+                                    discovered: &discovered,
+                                },
+                            },
+                        };
+                        protocol.on_round(&view, &mut rng)
+                    };
+                    let Some(target) = choice else { continue };
+                    if !can_initiate {
+                        continue;
+                    }
+                    let Some(edge) = self.graph.find_edge(node, target) else {
+                        rejections += 1;
+                        protocol.on_rejected(node, target, round);
+                        continue;
+                    };
+                    let latency = self.graph.latency(edge);
+                    activations += 1;
+                    *pending += 1;
+                    calendar[(round + latency) as usize % ring_len].push(Flight {
+                        initiator: node,
+                        responder: target,
+                        edge,
+                        initiator_known: progress.counts[i] as u32,
+                        responder_known: progress.counts[target.index()] as u32,
+                    });
+                    in_flight_count += 1;
                 }
-                let Some(edge) = self.graph.find_edge(node, target) else {
-                    continue;
-                };
-                let latency = self.graph.latency(edge);
-                activations += 1;
-                pending_own[i] += 1;
-                in_flight.push(InFlight {
-                    initiator: node,
-                    responder: target,
-                    edge,
-                    completes_at: round + latency,
-                    initiator_snapshot: self.rumors[i].clone(),
-                    responder_snapshot: self.rumors[target.index()].clone(),
-                });
-            }
 
-            round += 1;
+                round += 1;
+            }
         }
 
         if !completed {
-            completed = self.is_done(&self.config.termination, round, protocol, &in_flight);
+            completed =
+                progress.is_done(&self.config.termination, round, protocol, in_flight_count);
         }
-        self.report(protocol, round, activations, completed, informed_times)
-    }
-
-    fn is_done<P: Protocol>(
-        &self,
-        termination: &Termination,
-        round: u64,
-        protocol: &P,
-        in_flight: &[InFlight],
-    ) -> bool {
-        match *termination {
-            Termination::AllKnowRumorOf(source) => {
-                let r = RumorId::of_node(source);
-                self.rumors.iter().all(|s| s.contains(r))
-            }
-            Termination::AllKnowAll => self.rumors.iter().all(RumorSet::is_full),
-            Termination::LocalBroadcast(bound) => self.graph.nodes().all(|v| {
-                self.graph.neighbors(v).all(|(w, e)| {
-                    self.graph.latency(e) > bound
-                        || self.rumors[v.index()].contains(RumorId::of_node(w))
-                })
-            }),
-            Termination::FixedRounds(target) => round >= target,
-            Termination::Quiescent => {
-                in_flight.is_empty() && self.graph.nodes().all(|v| protocol.is_idle(v))
-            }
-        }
-    }
-
-    fn report<P: Protocol>(
-        &self,
-        protocol: &P,
-        rounds: u64,
-        activations: u64,
-        completed: bool,
-        informed_times: Vec<Option<u64>>,
-    ) -> RunReport {
         RunReport {
             protocol: protocol.name().to_string(),
-            rounds,
+            rounds: round,
             activations,
             messages: activations * 2,
             completed,
-            informed_times: if informed_times.is_empty() {
+            rejections,
+            informed_times: if progress.informed_times.is_empty() {
                 None
             } else {
-                Some(informed_times)
+                Some(progress.informed_times)
             },
-            min_rumors_known: self.rumors.iter().map(RumorSet::len).min().unwrap_or(0),
+            min_rumors_known: progress.counts.iter().copied().min().unwrap_or(0),
         }
     }
-}
-
-fn neighbor_slice(graph: &Graph, node: NodeId) -> &[(NodeId, EdgeId)] {
-    graph.neighbor_slice(node)
 }
 
 #[cfg(test)]
@@ -546,6 +774,76 @@ mod tests {
     }
 
     #[test]
+    fn rerun_drops_in_flight_exchanges_and_restarts_rounds() {
+        // Pins the documented continuation semantics of `Simulation::run`:
+        // rumor state carries over, in-flight exchanges and the round counter
+        // do not.
+        let g = generators::path(2, 10).unwrap();
+        let config = SimConfig::new(1).termination(Termination::FixedRounds(5));
+        let mut sim = Simulation::new(&g, config);
+        let mut protocol = RoundRobinFlood::new(&g);
+        let first = sim.run(&mut protocol);
+        assert_eq!(first.rounds, 5);
+        assert!(first.activations > 0);
+        // The latency-10 exchange initiated at round 0 was still in flight at
+        // round 5; it is dropped, so nobody has learned anything.
+        assert!(sim.rumors().iter().all(|s| s.len() == 1));
+
+        // Re-running restarts the round counter (the FixedRounds(12) target is
+        // relative to the new run) and re-initiates from scratch: the fresh
+        // exchange completes at round 10 of the *second* run.
+        let mut sim = Simulation::with_rumors(
+            &g,
+            SimConfig::new(1).termination(Termination::FixedRounds(12)),
+            sim.into_rumors(),
+        );
+        let second = sim.run(&mut protocol);
+        assert_eq!(second.rounds, 12);
+        assert!(sim.rumors().iter().all(|s| s.len() == 2));
+    }
+
+    #[test]
+    fn non_neighbor_targets_are_rejected_and_counted() {
+        // A protocol that always targets a non-neighbor: on a path 0-1-2,
+        // node 0 contacts node 2.
+        struct Confused;
+        impl Protocol for Confused {
+            fn name(&self) -> &'static str {
+                "confused"
+            }
+            fn on_round(&mut self, view: &NodeView<'_>, _rng: &mut SmallRng) -> Option<NodeId> {
+                (view.node.index() == 0).then_some(NodeId::new(2))
+            }
+            fn on_rejected(&mut self, node: NodeId, target: NodeId, round: u64) {
+                // Override the default (which debug_asserts) to observe the event.
+                assert_eq!(node, NodeId::new(0));
+                assert_eq!(target, NodeId::new(2));
+                let _ = round;
+            }
+        }
+        let g = generators::path(3, 1).unwrap();
+        let config = SimConfig::new(1).termination(Termination::FixedRounds(4));
+        let report = Simulation::new(&g, config).run(&mut Confused);
+        assert_eq!(report.rejections, 4);
+        assert_eq!(report.activations, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-neighbor")]
+    #[cfg(debug_assertions)]
+    fn default_on_rejected_debug_asserts() {
+        struct Confused;
+        impl Protocol for Confused {
+            fn on_round(&mut self, view: &NodeView<'_>, _rng: &mut SmallRng) -> Option<NodeId> {
+                (view.node.index() == 0).then_some(NodeId::new(2))
+            }
+        }
+        let g = generators::path(3, 1).unwrap();
+        let config = SimConfig::new(1).termination(Termination::FixedRounds(4));
+        let _ = Simulation::new(&g, config).run(&mut Confused);
+    }
+
+    #[test]
     fn latency_discovery_through_exchanges() {
         // A protocol can see an incident latency only after using the edge.
         struct Probe {
@@ -591,5 +889,28 @@ mod tests {
             .latencies_known(true)
             .termination(Termination::FixedRounds(2));
         let _ = Simulation::new(&g, config).run(&mut Check);
+    }
+
+    #[test]
+    fn known_latency_is_none_for_foreign_edges() {
+        // Node 0 on a path 0-1-2 can never learn the latency of edge (1, 2),
+        // even after every edge has carried an exchange.
+        struct ProbeForeign {
+            foreign: Option<Option<Latency>>,
+        }
+        impl Protocol for ProbeForeign {
+            fn on_round(&mut self, view: &NodeView<'_>, _rng: &mut SmallRng) -> Option<NodeId> {
+                if view.node.index() == 0 && view.round == 8 {
+                    // Edge id 1 joins nodes 1 and 2 on the path.
+                    self.foreign = Some(view.known_latency(EdgeId::new(1)));
+                }
+                view.neighbors.first().map(|&(w, _)| w)
+            }
+        }
+        let g = generators::path(3, 2).unwrap();
+        let config = SimConfig::new(1).termination(Termination::FixedRounds(10));
+        let mut p = ProbeForeign { foreign: None };
+        let _ = Simulation::new(&g, config).run(&mut p);
+        assert_eq!(p.foreign, Some(None));
     }
 }

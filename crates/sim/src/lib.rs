@@ -44,9 +44,11 @@ mod report;
 mod rumor;
 
 pub mod protocols;
+#[doc(hidden)]
+pub mod reference;
 
 pub use engine::{
     ExchangeEvent, ExchangeMode, NodeView, Protocol, SimConfig, Simulation, Termination,
 };
 pub use report::RunReport;
-pub use rumor::{RumorId, RumorSet};
+pub use rumor::{RumorId, RumorIter, RumorSet};

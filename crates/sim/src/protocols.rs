@@ -5,6 +5,10 @@
 //! strategies that everything else is measured against — uniform random
 //! push–pull ([`RandomPushPull`]) and deterministic round-robin flooding
 //! ([`RoundRobinFlood`]) — plus a [`Silent`] protocol used in tests.
+//!
+//! Both protocols read the degree from `view.neighbors.len()` instead of
+//! caching per-graph degree vectors: a protocol value reused on a different
+//! graph would otherwise act on stale degrees and desync from the engine.
 
 use gossip_graph::{Graph, NodeId};
 use rand::rngs::SmallRng;
@@ -17,17 +21,15 @@ use crate::engine::{NodeView, Protocol};
 ///
 /// Theorem 29 of the paper shows this completes information dissemination in
 /// `O((ℓ*/φ*)·log n)` rounds w.h.p. in the latency model.
-#[derive(Debug, Clone)]
-pub struct RandomPushPull {
-    degrees: Vec<usize>,
-}
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomPushPull;
 
 impl RandomPushPull {
-    /// Creates the protocol for a given graph (only the degrees are needed).
-    pub fn new(graph: &Graph) -> Self {
-        RandomPushPull {
-            degrees: graph.nodes().map(|v| graph.degree(v)).collect(),
-        }
+    /// Creates the protocol.  The graph is not inspected — all topology is
+    /// read per round from the [`NodeView`] — but the constructor keeps the
+    /// historical signature so call sites document which graph they run on.
+    pub fn new(_graph: &Graph) -> Self {
+        RandomPushPull
     }
 }
 
@@ -37,7 +39,7 @@ impl Protocol for RandomPushPull {
     }
 
     fn on_round(&mut self, view: &NodeView<'_>, rng: &mut SmallRng) -> Option<NodeId> {
-        let deg = self.degrees[view.node.index()];
+        let deg = view.neighbors.len();
         if deg == 0 {
             return None;
         }
@@ -53,18 +55,23 @@ impl Protocol for RandomPushPull {
 /// `Ω(n·D)` behaviour the paper mentions when pull is unavailable, and it is
 /// also the inner loop of the RR-broadcast phase of the spanner algorithm
 /// (there restricted to spanner out-edges, implemented in `gossip-core`).
-#[derive(Debug, Clone)]
+///
+/// The cursor advances only when the engine will actually accept the choice
+/// (`view.can_initiate`): in [`Blocking`](crate::ExchangeMode::Blocking) mode
+/// a node waiting on a slow edge would otherwise spin its cursor past
+/// neighbors that were never contacted, starving them.
+#[derive(Debug, Clone, Default)]
 pub struct RoundRobinFlood {
     next: Vec<usize>,
-    degrees: Vec<usize>,
 }
 
 impl RoundRobinFlood {
-    /// Creates the protocol for a given graph.
+    /// Creates the protocol for a given graph (only the node count is used,
+    /// to pre-size the cursor table; the table grows on demand if the
+    /// protocol is reused on a larger graph).
     pub fn new(graph: &Graph) -> Self {
         RoundRobinFlood {
             next: vec![0; graph.node_count()],
-            degrees: graph.nodes().map(|v| graph.degree(v)).collect(),
         }
     }
 }
@@ -75,10 +82,14 @@ impl Protocol for RoundRobinFlood {
     }
 
     fn on_round(&mut self, view: &NodeView<'_>, _rng: &mut SmallRng) -> Option<NodeId> {
-        let i = view.node.index();
-        let deg = self.degrees[i];
-        if deg == 0 {
+        let deg = view.neighbors.len();
+        if deg == 0 || !view.can_initiate {
+            // Do not advance the cursor for a choice the engine would discard.
             return None;
+        }
+        let i = view.node.index();
+        if i >= self.next.len() {
+            self.next.resize(i + 1, 0);
         }
         let pick = self.next[i] % deg;
         self.next[i] = (self.next[i] + 1) % deg;
@@ -107,7 +118,7 @@ impl Protocol for Silent {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{SimConfig, Simulation, Termination};
+    use crate::{ExchangeMode, SimConfig, Simulation, Termination};
     use gossip_graph::generators;
 
     #[test]
@@ -161,6 +172,82 @@ mod tests {
         let report = Simulation::new(&g, config).run(&mut Silent);
         assert!(report.completed);
         assert_eq!(report.rounds, 0);
+    }
+
+    #[test]
+    fn protocols_survive_reuse_on_a_different_graph() {
+        // Degrees are read from the view, so a protocol value carried from a
+        // small graph to a larger one must behave exactly like a fresh one.
+        let small = generators::path(3, 1).unwrap();
+        let big = generators::clique(9, 1).unwrap();
+
+        let mut reused = RandomPushPull::new(&small);
+        let config = SimConfig::new(11).termination(Termination::AllKnowAll);
+        let _ = Simulation::new(&small, config.clone()).run(&mut reused);
+        let carried = Simulation::new(&big, config.clone()).run(&mut reused);
+        let fresh = Simulation::new(&big, config.clone()).run(&mut RandomPushPull::new(&big));
+        assert_eq!(carried, fresh);
+
+        let mut reused = RoundRobinFlood::new(&small);
+        let _ = Simulation::new(&small, config.clone()).run(&mut reused);
+        let carried = Simulation::new(&big, config.clone()).run(&mut reused);
+        assert!(carried.completed);
+        assert_eq!(carried.min_rumors_known, 9);
+    }
+
+    /// Records which targets the engine actually accepted from an inner protocol.
+    struct Recording<P> {
+        inner: P,
+        initiated: Vec<(NodeId, NodeId)>,
+    }
+
+    impl<P: Protocol> Protocol for Recording<P> {
+        fn name(&self) -> &'static str {
+            self.inner.name()
+        }
+        fn on_round(&mut self, view: &NodeView<'_>, rng: &mut SmallRng) -> Option<NodeId> {
+            let choice = self.inner.on_round(view, rng);
+            if view.can_initiate {
+                if let Some(target) = choice {
+                    self.initiated.push((view.node, target));
+                }
+            }
+            choice
+        }
+        fn on_exchange(&mut self, node: NodeId, event: &crate::ExchangeEvent) {
+            self.inner.on_exchange(node, event);
+        }
+        fn is_idle(&self, node: NodeId) -> bool {
+            self.inner.is_idle(node)
+        }
+    }
+
+    #[test]
+    fn round_robin_cursor_does_not_advance_while_blocked() {
+        // Regression test: in Blocking mode with latency-3 edges the cursor
+        // used to advance every round, so the star center re-contacted the
+        // same leaf forever (0, 3, 6, … ≡ 0 mod 3) and starved the others.
+        let g = generators::star(4, 3).unwrap();
+        let config = SimConfig::new(2)
+            .mode(ExchangeMode::Blocking)
+            .termination(Termination::FixedRounds(30));
+        let mut recording = Recording {
+            inner: RoundRobinFlood::new(&g),
+            initiated: Vec::new(),
+        };
+        let _ = Simulation::new(&g, config).run(&mut recording);
+        let center = NodeId::new(0);
+        let contacted: std::collections::BTreeSet<NodeId> = recording
+            .initiated
+            .iter()
+            .filter(|&&(from, _)| from == center)
+            .map(|&(_, to)| to)
+            .collect();
+        assert_eq!(
+            contacted.len(),
+            3,
+            "the center must rotate through all three leaves, got {contacted:?}"
+        );
     }
 
     use rand::SeedableRng;

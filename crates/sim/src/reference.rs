@@ -1,0 +1,291 @@
+//! The reference engine: the original snapshot-per-exchange implementation.
+//!
+//! [`ReferenceSimulation`] is a line-for-line preservation of the simulator
+//! before the snapshot-free rewrite (see the [`crate::engine`] module docs):
+//! it clones both endpoints' rumor bitsets at initiation, scans the whole
+//! in-flight list every round, and re-scans all rumor sets for every
+//! termination check.  It is `O(n)`-per-exchange slow by design — its job is
+//! to pin the *semantics*, not to be fast.
+//!
+//! The `engine_equivalence` integration suite runs both engines over the
+//! standard scenario grid and requires byte-identical [`RunReport`]s and
+//! final rumor states; the property tests in the same suite do the same over
+//! random graphs.  Any intentional semantic change to the engine must be
+//! mirrored here (the only post-rewrite change so far: rejected non-neighbor
+//! targets are counted and reported, identically in both engines).
+//!
+//! This module is exported for the test suites and benchmarks; it is not part
+//! of the supported API surface.
+
+use std::collections::HashMap;
+
+use gossip_graph::{EdgeId, Graph, Latency, NodeId};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::engine::{
+    ExchangeEvent, ExchangeMode, LatencyOracle, NodeView, OracleSource, Protocol, SimConfig,
+    Termination,
+};
+use crate::report::RunReport;
+use crate::rumor::{RumorId, RumorSet};
+
+struct InFlight {
+    initiator: NodeId,
+    responder: NodeId,
+    edge: EdgeId,
+    completes_at: u64,
+    /// Snapshot of the initiator's rumors at initiation time.
+    initiator_snapshot: RumorSet,
+    /// Snapshot of the responder's rumors at initiation time.
+    responder_snapshot: RumorSet,
+}
+
+/// The original snapshot-based simulator, kept as the semantic oracle for the
+/// rewritten engine.
+pub struct ReferenceSimulation<'g> {
+    graph: &'g Graph,
+    config: SimConfig,
+    rumors: Vec<RumorSet>,
+}
+
+impl<'g> ReferenceSimulation<'g> {
+    /// Creates a simulation where node `i` initially knows exactly rumor `i`.
+    pub fn new(graph: &'g Graph, config: SimConfig) -> Self {
+        let n = graph.node_count();
+        let rumors = (0..n)
+            .map(|i| RumorSet::singleton(n, RumorId::from(i)))
+            .collect();
+        ReferenceSimulation {
+            graph,
+            config,
+            rumors,
+        }
+    }
+
+    /// Creates a simulation with explicitly provided initial rumor sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial.len()` differs from the node count.
+    pub fn with_rumors(graph: &'g Graph, config: SimConfig, initial: Vec<RumorSet>) -> Self {
+        assert_eq!(
+            initial.len(),
+            graph.node_count(),
+            "one rumor set per node is required"
+        );
+        ReferenceSimulation {
+            graph,
+            config,
+            rumors: initial,
+        }
+    }
+
+    /// Read access to the current rumor sets (indexed by node).
+    pub fn rumors(&self) -> &[RumorSet] {
+        &self.rumors
+    }
+
+    /// Consumes the simulation and returns the rumor sets (after a run).
+    pub fn into_rumors(self) -> Vec<RumorSet> {
+        self.rumors
+    }
+
+    /// Runs `protocol` with the original snapshot-per-exchange semantics.
+    pub fn run<P: Protocol>(&mut self, protocol: &mut P) -> RunReport {
+        let n = self.graph.node_count();
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        let mut in_flight: Vec<InFlight> = Vec::new();
+        let mut discovered: Vec<HashMap<EdgeId, Latency>> = vec![HashMap::new(); n];
+        let mut pending_own = vec![0usize; n];
+        let mut activations: u64 = 0;
+        let mut rejections: u64 = 0;
+        let mut informed_times: Vec<Option<u64>> = match self.config.tracked_rumor {
+            Some(r) => self
+                .rumors
+                .iter()
+                .map(|s| if s.contains(r) { Some(0) } else { None })
+                .collect(),
+            None => Vec::new(),
+        };
+
+        let mut round: u64 = 0;
+        let mut completed = self.is_done(&self.config.termination, 0, protocol, &in_flight);
+        if completed {
+            return self.report(protocol, 0, activations, rejections, true, informed_times);
+        }
+
+        while round < self.config.max_rounds {
+            // 1. Deliver exchanges completing at the start of this round.
+            let mut completions: Vec<InFlight> = Vec::new();
+            in_flight.retain_mut(|ex| {
+                if ex.completes_at == round {
+                    completions.push(InFlight {
+                        initiator: ex.initiator,
+                        responder: ex.responder,
+                        edge: ex.edge,
+                        completes_at: ex.completes_at,
+                        initiator_snapshot: std::mem::replace(
+                            &mut ex.initiator_snapshot,
+                            RumorSet::empty(0),
+                        ),
+                        responder_snapshot: std::mem::replace(
+                            &mut ex.responder_snapshot,
+                            RumorSet::empty(0),
+                        ),
+                    });
+                    false
+                } else {
+                    true
+                }
+            });
+            for ex in completions {
+                let latency = self.graph.latency(ex.edge);
+                pending_own[ex.initiator.index()] =
+                    pending_own[ex.initiator.index()].saturating_sub(1);
+                // Both endpoints merge the peer's snapshot taken at initiation.
+                self.rumors[ex.initiator.index()].union_with(&ex.responder_snapshot);
+                self.rumors[ex.responder.index()].union_with(&ex.initiator_snapshot);
+                discovered[ex.initiator.index()].insert(ex.edge, latency);
+                discovered[ex.responder.index()].insert(ex.edge, latency);
+                if let Some(r) = self.config.tracked_rumor {
+                    for endpoint in [ex.initiator, ex.responder] {
+                        if informed_times[endpoint.index()].is_none()
+                            && self.rumors[endpoint.index()].contains(r)
+                        {
+                            informed_times[endpoint.index()] = Some(round);
+                        }
+                    }
+                }
+                for (node, here) in [(ex.initiator, true), (ex.responder, false)] {
+                    protocol.on_exchange(
+                        node,
+                        &ExchangeEvent {
+                            peer: if here { ex.responder } else { ex.initiator },
+                            edge: ex.edge,
+                            latency,
+                            initiated_here: here,
+                            round,
+                        },
+                    );
+                }
+            }
+
+            // 2. Check termination (conditions are evaluated on round boundaries).
+            if self.is_done(&self.config.termination, round, protocol, &in_flight) {
+                completed = true;
+                break;
+            }
+
+            // 3. Let every node act.
+            for i in 0..n {
+                let node = NodeId::new(i);
+                let can_initiate = match self.config.mode {
+                    ExchangeMode::NonBlocking => true,
+                    ExchangeMode::Blocking => pending_own[i] == 0,
+                };
+                let choice = {
+                    let view = NodeView {
+                        node,
+                        round,
+                        rumors: &self.rumors[i],
+                        neighbors: self.graph.neighbor_slice(node),
+                        can_initiate,
+                        pending_own: pending_own[i],
+                        latency_oracle: LatencyOracle {
+                            graph: self.graph,
+                            known_all: self.config.latencies_known,
+                            source: OracleSource::Map(&discovered[i]),
+                        },
+                    };
+                    protocol.on_round(&view, &mut rng)
+                };
+                let Some(target) = choice else { continue };
+                if !can_initiate {
+                    continue;
+                }
+                let Some(edge) = self.graph.find_edge(node, target) else {
+                    rejections += 1;
+                    protocol.on_rejected(node, target, round);
+                    continue;
+                };
+                let latency = self.graph.latency(edge);
+                activations += 1;
+                pending_own[i] += 1;
+                in_flight.push(InFlight {
+                    initiator: node,
+                    responder: target,
+                    edge,
+                    completes_at: round + latency,
+                    initiator_snapshot: self.rumors[i].clone(),
+                    responder_snapshot: self.rumors[target.index()].clone(),
+                });
+            }
+
+            round += 1;
+        }
+
+        if !completed {
+            completed = self.is_done(&self.config.termination, round, protocol, &in_flight);
+        }
+        self.report(
+            protocol,
+            round,
+            activations,
+            rejections,
+            completed,
+            informed_times,
+        )
+    }
+
+    fn is_done<P: Protocol>(
+        &self,
+        termination: &Termination,
+        round: u64,
+        protocol: &P,
+        in_flight: &[InFlight],
+    ) -> bool {
+        match *termination {
+            Termination::AllKnowRumorOf(source) => {
+                let r = RumorId::of_node(source);
+                self.rumors.iter().all(|s| s.contains(r))
+            }
+            Termination::AllKnowAll => self.rumors.iter().all(RumorSet::is_full),
+            Termination::LocalBroadcast(bound) => self.graph.nodes().all(|v| {
+                self.graph.neighbors(v).all(|(w, e)| {
+                    self.graph.latency(e) > bound
+                        || self.rumors[v.index()].contains(RumorId::of_node(w))
+                })
+            }),
+            Termination::FixedRounds(target) => round >= target,
+            Termination::Quiescent => {
+                in_flight.is_empty() && self.graph.nodes().all(|v| protocol.is_idle(v))
+            }
+        }
+    }
+
+    fn report<P: Protocol>(
+        &self,
+        protocol: &P,
+        rounds: u64,
+        activations: u64,
+        rejections: u64,
+        completed: bool,
+        informed_times: Vec<Option<u64>>,
+    ) -> RunReport {
+        RunReport {
+            protocol: protocol.name().to_string(),
+            rounds,
+            activations,
+            messages: activations * 2,
+            completed,
+            rejections,
+            informed_times: if informed_times.is_empty() {
+                None
+            } else {
+                Some(informed_times)
+            },
+            min_rumors_known: self.rumors.iter().map(RumorSet::len).min().unwrap_or(0),
+        }
+    }
+}

@@ -15,6 +15,10 @@ pub struct RunReport {
     pub messages: u64,
     /// `true` if the termination condition was met (as opposed to hitting the round cap).
     pub completed: bool,
+    /// Number of schedule errors: rounds in which a protocol chose a target
+    /// that is not a neighbor of the choosing node (reported back through
+    /// [`Protocol::on_rejected`](crate::Protocol::on_rejected)).
+    pub rejections: u64,
     /// Per-node round at which the tracked rumor was first known
     /// (only present if [`SimConfig::track_rumor`](crate::SimConfig::track_rumor) was used).
     pub informed_times: Option<Vec<Option<u64>>>,
@@ -53,7 +57,11 @@ impl fmt::Display for RunReport {
             f,
             "{}: {} rounds, {} activations, {} messages, completed = {}",
             self.protocol, self.rounds, self.activations, self.messages, self.completed
-        )
+        )?;
+        if self.rejections > 0 {
+            write!(f, ", {} rejected targets", self.rejections)?;
+        }
+        Ok(())
     }
 }
 
@@ -68,6 +76,7 @@ mod tests {
             activations: 20,
             messages: 40,
             completed: true,
+            rejections: 0,
             informed_times: informed,
             min_rumors_known: 4,
         }

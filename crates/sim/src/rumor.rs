@@ -149,10 +149,43 @@ impl RumorSet {
     }
 
     /// Iterator over the rumors present in the set, in increasing id order.
-    pub fn iter(&self) -> impl Iterator<Item = RumorId> + '_ {
-        (0..self.universe)
-            .map(RumorId::from)
-            .filter(move |&r| self.contains(r))
+    ///
+    /// Runs in `O(universe/64 + len)` — it walks whole words and peels set
+    /// bits — so materialising a sparse set is cheap even for large universes
+    /// (the engine uses this to seed per-node acquisition logs).
+    pub fn iter(&self) -> RumorIter<'_> {
+        RumorIter {
+            words: &self.words,
+            word_index: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Iterator over the rumors of a [`RumorSet`], in increasing id order.
+///
+/// Produced by [`RumorSet::iter`].
+#[derive(Debug, Clone)]
+pub struct RumorIter<'a> {
+    words: &'a [u64],
+    word_index: usize,
+    current: u64,
+}
+
+impl Iterator for RumorIter<'_> {
+    type Item = RumorId;
+
+    fn next(&mut self) -> Option<RumorId> {
+        while self.current == 0 {
+            self.word_index += 1;
+            if self.word_index >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_index];
+        }
+        let bit = self.current.trailing_zeros();
+        self.current &= self.current - 1;
+        Some(RumorId((self.word_index * 64) as u32 + bit))
     }
 }
 
@@ -239,6 +272,20 @@ mod tests {
         let mut a = RumorSet::empty(4);
         let b = RumorSet::empty(5);
         a.union_with(&b);
+    }
+
+    #[test]
+    fn iter_walks_words_in_order() {
+        // Rumors spread across multiple 64-bit words, including word edges.
+        let ids = [0usize, 1, 63, 64, 127, 128, 200];
+        let mut s = RumorSet::empty(201);
+        for &i in &ids {
+            s.insert(RumorId::from(i));
+        }
+        let got: Vec<usize> = s.iter().map(RumorId::index).collect();
+        assert_eq!(got, ids);
+        assert!(RumorSet::empty(0).iter().next().is_none());
+        assert!(RumorSet::empty(100).iter().next().is_none());
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Equivalence of the snapshot-free engine and the reference engine.
+//!
+//! The engine rewrite (acquisition logs + calendar queue + incremental
+//! termination counters) must be a pure performance change: on every scenario
+//! of the standard Quick sweep grid, for three seeds, [`Simulation`] and the
+//! preserved original implementation [`ReferenceSimulation`] must produce
+//! **byte-identical** [`RunReport`]s and identical final rumor states, under
+//! every termination condition and both exchange modes.  A proptest block
+//! repeats the comparison over random Erdős–Rényi instances.
+
+use gossip_bench::sweep::SweepSpec;
+use gossip_bench::Scale;
+use gossip_graph::{generators, Graph, NodeId};
+use gossip_sim::protocols::{RandomPushPull, RoundRobinFlood};
+use gossip_sim::reference::ReferenceSimulation;
+use gossip_sim::{
+    ExchangeMode, Protocol, RumorId, RumorSet, RunReport, SimConfig, Simulation, Termination,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Runs one protocol under one config on both engines and requires identical
+/// reports and identical final rumor sets.
+fn assert_equivalent<P: Protocol, F: Fn() -> P>(
+    g: &Graph,
+    config: &SimConfig,
+    make_protocol: F,
+    label: &str,
+) -> RunReport {
+    let mut new_protocol = make_protocol();
+    let mut new_sim = Simulation::new(g, config.clone());
+    let new_report = new_sim.run(&mut new_protocol);
+
+    let mut ref_protocol = make_protocol();
+    let mut ref_sim = ReferenceSimulation::new(g, config.clone());
+    let ref_report = ref_sim.run(&mut ref_protocol);
+
+    assert_eq!(new_report, ref_report, "report mismatch: {label}");
+    assert_eq!(
+        new_sim.into_rumors(),
+        ref_sim.into_rumors(),
+        "rumor-state mismatch: {label}"
+    );
+    new_report
+}
+
+/// The configurations equivalence is checked under: every termination
+/// condition plus the blocking mode.
+fn configs(seed: u64, n: usize) -> Vec<(SimConfig, &'static str)> {
+    vec![
+        (
+            SimConfig::new(seed)
+                .termination(Termination::AllKnowAll)
+                .max_rounds(5_000),
+            "all-know-all",
+        ),
+        (
+            SimConfig::new(seed)
+                .termination(Termination::AllKnowRumorOf(NodeId::new(n / 2)))
+                .track_rumor(RumorId::from(n / 2))
+                .max_rounds(5_000),
+            "one-to-all+tracking",
+        ),
+        (
+            SimConfig::new(seed)
+                .termination(Termination::LocalBroadcast(1))
+                .max_rounds(5_000),
+            "local-broadcast",
+        ),
+        (
+            SimConfig::new(seed)
+                .termination(Termination::FixedRounds(60))
+                .mode(ExchangeMode::Blocking),
+            "fixed-rounds+blocking",
+        ),
+    ]
+}
+
+/// The acceptance gate: every (scenario, seed) of the full Quick grid, three
+/// seeds, both bundled protocols, all four config shapes.
+#[test]
+fn engines_agree_on_the_full_quick_grid() {
+    let spec = SweepSpec::standard(Scale::Quick);
+    let mut checked = 0usize;
+    for family in &spec.families {
+        for &size in &spec.sizes {
+            for profile in &spec.profiles {
+                for seed in [1u64, 2, 3] {
+                    let mut graph_rng = SmallRng::seed_from_u64(seed ^ 0xA11CE);
+                    let base = family.build(size, &mut graph_rng);
+                    let g = profile.apply(&base, &mut graph_rng);
+                    for (config, config_label) in configs(seed, g.node_count()) {
+                        let label = format!(
+                            "{}/{}/{}/seed{}/{}",
+                            family.name(),
+                            size,
+                            profile.name(),
+                            seed,
+                            config_label
+                        );
+                        assert_equivalent(
+                            &g,
+                            &config,
+                            || RandomPushPull::new(&g),
+                            &format!("push-pull {label}"),
+                        );
+                        assert_equivalent(
+                            &g,
+                            &config,
+                            || RoundRobinFlood::new(&g),
+                            &format!("flood {label}"),
+                        );
+                        checked += 2;
+                    }
+                }
+            }
+        }
+    }
+    // 7 families x 2 sizes x 4 profiles x 3 seeds x 4 configs x 2 protocols.
+    assert_eq!(checked, 7 * 2 * 4 * 3 * 4 * 2);
+}
+
+/// Quiescent termination and pre-seeded rumor state go through
+/// `with_rumors`, which the grid test does not exercise.
+#[test]
+fn engines_agree_on_quiescent_and_preseeded_state() {
+    let g = generators::dumbbell(5, 7).unwrap();
+    let n = g.node_count();
+    let initial: Vec<RumorSet> = (0..n)
+        .map(|i| {
+            let mut s = RumorSet::singleton(n, RumorId::from(i));
+            s.insert(RumorId::from((i + 1) % n));
+            s
+        })
+        .collect();
+    let config = SimConfig::new(5)
+        .termination(Termination::Quiescent)
+        .max_rounds(200);
+
+    let mut new_sim = Simulation::with_rumors(&g, config.clone(), initial.clone());
+    let new_report = new_sim.run(&mut gossip_sim::protocols::Silent);
+    let mut ref_sim = ReferenceSimulation::with_rumors(&g, config, initial);
+    let ref_report = ref_sim.run(&mut gossip_sim::protocols::Silent);
+    assert_eq!(new_report, ref_report);
+    assert_eq!(new_sim.rumors(), ref_sim.rumors());
+    assert!(new_report.completed);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Acquisition-log merges equal bitset-snapshot merges on random graphs:
+    /// random Erdős–Rényi topology, random latency cap, random seed, both
+    /// protocols, every config shape.
+    #[test]
+    fn log_merge_equals_snapshot_merge_on_random_graphs(
+        n in 4usize..48,
+        p in 0.1f64..0.9,
+        max_latency in 1u64..12,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = generators::erdos_renyi(n, p, 1, &mut rng).unwrap();
+        let g = gossip_graph::latency::LatencyScheme::UniformRandom { min: 1, max: max_latency }
+            .apply(&g, &mut rng)
+            .unwrap();
+        for (config, label) in configs(seed, g.node_count()) {
+            let report =
+                assert_equivalent(&g, &config, || RandomPushPull::new(&g), label);
+            prop_assert_eq!(report.rejections, 0);
+            assert_equivalent(&g, &config, || RoundRobinFlood::new(&g), label);
+        }
+    }
+}

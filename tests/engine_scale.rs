@@ -1,0 +1,63 @@
+//! Scale gates for the snapshot-free engine: the workloads that were out of
+//! reach for the snapshot-per-exchange implementation must now run — and, in
+//! release mode, run fast.
+//!
+//! The wall-clock assertions only fire in release builds
+//! (`cargo test --release`, which CI runs for this suite); debug builds still
+//! execute the workloads end to end to pin correctness.
+
+use gossip_graph::{generators, NodeId};
+use gossip_sim::protocols::{RandomPushPull, RoundRobinFlood};
+use gossip_sim::{RumorId, SimConfig, Simulation, Termination};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The ISSUE acceptance gate: push–pull *all-to-all* on a 4096-node
+/// Erdős–Rényi graph, single-threaded, < 5 s in release mode.
+#[test]
+fn push_pull_all_to_all_on_4096_node_erdos_renyi() {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let g = generators::erdos_renyi(4096, 0.005, 1, &mut rng).unwrap();
+    let started = std::time::Instant::now();
+    let config = SimConfig::new(7).termination(Termination::AllKnowAll);
+    let report = Simulation::new(&g, config).run(&mut RandomPushPull::new(&g));
+    let elapsed = started.elapsed();
+    assert!(report.completed, "dissemination must finish: {report}");
+    assert_eq!(report.min_rumors_known, 4096);
+    #[cfg(not(debug_assertions))]
+    assert!(
+        elapsed < std::time::Duration::from_secs(5),
+        "4096-node all-to-all took {elapsed:.2?} (budget 5s)"
+    );
+    let _ = elapsed;
+}
+
+/// One-to-all on a 32768-node star: past the 10^4-node mark.  Termination is
+/// immediate knowledge-wise (the hub relays the source rumor in one hop), so
+/// per-node state stays small and the run is dominated by scheduling — the
+/// path the calendar queue keeps O(completions).
+#[test]
+fn one_to_all_on_a_32768_node_star() {
+    let g = generators::star(32768, 1).unwrap();
+    let config = SimConfig::new(3)
+        .termination(Termination::AllKnowRumorOf(NodeId::new(0)))
+        .track_rumor(RumorId(0));
+    let report = Simulation::new(&g, config).run(&mut RoundRobinFlood::new(&g));
+    assert!(report.completed);
+    assert!(report.rounds <= 4, "star one-to-all is O(1) rounds");
+    let times = report.informed_times.unwrap();
+    assert!(times.iter().all(Option::is_some));
+}
+
+/// A high-latency dumbbell at 2048 nodes: exercises the calendar queue with
+/// long-lived in-flight exchanges (bridge latency 64 keeps a bucket occupied
+/// for 64 rounds) and the local-broadcast deficit counters at scale.
+#[test]
+fn local_broadcast_on_a_2048_node_dumbbell() {
+    let g = generators::dumbbell(1024, 64).unwrap();
+    let config = SimConfig::new(9)
+        .termination(Termination::LocalBroadcast(1))
+        .max_rounds(20_000);
+    let report = Simulation::new(&g, config).run(&mut RandomPushPull::new(&g));
+    assert!(report.completed, "{report}");
+}

@@ -25,6 +25,9 @@ fn small_spec() -> SweepSpec {
         protocols: vec![ProtocolKind::PushPull, ProtocolKind::Flooding],
         trials: 4,
         base_seed: 2024,
+        dense_size_cap: None,
+        heavy_size_cap: None,
+        extra: Vec::new(),
     }
 }
 
@@ -80,6 +83,9 @@ fn per_trial_seeding_makes_random_families_vary_between_trials() {
         protocols: vec![ProtocolKind::PushPull],
         trials: 8,
         base_seed: 5,
+        dense_size_cap: None,
+        heavy_size_cap: None,
+        extra: Vec::new(),
     };
     let report = spec.run();
     let summary = &report.scenarios[0];

@@ -18,7 +18,19 @@ pub mod prelude {
 }
 
 /// Returns the number of worker threads a parallel call will use for `len` items.
+///
+/// Like real rayon's global pool, the `RAYON_NUM_THREADS` environment
+/// variable (a positive integer) overrides the detected parallelism — the
+/// workspace's determinism tests use it to prove results are identical
+/// across thread counts.
 pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)

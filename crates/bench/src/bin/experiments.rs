@@ -5,8 +5,8 @@
 //!
 //! ```text
 //! experiments [EXPERIMENT-ID ...] [--quick] [--json] [--markdown]
-//! experiments sweep [--quick|--full|--large] [--seed N] [--trials N] [--max-size N]
-//!                   [--out PATH] [--timing-out PATH] [--json] [--markdown]
+//! experiments sweep [--quick|--full|--large|--huge] [--seed N] [--trials N] [--max-size N]
+//!                   [--out PATH] [--timing-out PATH] [--mem-stats] [--json] [--markdown]
 //! ```
 //!
 //! With no experiment ids, every experiment (E1–E8, F1, F2, F8) is run.
@@ -20,12 +20,15 @@
 //! and writes the aggregated median/p95 round counts as a deterministic JSON
 //! report: the same `--seed` always produces a byte-identical file,
 //! regardless of thread count.  `--large` swaps in the large-scale grid
-//! (up to 4096 nodes everywhere, 32768 for the cheap protocols);
-//! `--max-size` drops grid cells above a node budget without changing the
-//! seeds of the remaining cells.  Alongside the report, every sweep writes a
-//! `BENCH_sweep.json` wall-clock timing artifact (schema
-//! `gossip-bench-timing/v1`, `--timing-out` to relocate) that CI uploads to
-//! track the perf trajectory.
+//! (up to 4096 nodes everywhere, 32768-node star cells — one-to-all *and*
+//! all-to-all — for the cheap protocols); `--huge` adds the 65536/131072-node
+//! star tier and a 16384-node Erdős–Rényi broadcast; `--max-size` drops grid
+//! cells above a node budget without changing the seeds of the remaining
+//! cells.  Alongside the report, every sweep writes a `BENCH_sweep.json`
+//! wall-clock timing artifact (schema `gossip-bench-timing/v2`,
+//! `--timing-out` to relocate) that CI uploads to track the perf trajectory;
+//! `--mem-stats` additionally folds the sweep's peak-memory aggregates (from
+//! the engine's deterministic `MemStats` counters) into that artifact.
 
 use std::process::ExitCode;
 
@@ -91,6 +94,7 @@ struct SweepOptions {
     max_size: Option<usize>,
     out: String,
     timing_out: String,
+    mem_stats: bool,
     json: bool,
     markdown: bool,
 }
@@ -103,6 +107,7 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepOptions, String> {
         max_size: None,
         out: "sweep_report.json".to_string(),
         timing_out: "BENCH_sweep.json".to_string(),
+        mem_stats: false,
         json: false,
         markdown: false,
     };
@@ -117,6 +122,8 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepOptions, String> {
             "--quick" => options.scale = Scale::Quick,
             "--full" => options.scale = Scale::Full,
             "--large" => options.scale = Scale::Large,
+            "--huge" => options.scale = Scale::Huge,
+            "--mem-stats" => options.mem_stats = true,
             "--json" => options.json = true,
             "--markdown" => options.markdown = true,
             "--seed" => {
@@ -150,8 +157,9 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepOptions, String> {
             "--timing-out" => options.timing_out = value_of("--timing-out")?,
             "--help" | "-h" => {
                 return Err(
-                    "usage: experiments sweep [--quick|--full|--large] [--seed N] [--trials N] \
-                     [--max-size N] [--out PATH] [--timing-out PATH] [--json] [--markdown]"
+                    "usage: experiments sweep [--quick|--full|--large|--huge] [--seed N] \
+                     [--trials N] [--max-size N] [--out PATH] [--timing-out PATH] \
+                     [--mem-stats] [--json] [--markdown]"
                         .to_string(),
                 )
             }
@@ -208,15 +216,24 @@ fn run_sweep(args: &[String]) -> ExitCode {
     }
     eprintln!("sweep: report written to {}", options.out);
 
-    // Wall-clock timing artifact (schema gossip-bench-timing/v1): unlike the
+    // Wall-clock timing artifact (schema gossip-bench-timing/v2): unlike the
     // report it is *not* deterministic — it records how fast this machine ran
-    // the sweep, so CI can track the perf trajectory across commits.
+    // the sweep, so CI can track the perf trajectory across commits.  With
+    // --mem-stats it also carries the sweep's peak-memory aggregates, which
+    // *are* deterministic (engine counters, not allocator probes).
     let elapsed_seconds = elapsed.as_secs_f64();
     let total_runs = spec.trial_count();
+    let (peak_mem_scenario, peak_mem_bytes) = if options.mem_stats {
+        report
+            .peak_mem_max()
+            .map_or((String::new(), 0), |(label, bytes)| (label, bytes))
+    } else {
+        (String::new(), 0)
+    };
     let timing = gossip_bench::json::Json::object(vec![
         (
             "schema",
-            gossip_bench::json::Json::Str("gossip-bench-timing/v1".to_string()),
+            gossip_bench::json::Json::Str("gossip-bench-timing/v2".to_string()),
         ),
         (
             "scale",
@@ -246,6 +263,18 @@ fn run_sweep(args: &[String]) -> ExitCode {
             } else {
                 0.0
             }),
+        ),
+        (
+            "mem_stats",
+            gossip_bench::json::Json::Bool(options.mem_stats),
+        ),
+        (
+            "peak_mem_bytes",
+            gossip_bench::json::Json::Int(peak_mem_bytes as i64),
+        ),
+        (
+            "peak_mem_scenario",
+            gossip_bench::json::Json::Str(peak_mem_scenario),
         ),
     ]);
     if let Err(e) = std::fs::write(&options.timing_out, format!("{}\n", timing.to_pretty())) {

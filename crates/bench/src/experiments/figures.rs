@@ -19,7 +19,7 @@ fn log2(n: usize) -> f64 {
 pub fn f1_gadgets(scale: Scale) -> Table {
     let sizes: Vec<usize> = match scale {
         Scale::Quick => vec![4, 8],
-        Scale::Full | Scale::Large => vec![8, 16, 32, 64],
+        Scale::Full | Scale::Large | Scale::Huge => vec![8, 16, 32, 64],
     };
     let mut table = Table::new(
         "F1 (Figure 1): guessing-game gadgets G and Gsym",
@@ -71,11 +71,11 @@ pub fn f1_gadgets(scale: Scale) -> Table {
 pub fn f8_dtg(scale: Scale) -> Table {
     let sizes: Vec<usize> = match scale {
         Scale::Quick => vec![16, 32],
-        Scale::Full | Scale::Large => vec![32, 64, 128, 256],
+        Scale::Full | Scale::Large | Scale::Huge => vec![32, 64, 128, 256],
     };
     let ells: Vec<u64> = match scale {
         Scale::Quick => vec![1, 4],
-        Scale::Full | Scale::Large => vec![1, 4, 16],
+        Scale::Full | Scale::Large | Scale::Huge => vec![1, 4, 16],
     };
     let mut table = Table::new(
         "F8 (Appendix A.1): ell-DTG local broadcast rounds vs ell log^2 n",

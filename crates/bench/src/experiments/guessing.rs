@@ -40,7 +40,7 @@ pub fn e2_singleton_game(scale: Scale) -> Table {
     let trials = scale.pick(10, 30);
     let sizes: Vec<usize> = match scale {
         Scale::Quick => vec![8, 16, 32],
-        Scale::Full | Scale::Large => vec![16, 32, 64, 128, 256, 512],
+        Scale::Full | Scale::Large | Scale::Huge => vec![16, 32, 64, 128, 256, 512],
     };
     let mut table = Table::new(
         "E2a (Lemma 7): rounds to solve Guessing(2m, |T|=1), average over trials",
@@ -90,7 +90,7 @@ pub fn e2_singleton_game(scale: Scale) -> Table {
 pub fn e2_theorem9_network(scale: Scale) -> Table {
     let deltas: Vec<usize> = match scale {
         Scale::Quick => vec![4, 8],
-        Scale::Full | Scale::Large => vec![8, 16, 32, 64],
+        Scale::Full | Scale::Large | Scale::Huge => vec![8, 16, 32, 64],
     };
     let n = scale.pick(48, 256);
     let mut table = Table::new(
@@ -122,7 +122,7 @@ pub fn e3_random_game(scale: Scale) -> Table {
     let m = scale.pick(32, 128);
     let ps: Vec<f64> = match scale {
         Scale::Quick => vec![0.25, 0.1],
-        Scale::Full | Scale::Large => vec![0.25, 0.125, 0.0625, 0.03125, 0.015625],
+        Scale::Full | Scale::Large | Scale::Huge => vec![0.25, 0.125, 0.0625, 0.03125, 0.015625],
     };
     let mut table = Table::new(
         "E3a (Lemma 8): rounds to solve Guessing(2m, Random_p)",
@@ -171,7 +171,7 @@ pub fn e3_theorem10_network(scale: Scale) -> Table {
     let n = scale.pick(24, 96);
     let configs: Vec<(f64, u64)> = match scale {
         Scale::Quick => vec![(0.3, 2), (0.1, 8)],
-        Scale::Full | Scale::Large => vec![
+        Scale::Full | Scale::Large | Scale::Huge => vec![
             (0.4, 2),
             (0.2, 2),
             (0.1, 2),

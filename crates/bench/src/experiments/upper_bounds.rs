@@ -18,11 +18,11 @@ fn log2(n: usize) -> f64 {
 fn slow_cut_family(scale: Scale, rng: &mut SmallRng) -> Vec<(String, Graph)> {
     let sizes: Vec<usize> = match scale {
         Scale::Quick => vec![32, 64],
-        Scale::Full | Scale::Large => vec![64, 128, 256, 512],
+        Scale::Full | Scale::Large | Scale::Huge => vec![64, 128, 256, 512],
     };
     let slows: Vec<u64> = match scale {
         Scale::Quick => vec![4, 16],
-        Scale::Full | Scale::Large => vec![1, 4, 16, 64],
+        Scale::Full | Scale::Large | Scale::Huge => vec![1, 4, 16, 64],
     };
     let mut out = Vec::new();
     for &n in &sizes {
@@ -78,7 +78,7 @@ pub fn e5_push_pull(scale: Scale) -> Table {
 pub fn e6_spanner(scale: Scale) -> Table {
     let sizes: Vec<usize> = match scale {
         Scale::Quick => vec![32, 64],
-        Scale::Full | Scale::Large => vec![64, 128, 256, 512],
+        Scale::Full | Scale::Large | Scale::Huge => vec![64, 128, 256, 512],
     };
     let mut rng = SmallRng::seed_from_u64(0xE6);
     let mut table = Table::new(
@@ -129,7 +129,7 @@ pub fn e6_spanner_broadcast(scale: Scale) -> Table {
                 generators::ring_of_cliques(4, 6, 8).unwrap(),
             ),
         ],
-        Scale::Full | Scale::Large => vec![
+        Scale::Full | Scale::Large | Scale::Huge => vec![
             (
                 "dumbbell(16, 16)".into(),
                 generators::dumbbell(16, 16).unwrap(),
@@ -187,7 +187,7 @@ pub fn e7_pattern(scale: Scale) -> Table {
             ("cycle(12, lat 2)".into(), generators::cycle(12, 2).unwrap()),
             ("dumbbell(5, 8)".into(), generators::dumbbell(5, 8).unwrap()),
         ],
-        Scale::Full | Scale::Large => vec![
+        Scale::Full | Scale::Large | Scale::Huge => vec![
             ("cycle(32, lat 2)".into(), generators::cycle(32, 2).unwrap()),
             (
                 "dumbbell(12, 16)".into(),
@@ -245,7 +245,7 @@ pub fn e8_unified(scale: Scale) -> Table {
                 generators::dumbbell(8, 64).unwrap(),
             ),
         ],
-        Scale::Full | Scale::Large => vec![
+        Scale::Full | Scale::Large | Scale::Huge => vec![
             ("clique(64)".into(), generators::clique(64, 1).unwrap()),
             (
                 "slow_cut_expander(128, 6, 4)".into(),

@@ -28,18 +28,24 @@ pub enum Scale {
     #[default]
     Full,
     /// The large-scale scenario grid (thousands of nodes per instance; tens
-    /// of thousands for the cheap protocols).  Only the sweep runner
-    /// distinguishes this from [`Scale::Full`]; the table experiments treat
-    /// it as full-size.
+    /// of thousands for the cheap protocols, including 32768-node all-to-all
+    /// star cells).  Only the sweep runner distinguishes this from
+    /// [`Scale::Full`]; the table experiments treat it as full-size.
     Large,
+    /// Everything in [`Scale::Large`] plus the huge tier opened by the
+    /// interval-log/shadow engine: 65536-node all-to-all stars, a
+    /// 131072-node one-to-all star, and a 16384-node Erdős–Rényi broadcast.
+    /// Opt-in (`experiments sweep --huge`); not part of the CI sweep.
+    Huge,
 }
 
 impl Scale {
-    /// Picks between the quick and full value ([`Scale::Large`] counts as full).
+    /// Picks between the quick and full value ([`Scale::Large`] and
+    /// [`Scale::Huge`] count as full).
     pub fn pick<T>(self, quick: T, full: T) -> T {
         match self {
             Scale::Quick => quick,
-            Scale::Full | Scale::Large => full,
+            Scale::Full | Scale::Large | Scale::Huge => full,
         }
     }
 
@@ -49,6 +55,7 @@ impl Scale {
             Scale::Quick => "quick",
             Scale::Full => "full",
             Scale::Large => "large",
+            Scale::Huge => "huge",
         }
     }
 }

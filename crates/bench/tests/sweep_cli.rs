@@ -41,7 +41,7 @@ fn sweep_subcommand_writes_reproducible_reports_and_timing_artifact() {
     let parsed = Json::parse(std::str::from_utf8(&first).unwrap().trim()).unwrap();
     assert_eq!(
         parsed.get("schema").and_then(Json::as_str),
-        Some("gossip-sweep/v1")
+        Some("gossip-sweep/v2")
     );
     let scenarios = parsed.get("scenarios").and_then(Json::as_array).unwrap();
     assert!(scenarios.len() >= 4, "sweep must cover the standard grid");
@@ -51,12 +51,15 @@ fn sweep_subcommand_writes_reproducible_reports_and_timing_artifact() {
     let timing = Json::parse(timing.trim()).expect("timing artifact is valid JSON");
     assert_eq!(
         timing.get("schema").and_then(Json::as_str),
-        Some("gossip-bench-timing/v1")
+        Some("gossip-bench-timing/v2")
     );
     assert_eq!(timing.get("scale").and_then(Json::as_str), Some("quick"));
     assert!(timing.get("threads").and_then(Json::as_i64).unwrap() >= 1);
     assert!(timing.get("total_runs").and_then(Json::as_i64).unwrap() > 0);
     assert!(timing.get("elapsed_seconds").is_some());
+    // Without --mem-stats the memory section is present but empty.
+    assert_eq!(timing.get("mem_stats"), Some(&Json::Bool(false)));
+    assert_eq!(timing.get("peak_mem_bytes").and_then(Json::as_i64), Some(0));
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -106,6 +109,52 @@ fn large_sweep_json_is_byte_identical_across_thread_counts() {
     // 7 families x 1 size x 2 profiles x 4 protocols (the 32768-star extras
     // are above the budget cap).
     assert_eq!(scenarios.len(), 7 * 2 * 4);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mem_stats_flag_fills_the_timing_artifact_memory_section() {
+    let experiments = env!("CARGO_BIN_EXE_experiments");
+    let dir = std::env::temp_dir().join(format!("gossip-sweep-mem-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let timing_path = dir.join("timing.json");
+    let output = std::process::Command::new(experiments)
+        .args([
+            "sweep",
+            "--quick",
+            "--trials",
+            "1",
+            "--seed",
+            "3",
+            "--mem-stats",
+        ])
+        .arg("--out")
+        .arg(dir.join("report.json"))
+        .arg("--timing-out")
+        .arg(&timing_path)
+        .output()
+        .expect("experiments sweep runs");
+    assert!(
+        output.status.success(),
+        "experiments sweep --mem-stats failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let timing = std::fs::read_to_string(&timing_path).unwrap();
+    let timing = Json::parse(timing.trim()).unwrap();
+    assert_eq!(
+        timing.get("schema").and_then(Json::as_str),
+        Some("gossip-bench-timing/v2")
+    );
+    assert_eq!(timing.get("mem_stats"), Some(&Json::Bool(true)));
+    assert!(
+        timing.get("peak_mem_bytes").and_then(Json::as_i64).unwrap() > 0,
+        "peak memory must be aggregated from the sweep"
+    );
+    let scenario = timing
+        .get("peak_mem_scenario")
+        .and_then(Json::as_str)
+        .unwrap();
+    assert!(!scenario.is_empty());
     std::fs::remove_dir_all(&dir).ok();
 }
 

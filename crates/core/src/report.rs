@@ -38,6 +38,12 @@ pub struct DisseminationReport {
     pub completed: bool,
     /// Per-phase breakdown.
     pub phases: Vec<Phase>,
+    /// Peak bytes of the engine's dissemination state, when the underlying
+    /// simulation reported memory counters (see
+    /// [`MemStats`](gossip_sim::MemStats)); `None` for purely analytical
+    /// phases or pre-counter engines.  Deterministic, so usable as a
+    /// regression gate.
+    pub peak_mem_bytes: Option<u64>,
 }
 
 impl DisseminationReport {
@@ -51,6 +57,7 @@ impl DisseminationReport {
             activations,
             completed,
             phases,
+            peak_mem_bytes: None,
         }
     }
 
@@ -68,7 +75,14 @@ impl DisseminationReport {
             rounds,
             activations,
             completed,
+            peak_mem_bytes: None,
         }
+    }
+
+    /// Attaches the engine's peak-memory figure (builder style).
+    pub fn with_peak_mem(mut self, peak_mem_bytes: Option<u64>) -> Self {
+        self.peak_mem_bytes = peak_mem_bytes;
+        self
     }
 
     /// Rounds spent in the named phase (0 if the phase does not exist).

@@ -43,6 +43,14 @@ pub enum GraphError {
         /// Human readable description of the violated constraint.
         reason: String,
     },
+    /// A latency scheme whose guarantee is defined over a *whole edge set*
+    /// (e.g. `BimodalFraction`'s exact slow-edge count) was asked for a
+    /// single independent draw, which cannot honor the contract.  Use
+    /// [`LatencyScheme::apply`](crate::latency::LatencyScheme::apply) instead.
+    SchemeNotPerEdge {
+        /// Name of the offending scheme variant.
+        scheme: &'static str,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -68,6 +76,13 @@ impl fmt::Display for GraphError {
             GraphError::Empty => write!(f, "graph must contain at least one node"),
             GraphError::InvalidParameters { reason } => {
                 write!(f, "invalid generator parameters: {reason}")
+            }
+            GraphError::SchemeNotPerEdge { scheme } => {
+                write!(
+                    f,
+                    "latency scheme '{scheme}' guarantees an exact count over a whole \
+                     edge set and cannot be sampled per edge; use LatencyScheme::apply"
+                )
             }
         }
     }
@@ -101,6 +116,11 @@ mod tests {
             reason: "n*d must be even".into(),
         };
         assert!(e.to_string().contains("n*d must be even"));
+        let e = GraphError::SchemeNotPerEdge {
+            scheme: "bimodal-fraction",
+        };
+        assert!(e.to_string().contains("bimodal-fraction"));
+        assert!(e.to_string().contains("LatencyScheme::apply"));
     }
 
     #[test]

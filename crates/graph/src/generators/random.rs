@@ -31,10 +31,14 @@ pub fn erdos_renyi<R: Rng + ?Sized>(
         });
     }
     let mut b = GraphBuilder::new(n);
+    // Each unordered pair is considered exactly once, so no duplicate is
+    // possible: trusted fast path.  (The connectivity repair below links
+    // representatives of *distinct* components, which by definition share no
+    // edge, so its checked `add_edge_if_absent` calls cannot collide either.)
     for u in 0..n {
         for v in (u + 1)..n {
             if rng.gen_bool(p) {
-                b.add_edge(u, v, latency)?;
+                b.add_edge_trusted(u, v, latency)?;
             }
         }
     }

@@ -57,17 +57,31 @@ pub enum LatencyScheme {
 }
 
 impl LatencyScheme {
-    /// Draws one latency according to the scheme.
+    /// Draws one latency according to the scheme, for the schemes that assign
+    /// latencies to edges *independently*.
+    ///
+    /// [`BimodalFraction`](Self::BimodalFraction) is **not** such a scheme:
+    /// its documented guarantee — exactly `round(slow_fraction · m)` slow
+    /// edges — is a property of a whole edge set, and per-edge Bernoulli
+    /// draws silently violate it (small instances can come out all-fast or
+    /// all-slow, exactly what the variant exists to prevent).  Sampling it
+    /// therefore returns [`GraphError::SchemeNotPerEdge`]; route such schemes
+    /// through [`apply`](Self::apply), which honors the exact count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SchemeNotPerEdge`] for schemes whose guarantee
+    /// spans the whole edge set.
     ///
     /// # Panics
     ///
     /// Panics if the scheme parameters are invalid (zero latency, empty range,
     /// probability outside `[0, 1]`, zero classes).
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Latency {
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Latency, GraphError> {
         match *self {
             LatencyScheme::Uniform(l) => {
                 assert!(l > 0, "uniform latency must be positive");
-                l
+                Ok(l)
             }
             LatencyScheme::TwoLevel {
                 fast,
@@ -79,11 +93,11 @@ impl LatencyScheme {
                     (0.0..=1.0).contains(&fast_probability),
                     "fast_probability must lie in [0, 1]"
                 );
-                if rng.gen_bool(fast_probability) {
+                Ok(if rng.gen_bool(fast_probability) {
                     fast
                 } else {
                     slow
-                }
+                })
             }
             LatencyScheme::PowerLawClasses { classes } => {
                 assert!(classes > 0, "at least one latency class is required");
@@ -92,30 +106,16 @@ impl LatencyScheme {
                 while class < classes && rng.gen_bool(0.5) {
                     class += 1;
                 }
-                1u64 << class.min(32)
+                Ok(1u64 << class.min(32))
             }
             LatencyScheme::UniformRandom { min, max } => {
                 assert!(min > 0, "latencies must be positive");
                 assert!(min <= max, "latency range must be non-empty");
-                rng.gen_range(min..=max)
+                Ok(rng.gen_range(min..=max))
             }
-            LatencyScheme::BimodalFraction {
-                slow,
-                slow_fraction,
-            } => {
-                // The exact-count guarantee only exists across a whole edge
-                // set; a single draw uses the marginal distribution.
-                assert!(slow > 0, "latencies must be positive");
-                assert!(
-                    (0.0..=1.0).contains(&slow_fraction),
-                    "slow_fraction must lie in [0, 1]"
-                );
-                if rng.gen_bool(slow_fraction) {
-                    slow
-                } else {
-                    1
-                }
-            }
+            LatencyScheme::BimodalFraction { .. } => Err(GraphError::SchemeNotPerEdge {
+                scheme: "bimodal-fraction",
+            }),
         }
     }
 
@@ -167,12 +167,16 @@ impl LatencyScheme {
         }
         let edges = g
             .edges()
-            .map(|rec| crate::EdgeRecord {
-                u: rec.u,
-                v: rec.v,
-                latency: self.sample(rng),
+            .map(|rec| {
+                Ok(crate::EdgeRecord {
+                    u: rec.u,
+                    v: rec.v,
+                    // Infallible here: the one non-per-edge scheme
+                    // (BimodalFraction) was fully handled above.
+                    latency: self.sample(rng)?,
+                })
             })
-            .collect();
+            .collect::<Result<Vec<_>, GraphError>>()?;
         Graph::from_parts(g.node_count(), edges)
     }
 }
@@ -189,7 +193,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         let s = LatencyScheme::Uniform(7);
         for _ in 0..10 {
-            assert_eq!(s.sample(&mut rng), 7);
+            assert_eq!(s.sample(&mut rng), Ok(7));
         }
     }
 
@@ -201,7 +205,7 @@ mod tests {
             slow: 100,
             fast_probability: 0.5,
         };
-        let draws: Vec<Latency> = (0..200).map(|_| s.sample(&mut rng)).collect();
+        let draws: Vec<Latency> = (0..200).map(|_| s.sample(&mut rng).unwrap()).collect();
         assert!(draws.contains(&1));
         assert!(draws.contains(&100));
         assert!(draws.iter().all(|&l| l == 1 || l == 100));
@@ -221,8 +225,8 @@ mod tests {
             fast_probability: 0.0,
         };
         for _ in 0..20 {
-            assert_eq!(all_fast.sample(&mut rng), 2);
-            assert_eq!(all_slow.sample(&mut rng), 50);
+            assert_eq!(all_fast.sample(&mut rng), Ok(2));
+            assert_eq!(all_slow.sample(&mut rng), Ok(50));
         }
     }
 
@@ -231,7 +235,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(4);
         let s = LatencyScheme::PowerLawClasses { classes: 4 };
         for _ in 0..500 {
-            let l = s.sample(&mut rng);
+            let l = s.sample(&mut rng).unwrap();
             assert!(l.is_power_of_two());
             assert!((2..=16).contains(&l));
         }
@@ -242,7 +246,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(5);
         let s = LatencyScheme::UniformRandom { min: 3, max: 9 };
         for _ in 0..200 {
-            let l = s.sample(&mut rng);
+            let l = s.sample(&mut rng).unwrap();
             assert!((3..=9).contains(&l));
         }
     }
@@ -280,16 +284,40 @@ mod tests {
     }
 
     #[test]
-    fn bimodal_fraction_sample_is_marginal() {
+    fn bimodal_fraction_cannot_be_sampled_per_edge() {
+        // Regression: `sample` used to fall back to independent Bernoulli
+        // draws, silently violating the exact-count contract that only
+        // `apply` honors.  The per-edge path is now unrepresentable.
         let mut rng = SmallRng::seed_from_u64(9);
         let s = LatencyScheme::BimodalFraction {
             slow: 10,
             slow_fraction: 0.5,
         };
-        let draws: Vec<Latency> = (0..200).map(|_| s.sample(&mut rng)).collect();
-        assert!(draws.contains(&1));
-        assert!(draws.contains(&10));
-        assert!(draws.iter().all(|&l| l == 1 || l == 10));
+        assert_eq!(
+            s.sample(&mut rng),
+            Err(GraphError::SchemeNotPerEdge {
+                scheme: "bimodal-fraction"
+            })
+        );
+    }
+
+    #[test]
+    fn bimodal_fraction_slow_count_is_exact_for_every_seed() {
+        // Regression companion: on a 13-edge graph with slow_fraction 0.5,
+        // independent coin flips would produce a count other than
+        // round(0.5 * 13) = 7 in the overwhelming majority of seeds; the
+        // whole-edge-set path must hit it every single time.
+        let g = generators::cycle(13, 1).unwrap(); // 13 edges
+        let s = LatencyScheme::BimodalFraction {
+            slow: 40,
+            slow_fraction: 0.5,
+        };
+        for seed in 0..64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let w = s.apply(&g, &mut rng).unwrap();
+            let slow_edges = w.edges().filter(|e| e.latency == 40).count();
+            assert_eq!(slow_edges, 7, "seed {seed}");
+        }
     }
 
     #[test]

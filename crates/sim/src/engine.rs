@@ -14,6 +14,20 @@
 //!   the peer's log prefix.  A per-edge watermark remembers how much of the
 //!   peer's log already arrived over that edge, so repeated exchanges over
 //!   the same edge never rescan old entries.
+//! * **Interval-compressed, truncated logs.**  A log stores maximal stretches
+//!   of consecutive rumor ids as single 8-byte runs ([`AcquisitionLog`]), so
+//!   bursty acquisition orders — star hubs relaying `leaf 1, leaf 2, …`,
+//!   all-to-all endgames copying whole prefixes — compress by orders of
+//!   magnitude.  And because every snapshot in flight was taken at most
+//!   `max_latency` rounds ago, only the trailing `max_latency + 1` rounds of
+//!   each log are ever read: each node keeps a *delayed bitset shadow* — its
+//!   rumor set as of the oldest possibly-outstanding snapshot — advanced
+//!   lazily through a calendar ring, and log runs behind the shadow frontier
+//!   are truncated.  A merge whose watermark falls at or behind the frontier
+//!   unions the shadow bitset directly and replays only the retained tail.
+//!   Together these break the old `Θ(Σ|final rumor sets|)` log-memory wall
+//!   (~4 GB for all-to-all at 32768 nodes); the peak footprint is reported in
+//!   [`RunReport::mem`](crate::report::MemStats).
 //! * **Calendar queue.**  In-flight exchanges live in a ring of
 //!   `max_latency + 1` buckets indexed by `completes_at % (max_latency + 1)`.
 //!   Since every latency is in `1..=max_latency`, the bucket drained at the
@@ -38,8 +52,8 @@ use gossip_graph::{EdgeId, Graph, Latency, NodeId};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::report::RunReport;
-use crate::rumor::{RumorId, RumorSet};
+use crate::report::{MemStats, RunReport};
+use crate::rumor::{self, AcquisitionLog, RumorId, RumorSet};
 
 /// Whether a node may start a new exchange while one it initiated is still in flight.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -77,6 +91,7 @@ pub struct SimConfig {
     pub(crate) max_rounds: u64,
     pub(crate) latencies_known: bool,
     pub(crate) tracked_rumor: Option<RumorId>,
+    pub(crate) shadow_min_truncate_runs: usize,
 }
 
 impl SimConfig {
@@ -90,6 +105,7 @@ impl SimConfig {
             max_rounds: 5_000_000,
             latencies_known: false,
             tracked_rumor: None,
+            shadow_min_truncate_runs: 64,
         }
     }
 
@@ -123,6 +139,21 @@ impl SimConfig {
     /// [`RunReport::informed_times`]).
     pub fn track_rumor(mut self, rumor: RumorId) -> Self {
         self.tracked_rumor = Some(rumor);
+        self
+    }
+
+    /// Tunes the lazy delayed-shadow machinery: a node's shadow bitset is
+    /// materialised — and its acquisition log truncated — only once at least
+    /// this many whole interval runs would be reclaimed, so short-lived or
+    /// well-compressed logs never pay for a bitset.
+    ///
+    /// The default (64 runs, i.e. 512 bytes of log per bitset) is a pure
+    /// memory/allocation trade-off: the setting has **no observable effect**
+    /// on simulation results.  `0` forces a shadow for every node as soon as
+    /// its frontier can advance; the equivalence suite uses that to exercise
+    /// the truncated-log merge path on small graphs.
+    pub fn shadow_compaction(mut self, min_truncate_runs: usize) -> Self {
+        self.shadow_min_truncate_runs = min_truncate_runs;
         self
     }
 }
@@ -296,12 +327,39 @@ struct Flight {
     responder_known: u32,
 }
 
-/// Incrementally maintained dissemination state: acquisition logs plus the
-/// counters that make every termination check `O(1)`.
+/// Deterministic memory accounting of the dissemination state (the source of
+/// [`MemStats`]): counters, not allocator probes, so gates built on them are
+/// reproducible across machines.
+#[derive(Default)]
+struct MemCounters {
+    /// Currently retained interval runs, summed over all logs.
+    live_runs: u64,
+    /// Peak of `live_runs` over the run so far.
+    peak_runs: u64,
+    /// 64-bit words held by materialised shadow bitsets (monotone).
+    shadow_words: u64,
+    /// Total runs reclaimed by shadow-frontier truncation.
+    truncated_runs: u64,
+    /// Number of shadow-frontier advancements.
+    shadow_advances: u64,
+}
+
+/// Incrementally maintained dissemination state: interval-compressed
+/// acquisition logs, delayed bitset shadows, plus the counters that make
+/// every termination check `O(1)`.
 struct Progress<'g> {
     graph: &'g Graph,
-    /// Per-node acquisition log: every rumor the node knows, in learn order.
-    logs: Vec<Vec<RumorId>>,
+    /// Per-node acquisition log: every rumor the node knows, in learn order,
+    /// run-length-compressed and truncated behind the shadow frontier.
+    logs: Vec<AcquisitionLog>,
+    /// Per-node delayed shadow: the bitset of the node's first
+    /// `shadow_len[i]` log entries.  Lazily materialised (empty = none, which
+    /// implies `shadow_len[i] == 0`).
+    shadows: Vec<Vec<u64>>,
+    /// Per-node shadow frontier, as an absolute log position.  Invariant:
+    /// every snapshot still in flight from node `i` covers at least this
+    /// prefix, so log entries below it are never read again.
+    shadow_len: Vec<u32>,
     /// `logs[i].len()`, cached as a plain counter (== rumor-set size).
     counts: Vec<usize>,
     /// Number of nodes whose rumor set is full.
@@ -318,6 +376,9 @@ struct Progress<'g> {
     tracked: Option<RumorId>,
     /// Per-node first round the tracked rumor was known (empty if untracked).
     informed_times: Vec<Option<u64>>,
+    /// Reusable buffer for the rumors a merge newly inserts.
+    scratch: Vec<RumorId>,
+    mem: MemCounters,
 }
 
 impl<'g> Progress<'g> {
@@ -344,9 +405,14 @@ impl<'g> Progress<'g> {
                 })
                 .sum()
         });
+        let logs: Vec<AcquisitionLog> = rumors.iter().map(AcquisitionLog::from_set).collect();
+        let live_runs: u64 = logs.iter().map(|l| l.retained_runs() as u64).sum();
+        let n = rumors.len();
         Progress {
             graph,
-            logs: rumors.iter().map(|s| s.iter().collect()).collect(),
+            logs,
+            shadows: vec![Vec::new(); n],
+            shadow_len: vec![0; n],
             counts: rumors.iter().map(RumorSet::len).collect(),
             full_nodes: rumors.iter().filter(|s| s.is_full()).count(),
             source_rumor,
@@ -362,14 +428,32 @@ impl<'g> Progress<'g> {
                     .collect(),
                 None => Vec::new(),
             },
+            scratch: Vec::new(),
+            mem: MemCounters {
+                live_runs,
+                peak_runs: live_runs,
+                ..MemCounters::default()
+            },
         }
     }
 
     /// Merges `src`'s log prefix of length `upto` into `dst`, resuming from
     /// the per-edge `watermark` so entries already carried over this edge are
-    /// never rescanned.  All termination counters and `informed_times` are
-    /// updated in the same pass.
-    fn merge_log_prefix(
+    /// never rescanned.  The prefix is served from two sources: positions
+    /// below `src`'s shadow frontier come from the shadow bitset (one word-OR
+    /// sweep — the log behind the frontier may already be truncated), the
+    /// retained tail is replayed run by run.  All termination counters and
+    /// `informed_times` are updated in the same pass.
+    ///
+    /// Returns `true` if `dst` learned at least one new rumor.
+    ///
+    /// Within a delivery phase the per-merge *insertion order* can differ
+    /// from the reference engine (the shadow union yields ascending rumor
+    /// ids, not `src`'s learn order), but snapshots are only ever taken on
+    /// round boundaries — after a phase's merges have all landed — so every
+    /// observable (rumor sets, reports, future snapshot prefixes *as sets*)
+    /// is identical.  The `engine_equivalence` suite pins this.
+    fn merge_prefix(
         &mut self,
         rumors: &mut [RumorSet],
         dst: NodeId,
@@ -377,49 +461,102 @@ impl<'g> Progress<'g> {
         upto: u32,
         watermark: &mut u32,
         round: u64,
-    ) {
-        let start = (*watermark).min(upto) as usize;
-        let end = upto as usize;
-        if start < end {
-            let (di, si) = (dst.index(), src.index());
-            // Split-borrow the two logs (no self-loops, so di != si).
-            let (dst_log, src_log) = if di < si {
-                let (lo, hi) = self.logs.split_at_mut(si);
-                (&mut lo[di], &hi[0] as &Vec<RumorId>)
-            } else {
-                let (lo, hi) = self.logs.split_at_mut(di);
-                (&mut hi[0], &lo[si] as &Vec<RumorId>)
-            };
-            let dst_set = &mut rumors[di];
-            for &rumor in &src_log[start..end] {
-                if !dst_set.insert(rumor) {
-                    continue;
-                }
-                dst_log.push(rumor);
-                self.counts[di] += 1;
-                if self.counts[di] == dst_set.universe() {
-                    self.full_nodes += 1;
-                }
-                if self.source_rumor == Some(rumor) {
-                    self.source_known_by += 1;
-                }
-                if self.tracked == Some(rumor) && self.informed_times[di].is_none() {
-                    self.informed_times[di] = Some(round);
-                }
-                if let Some(bound) = self.lb_bound {
-                    let j = rumor.index();
-                    if j < self.graph.node_count() {
-                        let nbrs = self.graph.neighbor_slice(dst);
-                        if let Ok(pos) = nbrs.binary_search_by_key(&NodeId::new(j), |&(w, _)| w) {
-                            if self.graph.latency(nbrs[pos].1) <= bound {
-                                self.lb_deficit -= 1;
-                            }
+    ) -> bool {
+        let (di, si) = (dst.index(), src.index());
+        let start = (*watermark).min(upto);
+        *watermark = (*watermark).max(upto);
+        // Nothing new over this edge, or dst already knows everything: the
+        // merge cannot change any state (counters included), so skip it.
+        if start >= upto || self.counts[di] >= rumors[di].universe() {
+            return false;
+        }
+
+        // Phase A: union the prefix into dst's bitset, collecting new rumors.
+        self.scratch.clear();
+        let shadow_frontier = self.shadow_len[si];
+        let dst_set = &mut rumors[di];
+        if start < shadow_frontier {
+            // Invariant: a nonzero frontier implies a materialised shadow
+            // holding exactly the first `shadow_frontier` log entries.
+            dst_set.union_words_collect_new(&self.shadows[si], &mut self.scratch);
+        }
+        let scratch = &mut self.scratch;
+        self.logs[si].for_each_segment(start.max(shadow_frontier), upto, |first, len| {
+            dst_set.insert_consecutive(first, len, scratch);
+        });
+        if self.scratch.is_empty() {
+            return false;
+        }
+
+        // Phase B: append the new rumors to dst's log and update counters.
+        let new_rumors = std::mem::take(&mut self.scratch);
+        let universe = rumors[di].universe();
+        for &rumor in &new_rumors {
+            if self.logs[di].push(rumor) {
+                self.mem.live_runs += 1;
+                self.mem.peak_runs = self.mem.peak_runs.max(self.mem.live_runs);
+            }
+            self.counts[di] += 1;
+            if self.counts[di] == universe {
+                self.full_nodes += 1;
+            }
+            if self.source_rumor == Some(rumor) {
+                self.source_known_by += 1;
+            }
+            if self.tracked == Some(rumor) && self.informed_times[di].is_none() {
+                self.informed_times[di] = Some(round);
+            }
+            if let Some(bound) = self.lb_bound {
+                let j = rumor.index();
+                if j < self.graph.node_count() {
+                    let nbrs = self.graph.neighbor_slice(dst);
+                    if let Ok(pos) = nbrs.binary_search_by_key(&NodeId::new(j), |&(w, _)| w) {
+                        if self.graph.latency(nbrs[pos].1) <= bound {
+                            self.lb_deficit -= 1;
                         }
                     }
                 }
             }
         }
-        *watermark = (*watermark).max(upto);
+        self.scratch = new_rumors;
+        true
+    }
+
+    /// Advances `node`'s shadow frontier to log position `target` (its rumor
+    /// count as of `ring_len` rounds ago — at or behind every snapshot that
+    /// can still be in flight), then truncates the log behind the frontier.
+    ///
+    /// The shadow bitset is materialised lazily: until at least
+    /// `min_truncate_runs` whole runs would be reclaimed, advancing is
+    /// skipped entirely — the retained log *is* the prefix, and stays small.
+    fn advance_shadow(
+        &mut self,
+        rumors: &[RumorSet],
+        node: usize,
+        target: u32,
+        min_truncate_runs: usize,
+    ) {
+        let current = self.shadow_len[node];
+        if target <= current {
+            return;
+        }
+        if self.shadows[node].is_empty() {
+            if self.logs[node].runs_entirely_below(target) < min_truncate_runs {
+                return;
+            }
+            let words = vec![0u64; rumors[node].word_count()];
+            self.mem.shadow_words += words.len() as u64;
+            self.shadows[node] = words;
+        }
+        let shadow = &mut self.shadows[node];
+        self.logs[node].for_each_segment(current, target, |first, len| {
+            rumor::set_words_range(shadow, first.index(), len as usize);
+        });
+        self.shadow_len[node] = target;
+        let freed = self.logs[node].truncate_below(target) as u64;
+        self.mem.live_runs -= freed;
+        self.mem.truncated_runs += freed;
+        self.mem.shadow_advances += 1;
     }
 
     fn is_done<P: Protocol>(
@@ -532,14 +669,30 @@ impl<'g> Simulation<'g> {
         let mut pending_own = vec![0usize; n];
         let mut activations: u64 = 0;
         let mut rejections: u64 = 0;
+        // Shadow-advancement calendar: a node whose rumor count changed in
+        // round `r` is queued with its end-of-round count, and popped
+        // `ring_len` rounds later — by then every snapshot still in flight
+        // was taken *after* round `r`, so the frontier may move there.
+        let mut shadow_ring: Vec<Vec<(u32, u32)>> = (0..ring_len).map(|_| Vec::new()).collect();
+        let mut changed_mark: Vec<u64> = vec![u64::MAX; n];
+        let mut changed_this_round: Vec<u32> = Vec::new();
+        let min_truncate_runs = self.config.shadow_min_truncate_runs;
 
         let mut round: u64 = 0;
         let mut completed =
             progress.is_done(&self.config.termination, 0, protocol, in_flight_count);
         if !completed {
             while round < self.config.max_rounds {
-                // 1. Deliver exchanges completing at the start of this round.
                 let bucket = round as usize % ring_len;
+                // 0. Advance shadow frontiers queued `ring_len` rounds ago and
+                //    truncate the logs behind them.
+                let mut advances = std::mem::take(&mut shadow_ring[bucket]);
+                for (node, target) in advances.drain(..) {
+                    progress.advance_shadow(&self.rumors, node as usize, target, min_truncate_runs);
+                }
+                shadow_ring[bucket] = advances; // keep the bucket's capacity
+
+                // 1. Deliver exchanges completing at the start of this round.
                 let mut completions = std::mem::take(&mut calendar[bucket]);
                 in_flight_count -= completions.len();
                 for fl in completions.drain(..) {
@@ -554,22 +707,27 @@ impl<'g> Simulation<'g> {
                     } else {
                         (toward_v, toward_u)
                     };
-                    progress.merge_log_prefix(
-                        &mut self.rumors,
-                        fl.initiator,
-                        fl.responder,
-                        fl.responder_known,
-                        toward_initiator,
-                        round,
-                    );
-                    progress.merge_log_prefix(
-                        &mut self.rumors,
-                        fl.responder,
-                        fl.initiator,
-                        fl.initiator_known,
-                        toward_responder,
-                        round,
-                    );
+                    for (dst, src, upto, mark) in [
+                        (
+                            fl.initiator,
+                            fl.responder,
+                            fl.responder_known,
+                            toward_initiator,
+                        ),
+                        (
+                            fl.responder,
+                            fl.initiator,
+                            fl.initiator_known,
+                            toward_responder,
+                        ),
+                    ] {
+                        let changed =
+                            progress.merge_prefix(&mut self.rumors, dst, src, upto, mark, round);
+                        if changed && changed_mark[dst.index()] != round {
+                            changed_mark[dst.index()] = round;
+                            changed_this_round.push(dst.index() as u32);
+                        }
+                    }
                     discovered.mark(fl.edge, fl.initiator == rec.v);
                     discovered.mark(fl.edge, fl.responder == rec.v);
                     for (node, here) in [(fl.initiator, true), (fl.responder, false)] {
@@ -586,6 +744,12 @@ impl<'g> Simulation<'g> {
                     }
                 }
                 calendar[bucket] = completions; // keep the bucket's capacity
+
+                // Queue this round's growth for shadow advancement one ring
+                // revolution from now.
+                for node in changed_this_round.drain(..) {
+                    shadow_ring[bucket].push((node, progress.counts[node as usize] as u32));
+                }
 
                 // 2. Check termination (conditions are evaluated on round boundaries).
                 if progress.is_done(&self.config.termination, round, protocol, in_flight_count) {
@@ -649,6 +813,24 @@ impl<'g> Simulation<'g> {
             completed =
                 progress.is_done(&self.config.termination, round, protocol, in_flight_count);
         }
+        let rumor_set_bytes: u64 = self.rumors.iter().map(|s| s.word_count() as u64 * 8).sum();
+        let peak_log_bytes = progress.mem.peak_runs * 8; // a Run is two u32s
+        let shadow_bytes = progress.mem.shadow_words * 8;
+        let watermark_bytes = self.graph.edge_count() as u64 * 8;
+        let discovery_bytes = discovered.bits.len() as u64 * 8;
+        let mem = MemStats {
+            peak_log_runs: progress.mem.peak_runs,
+            peak_log_bytes,
+            truncated_runs: progress.mem.truncated_runs,
+            shadow_advances: progress.mem.shadow_advances,
+            shadow_bytes,
+            rumor_set_bytes,
+            peak_engine_bytes: rumor_set_bytes
+                + shadow_bytes
+                + peak_log_bytes
+                + watermark_bytes
+                + discovery_bytes,
+        };
         RunReport {
             protocol: protocol.name().to_string(),
             rounds: round,
@@ -662,6 +844,7 @@ impl<'g> Simulation<'g> {
                 Some(progress.informed_times)
             },
             min_rumors_known: progress.counts.iter().copied().min().unwrap_or(0),
+            mem: Some(mem),
         }
     }
 }
@@ -841,6 +1024,33 @@ mod tests {
         let g = generators::path(3, 1).unwrap();
         let config = SimConfig::new(1).termination(Termination::FixedRounds(4));
         let _ = Simulation::new(&g, config).run(&mut Confused);
+    }
+
+    #[test]
+    fn shadow_compaction_does_not_change_results_and_reports_memory() {
+        // The delayed-shadow machinery is a pure memory optimisation: forcing
+        // it on (threshold 0) must leave every semantic field untouched.
+        let g = generators::clique(12, 3).unwrap();
+        let run = |cfg: SimConfig| Simulation::new(&g, cfg).run(&mut RandomPushPull::new(&g));
+        let base = run(SimConfig::new(11).termination(Termination::FixedRounds(40)));
+        let forced = run(SimConfig::new(11)
+            .termination(Termination::FixedRounds(40))
+            .shadow_compaction(0));
+        assert_eq!(base.semantics(), forced.semantics());
+
+        let forced_mem = forced.mem.unwrap();
+        assert!(forced_mem.shadow_advances > 0, "threshold 0 must advance");
+        assert!(forced_mem.truncated_runs > 0, "advancing must truncate");
+        assert!(forced_mem.shadow_bytes > 0);
+        assert!(forced_mem.peak_engine_bytes >= forced_mem.rumor_set_bytes);
+
+        let lazy_mem = base.mem.unwrap();
+        assert_eq!(
+            lazy_mem.shadow_advances, 0,
+            "12-entry logs never reach the 64-run materialisation threshold"
+        );
+        assert_eq!(lazy_mem.shadow_bytes, 0);
+        assert!(lazy_mem.peak_log_runs > 0);
     }
 
     #[test]

@@ -50,5 +50,5 @@ pub mod reference;
 pub use engine::{
     ExchangeEvent, ExchangeMode, NodeView, Protocol, SimConfig, Simulation, Termination,
 };
-pub use report::RunReport;
-pub use rumor::{RumorId, RumorIter, RumorSet};
+pub use report::{MemStats, RunReport};
+pub use rumor::{AcquisitionLog, RumorId, RumorIter, RumorSet};

@@ -286,6 +286,10 @@ impl<'g> ReferenceSimulation<'g> {
                 Some(informed_times)
             },
             min_rumors_known: self.rumors.iter().map(RumorSet::len).min().unwrap_or(0),
+            // The reference engine predates the interval-log/shadow state the
+            // memory counters describe; equivalence compares
+            // `RunReport::semantics()`, which strips this field.
+            mem: None,
         }
     }
 }

@@ -2,6 +2,37 @@
 
 use std::fmt;
 
+/// Peak-memory diagnostics of the engine's dissemination state, reported by
+/// [`Simulation::run`](crate::Simulation::run).
+///
+/// All byte figures are *estimates derived from deterministic counters*
+/// (entries × entry size), not allocator measurements, so they are
+/// reproducible across machines and usable as regression gates.  The engine
+/// fills them in; the reference engine reports `None` — memory diagnostics
+/// are engine-specific and excluded from semantic equivalence (see
+/// [`RunReport::semantics`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemStats {
+    /// Peak number of interval runs retained across all acquisition logs at
+    /// any point of the run (8 bytes each).
+    pub peak_log_runs: u64,
+    /// `peak_log_runs` in bytes.
+    pub peak_log_bytes: u64,
+    /// Total log runs reclaimed by shadow-frontier truncation.
+    pub truncated_runs: u64,
+    /// Number of shadow-frontier advancements (each may truncate logs).
+    pub shadow_advances: u64,
+    /// Bytes held by materialised delayed-shadow bitsets at the end of the
+    /// run (shadows are lazily allocated and never freed mid-run).
+    pub shadow_bytes: u64,
+    /// Bytes held by the per-node rumor bitsets (fixed for the whole run).
+    pub rumor_set_bytes: u64,
+    /// Peak bytes of the engine's dissemination state: rumor sets + shadows +
+    /// retained logs + per-edge watermarks + latency-discovery bits.  The
+    /// graph itself and protocol state are not included.
+    pub peak_engine_bytes: u64,
+}
+
 /// Measurements from one simulation run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunReport {
@@ -25,9 +56,23 @@ pub struct RunReport {
     /// The smallest rumor-set size over all nodes at the end of the run
     /// (equals `n` exactly when all-to-all dissemination finished).
     pub min_rumors_known: usize,
+    /// Peak-memory diagnostics of the engine's dissemination state
+    /// (`None` for the reference engine, which predates the counters).
+    ///
+    /// Deterministic, but engine-specific: strip with
+    /// [`semantics`](Self::semantics) before comparing reports across engines.
+    pub mem: Option<MemStats>,
 }
 
 impl RunReport {
+    /// A copy of the report with the engine-specific [`MemStats`] stripped —
+    /// the fields two semantically equivalent engines must agree on.
+    pub fn semantics(&self) -> RunReport {
+        RunReport {
+            mem: None,
+            ..self.clone()
+        }
+    }
     /// The largest per-node informed time, if informed times were tracked and
     /// every node learned the tracked rumor.
     pub fn last_informed_time(&self) -> Option<u64> {
@@ -79,7 +124,23 @@ mod tests {
             rejections: 0,
             informed_times: informed,
             min_rumors_known: 4,
+            mem: None,
         }
+    }
+
+    #[test]
+    fn semantics_strips_only_the_memory_diagnostics() {
+        let mut r = sample(Some(vec![Some(0)]));
+        r.mem = Some(MemStats {
+            peak_log_runs: 3,
+            ..MemStats::default()
+        });
+        let stripped = r.semantics();
+        assert_eq!(stripped.mem, None);
+        assert_ne!(r, stripped);
+        assert_eq!(stripped, r.semantics());
+        assert_eq!(stripped.rounds, r.rounds);
+        assert_eq!(stripped.informed_times, r.informed_times);
     }
 
     #[test]

@@ -160,6 +160,290 @@ impl RumorSet {
             current: self.words.first().copied().unwrap_or(0),
         }
     }
+
+    /// Inserts the `len` consecutive rumors `first, first+1, …, first+len-1`,
+    /// pushing every rumor that was *not* already present onto `out_new` in
+    /// increasing id order.
+    ///
+    /// This is the word-level workhorse of the engine's interval-log merge:
+    /// one run of consecutive rumor ids is unioned in `O(len/64 + new)` time
+    /// instead of `len` individual inserts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run extends past the universe.
+    pub fn insert_consecutive(&mut self, first: RumorId, len: u32, out_new: &mut Vec<RumorId>) {
+        if len == 0 {
+            return;
+        }
+        let lo = first.index();
+        let hi = lo + len as usize;
+        assert!(
+            hi <= self.universe,
+            "run {lo}..{hi} outside universe of size {}",
+            self.universe
+        );
+        let words = &mut self.words;
+        for_each_word_mask(lo, len as usize, |w, mask| {
+            let mut new = mask & !words[w];
+            words[w] |= mask;
+            while new != 0 {
+                let bit = new.trailing_zeros();
+                new &= new - 1;
+                out_new.push(RumorId((w * 64) as u32 + bit));
+            }
+        });
+    }
+
+    /// Unions a raw word slice (same universe layout) into the set, pushing
+    /// every newly inserted rumor onto `out_new` in increasing id order.
+    /// Used by the engine to merge a peer's delayed bitset shadow.
+    pub(crate) fn union_words_collect_new(&mut self, words: &[u64], out_new: &mut Vec<RumorId>) {
+        debug_assert_eq!(words.len(), self.words.len(), "universe mismatch");
+        for (w, (a, &b)) in self.words.iter_mut().zip(words).enumerate() {
+            let mut new = b & !*a;
+            *a |= b;
+            while new != 0 {
+                let bit = new.trailing_zeros();
+                new &= new - 1;
+                out_new.push(RumorId((w * 64) as u32 + bit));
+            }
+        }
+    }
+
+    /// Number of 64-bit words a shadow bitset over this universe needs.
+    pub(crate) fn word_count(&self) -> usize {
+        self.words.len()
+    }
+}
+
+/// Calls `f(word_index, mask)` for every 64-bit word overlapped by the bit
+/// range `lo..lo+len`, with `mask` covering exactly the in-range bits of
+/// that word.  Shared by the consecutive-run set operations so the boundary
+/// arithmetic (including the `1 << 64` full-word case) lives in one place.
+fn for_each_word_mask(lo: usize, len: usize, mut f: impl FnMut(usize, u64)) {
+    if len == 0 {
+        return;
+    }
+    let hi = lo + len;
+    for w in lo / 64..=(hi - 1) / 64 {
+        let a = lo.max(w * 64) - w * 64;
+        let b = hi.min(w * 64 + 64) - w * 64;
+        let mask = if b - a == 64 {
+            !0u64
+        } else {
+            ((1u64 << (b - a)) - 1) << a
+        };
+        f(w, mask);
+    }
+}
+
+/// Sets the bits `lo..lo+len` in a raw bitset word slice (the engine uses
+/// this to replay consecutive log runs into a delayed shadow).
+pub(crate) fn set_words_range(words: &mut [u64], lo: usize, len: usize) {
+    for_each_word_mask(lo, len, |w, mask| words[w] |= mask);
+}
+
+/// One run of an [`AcquisitionLog`]: the entries at positions
+/// `start .. next run's start` hold the consecutive rumor ids
+/// `first, first + 1, …`.  The run length is implicit in the neighbor run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Run {
+    /// Absolute log position of the run's first entry.
+    start: u32,
+    /// Rumor id of the run's first entry.
+    first: u32,
+}
+
+/// A run-length-compressed, truncatable acquisition log.
+///
+/// Conceptually this is an append-only sequence of [`RumorId`]s — the rumors
+/// a node learned, in learn order — addressed by *absolute position*.  Two
+/// things make it cheap at scale:
+///
+/// * **Interval runs.**  Maximal stretches of *consecutive* rumor ids are
+///   stored as a single 8-byte run.  Acquisition orders in dissemination
+///   workloads are bursty (a merge copies its peer's runs, so runs propagate
+///   and grow), and on structured families — star hubs relaying
+///   `leaf 1, leaf 2, …`, clique all-to-all — whole logs collapse to a
+///   handful of runs.
+/// * **Prefix truncation.**  [`truncate_below`](Self::truncate_below) drops
+///   runs that lie entirely below a position; reads below the truncation
+///   frontier are a contract violation (the engine serves them from a delayed
+///   bitset shadow instead).  Positions stay absolute across truncation, so
+///   snapshots and watermarks taken earlier remain valid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AcquisitionLog {
+    runs: Vec<Run>,
+    /// Index into `runs` of the first retained run (earlier runs are dropped
+    /// lazily and compacted away once they dominate the vector).
+    head: usize,
+    /// Total number of entries ever appended (`==` the owning node's rumor count).
+    len: u32,
+    /// Absolute position of the first retained entry (`== len` when empty).
+    front: u32,
+}
+
+impl AcquisitionLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        AcquisitionLog {
+            runs: Vec::new(),
+            head: 0,
+            len: 0,
+            front: 0,
+        }
+    }
+
+    /// Creates a log seeded with the rumors of `set` in increasing id order
+    /// (the canonical initial-state order; consecutive ids coalesce into runs).
+    pub fn from_set(set: &RumorSet) -> Self {
+        let mut log = AcquisitionLog::new();
+        for rumor in set.iter() {
+            log.push(rumor);
+        }
+        log
+    }
+
+    /// Total number of entries ever appended (including truncated ones).
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// Absolute position of the first retained entry: reads below this
+    /// position panic in debug builds.
+    pub fn front(&self) -> u32 {
+        self.front
+    }
+
+    /// Number of runs currently retained (the log's live memory, 8 bytes each).
+    pub fn retained_runs(&self) -> usize {
+        self.runs.len() - self.head
+    }
+
+    /// End position of the retained run at `runs` index `i`.
+    fn run_end(&self, i: usize) -> u32 {
+        if i + 1 < self.runs.len() {
+            self.runs[i + 1].start
+        } else {
+            self.len
+        }
+    }
+
+    /// Appends one entry.  Returns `true` if the entry started a new run
+    /// (`false` when it extended the last run — extensions are free, the run
+    /// length is implicit).
+    pub fn push(&mut self, rumor: RumorId) -> bool {
+        let pos = self.len;
+        self.len += 1;
+        if self.head < self.runs.len() {
+            let last = self.runs[self.runs.len() - 1];
+            if u64::from(last.first) + u64::from(pos - last.start) == u64::from(rumor.0) {
+                return false;
+            }
+        }
+        self.runs.push(Run {
+            start: pos,
+            first: rumor.0,
+        });
+        true
+    }
+
+    /// Number of retained runs that lie entirely below `pos` — exactly what
+    /// [`truncate_below`](Self::truncate_below) would reclaim.
+    pub fn runs_entirely_below(&self, pos: u32) -> usize {
+        let live = &self.runs[self.head..];
+        let k = live.partition_point(|r| r.start < pos);
+        if k == 0 {
+            return 0;
+        }
+        // The k-th run (index k-1) starts below `pos` but may extend past it.
+        let end = self.run_end(self.head + k - 1);
+        if end <= pos {
+            k
+        } else {
+            k - 1
+        }
+    }
+
+    /// Drops every run lying entirely below `pos` and returns how many were
+    /// reclaimed.  A run straddling `pos` is kept whole, so positions
+    /// `>= pos` always stay readable.
+    pub fn truncate_below(&mut self, pos: u32) -> usize {
+        let mut dropped = 0usize;
+        while self.head < self.runs.len() && self.run_end(self.head) <= pos {
+            self.head += 1;
+            dropped += 1;
+        }
+        self.front = if self.head < self.runs.len() {
+            self.runs[self.head].start
+        } else {
+            self.len
+        };
+        // Compact once dropped runs dominate, and release oversized capacity
+        // so truncation frees real memory, not just indices.
+        if self.head > 32 && self.head * 2 >= self.runs.len() {
+            self.runs.drain(..self.head);
+            self.head = 0;
+            if self.runs.capacity() > 4 * self.runs.len().max(8) {
+                self.runs.shrink_to(2 * self.runs.len().max(8));
+            }
+        }
+        dropped
+    }
+
+    /// Calls `f(first_rumor, segment_len)` for the consecutive-id segments
+    /// covering positions `from..to`, in position order.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `from` lies below the truncation frontier or
+    /// `to` past the end.
+    pub fn for_each_segment(&self, from: u32, to: u32, mut f: impl FnMut(RumorId, u32)) {
+        if from >= to {
+            return;
+        }
+        debug_assert!(
+            from >= self.front,
+            "reading truncated log positions ({from} < front {})",
+            self.front
+        );
+        debug_assert!(to <= self.len, "reading past the log ({to} > {})", self.len);
+        let live = &self.runs[self.head..];
+        let mut i = live.partition_point(|r| r.start <= from).saturating_sub(1);
+        while i < live.len() {
+            let run = live[i];
+            if run.start >= to {
+                break;
+            }
+            let end = self.run_end(self.head + i);
+            let s = run.start.max(from);
+            let e = end.min(to);
+            if s < e {
+                f(RumorId(run.first + (s - run.start)), e - s);
+            }
+            i += 1;
+        }
+    }
+
+    /// The entry at absolute position `pos` (mainly for tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is truncated or out of range.
+    pub fn get(&self, pos: u32) -> RumorId {
+        assert!(pos >= self.front && pos < self.len, "position out of range");
+        let live = &self.runs[self.head..];
+        let i = live.partition_point(|r| r.start <= pos) - 1;
+        RumorId(live[i].first + (pos - live[i].start))
+    }
+}
+
+impl Default for AcquisitionLog {
+    fn default() -> Self {
+        AcquisitionLog::new()
+    }
 }
 
 /// Iterator over the rumors of a [`RumorSet`], in increasing id order.
@@ -294,5 +578,160 @@ mod tests {
         let repr = format!("{s:?}");
         assert!(repr.contains("RumorSet"));
         assert!(repr.contains('1'));
+    }
+
+    #[test]
+    fn insert_consecutive_matches_individual_inserts() {
+        let mut a = RumorSet::empty(200);
+        a.insert(RumorId(70));
+        a.insert(RumorId(128));
+        let mut b = a.clone();
+
+        let mut new = Vec::new();
+        a.insert_consecutive(RumorId(60), 80, &mut new);
+        let mut expected_new = Vec::new();
+        for i in 60..140u32 {
+            if b.insert(RumorId(i)) {
+                expected_new.push(RumorId(i));
+            }
+        }
+        assert_eq!(a, b);
+        assert_eq!(new, expected_new);
+        assert!(!new.contains(&RumorId(70)));
+        assert!(new.contains(&RumorId(139)));
+
+        // Zero-length runs are a no-op.
+        new.clear();
+        a.insert_consecutive(RumorId(0), 0, &mut new);
+        assert!(new.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn insert_consecutive_past_universe_panics() {
+        let mut s = RumorSet::empty(10);
+        s.insert_consecutive(RumorId(8), 3, &mut Vec::new());
+    }
+
+    #[test]
+    fn union_words_collects_exactly_the_new_rumors() {
+        let mut dst = RumorSet::singleton(130, RumorId(5));
+        let mut src = RumorSet::singleton(130, RumorId(5));
+        src.insert(RumorId(0));
+        src.insert(RumorId(64));
+        src.insert(RumorId(129));
+        let mut new = Vec::new();
+        dst.union_words_collect_new(&src.words, &mut new);
+        assert_eq!(new, vec![RumorId(0), RumorId(64), RumorId(129)]);
+        assert!(dst.is_superset(&src));
+        new.clear();
+        dst.union_words_collect_new(&src.words, &mut new);
+        assert!(new.is_empty(), "second union adds nothing");
+    }
+
+    #[test]
+    fn set_words_range_sets_exactly_the_range() {
+        let mut words = vec![0u64; 4];
+        set_words_range(&mut words, 60, 10); // spans the 0/1 word boundary
+        set_words_range(&mut words, 128, 64); // a full word
+        set_words_range(&mut words, 0, 0); // no-op
+        let mut expected = RumorSet::empty(256);
+        for i in 60..70 {
+            expected.insert(RumorId(i));
+        }
+        for i in 128..192 {
+            expected.insert(RumorId(i));
+        }
+        assert_eq!(words, expected.words);
+    }
+
+    #[test]
+    fn log_coalesces_consecutive_ids_into_runs() {
+        let mut log = AcquisitionLog::new();
+        for i in [7u32, 8, 9, 10, 3, 4, 42] {
+            log.push(RumorId(i));
+        }
+        assert_eq!(log.len(), 7);
+        assert_eq!(log.retained_runs(), 3, "7..=10, 3..=4, 42");
+        let entries: Vec<u32> = (0..7).map(|p| log.get(p).0).collect();
+        assert_eq!(entries, vec![7, 8, 9, 10, 3, 4, 42]);
+    }
+
+    #[test]
+    fn log_from_set_compresses_dense_sets() {
+        let mut set = RumorSet::empty(1000);
+        for i in 0..1000 {
+            if i != 500 {
+                set.insert(RumorId(i));
+            }
+        }
+        let log = AcquisitionLog::from_set(&set);
+        assert_eq!(log.len(), 999);
+        assert_eq!(log.retained_runs(), 2, "0..500 and 501..1000");
+        assert_eq!(log.get(0), RumorId(0));
+        assert_eq!(log.get(500), RumorId(501));
+    }
+
+    #[test]
+    fn log_segments_cover_arbitrary_ranges() {
+        let mut log = AcquisitionLog::new();
+        for i in [10u32, 11, 12, 50, 51, 90] {
+            log.push(RumorId(i));
+        }
+        let collect = |from, to| {
+            let mut out = Vec::new();
+            log.for_each_segment(from, to, |first, len| out.push((first.0, len)));
+            out
+        };
+        assert_eq!(collect(0, 6), vec![(10, 3), (50, 2), (90, 1)]);
+        assert_eq!(collect(1, 5), vec![(11, 2), (50, 2)]);
+        assert_eq!(collect(4, 4), vec![]);
+        assert_eq!(collect(5, 6), vec![(90, 1)]);
+    }
+
+    #[test]
+    fn log_truncation_reclaims_whole_runs_and_keeps_positions_absolute() {
+        let mut log = AcquisitionLog::new();
+        for i in [10u32, 11, 12, 50, 51, 90] {
+            log.push(RumorId(i));
+        }
+        assert_eq!(log.runs_entirely_below(3), 1);
+        assert_eq!(log.runs_entirely_below(4), 1, "run 50..52 straddles pos 4");
+        assert_eq!(log.runs_entirely_below(5), 2);
+        assert_eq!(log.runs_entirely_below(6), 3);
+
+        assert_eq!(log.truncate_below(4), 1);
+        assert_eq!(log.front(), 3, "straddling run kept whole");
+        assert_eq!(log.retained_runs(), 2);
+        // Absolute positions survive truncation.
+        assert_eq!(log.get(4), RumorId(51));
+        let mut out = Vec::new();
+        log.for_each_segment(4, 6, |first, len| out.push((first.0, len)));
+        assert_eq!(out, vec![(51, 1), (90, 1)]);
+
+        assert_eq!(log.truncate_below(6), 2);
+        assert_eq!(log.retained_runs(), 0);
+        assert_eq!(log.front(), 6);
+        // Appending after full truncation starts a fresh run.
+        assert!(log.push(RumorId(91)));
+        assert_eq!(log.get(6), RumorId(91));
+        assert_eq!(log.len(), 7);
+    }
+
+    #[test]
+    fn log_compaction_frees_dropped_runs() {
+        let mut log = AcquisitionLog::new();
+        // 200 singleton runs (even ids never coalesce).
+        for i in 0..200u32 {
+            log.push(RumorId(2 * i));
+        }
+        assert_eq!(log.retained_runs(), 200);
+        let dropped = log.truncate_below(150);
+        assert_eq!(dropped, 150);
+        assert_eq!(log.retained_runs(), 50);
+        // Internal compaction must not disturb reads.
+        assert_eq!(log.get(150), RumorId(300));
+        assert_eq!(log.get(199), RumorId(398));
+        assert_eq!(AcquisitionLog::default().len(), 0);
     }
 }

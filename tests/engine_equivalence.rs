@@ -22,6 +22,10 @@ use rand::SeedableRng;
 
 /// Runs one protocol under one config on both engines and requires identical
 /// reports and identical final rumor sets.
+///
+/// Reports are compared through [`RunReport::semantics`]: the engine fills in
+/// [`MemStats`](gossip_sim::MemStats) diagnostics the reference engine (by
+/// design) does not have; every other field must be byte-identical.
 fn assert_equivalent<P: Protocol, F: Fn() -> P>(
     g: &Graph,
     config: &SimConfig,
@@ -36,7 +40,15 @@ fn assert_equivalent<P: Protocol, F: Fn() -> P>(
     let mut ref_sim = ReferenceSimulation::new(g, config.clone());
     let ref_report = ref_sim.run(&mut ref_protocol);
 
-    assert_eq!(new_report, ref_report, "report mismatch: {label}");
+    assert!(
+        new_report.mem.is_some() && ref_report.mem.is_none(),
+        "engine reports memory diagnostics, the reference does not: {label}"
+    );
+    assert_eq!(
+        new_report.semantics(),
+        ref_report.semantics(),
+        "report mismatch: {label}"
+    );
     assert_eq!(
         new_sim.into_rumors(),
         ref_sim.into_rumors(),
@@ -142,7 +154,7 @@ fn engines_agree_on_quiescent_and_preseeded_state() {
     let new_report = new_sim.run(&mut gossip_sim::protocols::Silent);
     let mut ref_sim = ReferenceSimulation::with_rumors(&g, config, initial);
     let ref_report = ref_sim.run(&mut gossip_sim::protocols::Silent);
-    assert_eq!(new_report, ref_report);
+    assert_eq!(new_report.semantics(), ref_report.semantics());
     assert_eq!(new_sim.rumors(), ref_sim.rumors());
     assert!(new_report.completed);
 }
@@ -171,5 +183,40 @@ proptest! {
             prop_assert_eq!(report.rejections, 0);
             assert_equivalent(&g, &config, || RoundRobinFlood::new(&g), label);
         }
+    }
+
+    /// The truncated-log merge path, specifically: `shadow_compaction(0)`
+    /// forces every node's shadow frontier to advance (and its log to be
+    /// truncated) as soon as the calendar allows, on graphs with
+    /// `max_latency > 1` so snapshots genuinely straddle the frontier.  Every
+    /// counter maintained inside the merge — `informed_times`, `rejections`,
+    /// `min_rumors_known`, completion — must still match the reference
+    /// engine, and the run must actually have exercised truncation.
+    #[test]
+    fn truncated_log_merges_match_reference_with_forced_shadows(
+        n in 6usize..40,
+        p in 0.15f64..0.9,
+        max_latency in 2u64..10,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5AAD);
+        let g = generators::erdos_renyi(n, p, 1, &mut rng).unwrap();
+        // Latencies start at 2 so every snapshot spends at least one full
+        // round in flight and genuinely straddles the shadow frontier.
+        let g = gossip_graph::latency::LatencyScheme::UniformRandom { min: 2, max: max_latency }
+            .apply(&g, &mut rng)
+            .unwrap();
+        // Long enough that shadow advancements (queued max_latency + 1 rounds
+        // after each merge) happen while rumors are still spreading.
+        let config = SimConfig::new(seed)
+            .termination(Termination::FixedRounds(12 * g.max_latency()))
+            .track_rumor(RumorId::from(n / 3))
+            .shadow_compaction(0);
+        let report = assert_equivalent(&g, &config, || RandomPushPull::new(&g), "forced-shadows");
+        prop_assert_eq!(report.rejections, 0);
+        let mem = report.mem.unwrap();
+        prop_assert!(mem.shadow_advances > 0, "forced compaction must advance shadows");
+        prop_assert!(mem.truncated_runs > 0, "advancement must truncate log runs");
+        assert_equivalent(&g, &config, || RoundRobinFlood::new(&g), "forced-shadows flood");
     }
 }

@@ -12,8 +12,11 @@ use gossip_sim::{RumorId, SimConfig, Simulation, Termination};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-/// The ISSUE acceptance gate: push–pull *all-to-all* on a 4096-node
-/// Erdős–Rényi graph, single-threaded, < 5 s in release mode.
+/// The PR-2 acceptance gate: push–pull *all-to-all* on a 4096-node
+/// Erdős–Rényi graph, single-threaded, < 5 s in release mode.  Since the
+/// interval-log/shadow rework this run also exercises truncation at scale:
+/// random mixing fragments the logs past the 64-run materialisation
+/// threshold, so shadows must advance and reclaim runs mid-run.
 #[test]
 fn push_pull_all_to_all_on_4096_node_erdos_renyi() {
     let mut rng = SmallRng::seed_from_u64(1);
@@ -24,12 +27,83 @@ fn push_pull_all_to_all_on_4096_node_erdos_renyi() {
     let elapsed = started.elapsed();
     assert!(report.completed, "dissemination must finish: {report}");
     assert_eq!(report.min_rumors_known, 4096);
+    let mem = report.mem.unwrap();
+    assert!(
+        mem.shadow_advances > 0,
+        "fragmented logs must trigger shadows"
+    );
+    assert!(mem.truncated_runs > 0, "shadow advancement must truncate");
     #[cfg(not(debug_assertions))]
     assert!(
         elapsed < std::time::Duration::from_secs(5),
         "4096-node all-to-all took {elapsed:.2?} (budget 5s)"
     );
     let _ = elapsed;
+}
+
+/// Always-on memory gate at a debug-friendly size: all-to-all on a 4096-node
+/// star must stay tiny — interval runs collapse the star's bursty
+/// acquisition orders to a handful of runs per node, so the dissemination
+/// state is dominated by the rumor bitsets (~2 MB) and stays far below the
+/// 16 MB budget asserted here.
+#[test]
+fn star_all_to_all_memory_stays_within_sixteen_megabytes_at_4096() {
+    let g = generators::star(4096, 1).unwrap();
+    let config = SimConfig::new(5).termination(Termination::AllKnowAll);
+    let report = Simulation::new(&g, config).run(&mut RandomPushPull::new(&g));
+    assert!(report.completed, "{report}");
+    assert_eq!(report.min_rumors_known, 4096);
+    let mem = report.mem.unwrap();
+    assert!(
+        mem.peak_engine_bytes < 16 << 20,
+        "peak {} bytes exceeds the 16 MiB budget ({mem:?})",
+        mem.peak_engine_bytes
+    );
+    assert!(mem.rumor_set_bytes >= 4096 * (4096 / 64) * 8);
+    // The whole point of interval runs: ~n log entries per node compress to
+    // a handful of runs each (the hub relays ascending leaf ids; each run
+    // splits only around ids learned out of order).
+    assert!(
+        mem.peak_log_runs < 8 * 4096,
+        "star logs must compress to O(1) runs per node, got {}",
+        mem.peak_log_runs
+    );
+}
+
+/// THE ISSUE acceptance gate (release only — the run pushes ~10^9 word
+/// operations, fine optimised, minutes unoptimised): push–pull *all-to-all*
+/// on a 32768-node star, where every node ends up knowing all 32768 rumors.
+/// Flat `Vec<RumorId>` acquisition logs would need `Σ|final rumor sets|`
+/// entries ≈ 4 GiB; the interval-compressed logs plus delayed shadows must
+/// hold the whole dissemination state under 1 GiB, measured by the engine's
+/// deterministic memory counters.
+#[cfg(not(debug_assertions))]
+#[test]
+fn push_pull_all_to_all_on_a_32768_node_star_stays_under_one_gigabyte() {
+    let g = generators::star(32768, 1).unwrap();
+    let started = std::time::Instant::now();
+    let config = SimConfig::new(13).termination(Termination::AllKnowAll);
+    let report = Simulation::new(&g, config).run(&mut RandomPushPull::new(&g));
+    let elapsed = started.elapsed();
+    assert!(report.completed, "{report}");
+    assert_eq!(report.min_rumors_known, 32768, "knowledge must saturate");
+    let mem = report.mem.unwrap();
+    assert!(
+        mem.peak_engine_bytes < 1 << 30,
+        "peak {} bytes exceeds the 1 GiB budget ({mem:?})",
+        mem.peak_engine_bytes
+    );
+    // The rumor bitsets alone are ~128 MiB at this size; the log + shadow
+    // overhead on top must be a small multiple, not the 4 GiB wall.
+    assert!(
+        mem.peak_log_bytes < 64 << 20,
+        "interval logs must stay far below the flat-log wall, got {} bytes",
+        mem.peak_log_bytes
+    );
+    assert!(
+        elapsed < std::time::Duration::from_secs(60),
+        "32768-node all-to-all took {elapsed:.2?} (budget 60s)"
+    );
 }
 
 /// One-to-all on a 32768-node star: past the 10^4-node mark.  Termination is

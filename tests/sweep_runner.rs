@@ -46,7 +46,7 @@ fn sweep_report_json_parses_and_covers_the_grid() {
 
     assert_eq!(
         parsed.get("schema").and_then(Json::as_str),
-        Some("gossip-sweep/v1")
+        Some("gossip-sweep/v2")
     );
     assert_eq!(
         parsed.get("trials_per_scenario").and_then(Json::as_i64),
@@ -67,6 +67,10 @@ fn sweep_report_json_parses_and_covers_the_grid() {
         let p95 = s.get("rounds_p95").and_then(Json::as_i64).unwrap();
         let max = s.get("rounds_max").and_then(Json::as_i64).unwrap();
         assert!(0 < median && median <= p95 && p95 <= max);
+        // v2: every push-pull/flooding cell carries the engine's
+        // deterministic peak-memory figure.
+        let mem = s.get("peak_mem_bytes").and_then(Json::as_i64).unwrap();
+        assert!(mem > 0, "cheap protocols must report peak memory");
     }
     assert!(
         families_seen.len() >= 4,

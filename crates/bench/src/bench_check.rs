@@ -1,0 +1,277 @@
+//! Perf-trajectory regression checks over `gossip-bench-timing/v2` artifacts.
+//!
+//! Every sweep writes a timing artifact (`BENCH_sweep.json`) recording the
+//! wall-clock of the run and — with `--mem-stats` — the sweep's peak
+//! engine-memory scenario, derived from the engine's deterministic
+//! [`MemStats`](gossip_sim::MemStats) counters.  The repository commits one
+//! such artifact as `BENCH_sweep_baseline.json` (Large tier), and CI runs
+//! `experiments bench-check` to diff the fresh artifact against it: the
+//! build fails when peak memory regresses beyond its tolerance (default
+//! +25%, a *deterministic* signal) or total wall-clock regresses beyond its
+//! (much looser, machine-noise-tolerant) default of +50%.  Future perf PRs
+//! therefore land with trajectory data instead of an empty `BENCH_*`
+//! history.
+
+use crate::json::Json;
+
+/// Tolerated relative growth of `peak_mem_bytes` (0.25 = +25%).
+pub const DEFAULT_MEM_TOLERANCE: f64 = 0.25;
+/// Tolerated relative growth of `elapsed_seconds` (0.5 = +50%).
+pub const DEFAULT_TIME_TOLERANCE: f64 = 0.5;
+
+/// The fields of a `gossip-bench-timing/v2` artifact that the regression
+/// check consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingArtifact {
+    /// Sweep scale identifier (`quick` / `full` / `large` / `huge`).
+    pub scale: String,
+    /// Wall-clock seconds of the whole sweep (machine-dependent).
+    pub elapsed_seconds: f64,
+    /// Whether the artifact carries memory aggregates (`--mem-stats`).
+    pub mem_stats: bool,
+    /// Largest per-scenario peak engine memory of the sweep (deterministic).
+    pub peak_mem_bytes: u64,
+    /// Label of the scenario that produced `peak_mem_bytes`.
+    pub peak_mem_scenario: String,
+}
+
+impl TimingArtifact {
+    /// Parses a timing artifact, validating the schema tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or missing field.
+    pub fn parse(text: &str) -> Result<TimingArtifact, String> {
+        let value = Json::parse(text)?;
+        let schema = value
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing schema field")?;
+        if schema != "gossip-bench-timing/v2" {
+            return Err(format!("unsupported schema '{schema}'"));
+        }
+        Ok(TimingArtifact {
+            scale: value
+                .get("scale")
+                .and_then(Json::as_str)
+                .ok_or("missing scale")?
+                .to_string(),
+            elapsed_seconds: value
+                .get("elapsed_seconds")
+                .and_then(Json::as_f64)
+                .ok_or("missing elapsed_seconds")?,
+            mem_stats: matches!(value.get("mem_stats"), Some(Json::Bool(true))),
+            peak_mem_bytes: value
+                .get("peak_mem_bytes")
+                .and_then(Json::as_i64)
+                .ok_or("missing peak_mem_bytes")?
+                .max(0) as u64,
+            peak_mem_scenario: value
+                .get("peak_mem_scenario")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+        })
+    }
+}
+
+/// Result of one baseline comparison: a human-readable report plus the
+/// verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckOutcome {
+    /// `true` when every tracked metric stayed inside its tolerance.
+    pub ok: bool,
+    /// One line per tracked metric, `PASS`/`FAIL`-prefixed.
+    pub lines: Vec<String>,
+}
+
+/// Relative growth of `current` over `baseline` (0.0 when the baseline is 0).
+fn growth(baseline: f64, current: f64) -> f64 {
+    if baseline <= 0.0 {
+        0.0
+    } else {
+        current / baseline - 1.0
+    }
+}
+
+/// Compares a fresh timing artifact against the committed baseline.
+///
+/// * **Peak memory** (deterministic): fails when `peak_mem_bytes` grew by
+///   more than `mem_tolerance`, provided both artifacts carry memory stats.
+/// * **Wall-clock** (noisy): fails when `elapsed_seconds` grew by more than
+///   `time_tolerance`.
+///
+/// Scales must match — comparing a `--quick` run against a Large baseline
+/// would trivially pass the memory gate and trivially fail nothing.
+pub fn check(
+    baseline: &TimingArtifact,
+    current: &TimingArtifact,
+    mem_tolerance: f64,
+    time_tolerance: f64,
+) -> CheckOutcome {
+    let mut lines = Vec::new();
+    let mut ok = true;
+    if baseline.scale != current.scale {
+        return CheckOutcome {
+            ok: false,
+            lines: vec![format!(
+                "FAIL scale mismatch: baseline '{}' vs current '{}' — rerun the sweep at the baseline's scale",
+                baseline.scale, current.scale
+            )],
+        };
+    }
+    if baseline.mem_stats && current.mem_stats && baseline.peak_mem_bytes > 0 {
+        let g = growth(
+            baseline.peak_mem_bytes as f64,
+            current.peak_mem_bytes as f64,
+        );
+        let pass = g <= mem_tolerance;
+        ok &= pass;
+        lines.push(format!(
+            "{} peak_mem_bytes: {} -> {} ({:+.1}%, tolerance +{:.0}%) [{}]",
+            if pass { "PASS" } else { "FAIL" },
+            baseline.peak_mem_bytes,
+            current.peak_mem_bytes,
+            g * 100.0,
+            mem_tolerance * 100.0,
+            if current.peak_mem_scenario.is_empty() {
+                "no scenario"
+            } else {
+                &current.peak_mem_scenario
+            },
+        ));
+    } else {
+        lines.push("SKIP peak_mem_bytes: artifact(s) carry no memory stats".to_string());
+    }
+    {
+        let g = growth(baseline.elapsed_seconds, current.elapsed_seconds);
+        let pass = g <= time_tolerance;
+        ok &= pass;
+        lines.push(format!(
+            "{} elapsed_seconds: {:.2} -> {:.2} ({:+.1}%, tolerance +{:.0}%)",
+            if pass { "PASS" } else { "FAIL" },
+            baseline.elapsed_seconds,
+            current.elapsed_seconds,
+            g * 100.0,
+            time_tolerance * 100.0,
+        ));
+    }
+    CheckOutcome { ok, lines }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact(elapsed: f64, mem: u64) -> TimingArtifact {
+        TimingArtifact {
+            scale: "large".to_string(),
+            elapsed_seconds: elapsed,
+            mem_stats: true,
+            peak_mem_bytes: mem,
+            peak_mem_scenario: "star/32768/as-built/push-pull-all-to-all".to_string(),
+        }
+    }
+
+    #[test]
+    fn parses_a_real_artifact() {
+        let text = r#"{
+  "schema": "gossip-bench-timing/v2",
+  "scale": "large",
+  "threads": 4,
+  "scenarios": 10,
+  "trials_per_scenario": 2,
+  "total_runs": 20,
+  "elapsed_seconds": 12.5,
+  "runs_per_second": 1.6,
+  "mem_stats": true,
+  "peak_mem_bytes": 123456,
+  "peak_mem_scenario": "star/32768/as-built/push-pull-all-to-all"
+}"#;
+        let parsed = TimingArtifact::parse(text).unwrap();
+        assert_eq!(parsed.scale, "large");
+        assert_eq!(parsed.peak_mem_bytes, 123456);
+        assert!(parsed.mem_stats);
+        assert!((parsed.elapsed_seconds - 12.5).abs() < 1e-12);
+        assert!(TimingArtifact::parse("{}").is_err());
+        assert!(TimingArtifact::parse(r#"{"schema": "gossip-bench-timing/v1"}"#).is_err());
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let outcome = check(
+            &artifact(10.0, 1000),
+            &artifact(14.0, 1200),
+            DEFAULT_MEM_TOLERANCE,
+            DEFAULT_TIME_TOLERANCE,
+        );
+        assert!(outcome.ok, "{:?}", outcome.lines);
+        assert!(outcome.lines.iter().all(|l| l.starts_with("PASS")));
+    }
+
+    #[test]
+    fn memory_regression_fails_deterministically() {
+        let outcome = check(
+            &artifact(10.0, 1000),
+            &artifact(10.0, 1300),
+            DEFAULT_MEM_TOLERANCE,
+            DEFAULT_TIME_TOLERANCE,
+        );
+        assert!(!outcome.ok);
+        assert!(outcome.lines[0].starts_with("FAIL peak_mem_bytes"));
+        // Exactly on the boundary passes.
+        let boundary = check(
+            &artifact(10.0, 1000),
+            &artifact(10.0, 1250),
+            DEFAULT_MEM_TOLERANCE,
+            DEFAULT_TIME_TOLERANCE,
+        );
+        assert!(boundary.ok);
+    }
+
+    #[test]
+    fn wall_clock_regression_fails_and_improvements_pass() {
+        let slow = check(
+            &artifact(10.0, 1000),
+            &artifact(15.1, 1000),
+            DEFAULT_MEM_TOLERANCE,
+            DEFAULT_TIME_TOLERANCE,
+        );
+        assert!(!slow.ok);
+        let fast = check(
+            &artifact(10.0, 1000),
+            &artifact(2.0, 500),
+            DEFAULT_MEM_TOLERANCE,
+            DEFAULT_TIME_TOLERANCE,
+        );
+        assert!(fast.ok);
+    }
+
+    #[test]
+    fn scale_mismatch_is_rejected() {
+        let mut quick = artifact(1.0, 100);
+        quick.scale = "quick".to_string();
+        let outcome = check(
+            &artifact(10.0, 1000),
+            &quick,
+            DEFAULT_MEM_TOLERANCE,
+            DEFAULT_TIME_TOLERANCE,
+        );
+        assert!(!outcome.ok);
+        assert!(outcome.lines[0].contains("scale mismatch"));
+    }
+
+    #[test]
+    fn missing_mem_stats_skips_the_memory_gate() {
+        let mut no_mem = artifact(10.0, 0);
+        no_mem.mem_stats = false;
+        let outcome = check(
+            &no_mem.clone(),
+            &artifact(10.0, 999_999),
+            DEFAULT_MEM_TOLERANCE,
+            DEFAULT_TIME_TOLERANCE,
+        );
+        assert!(outcome.ok, "{:?}", outcome.lines);
+        assert!(outcome.lines[0].starts_with("SKIP"));
+    }
+}

@@ -7,6 +7,8 @@
 //! experiments [EXPERIMENT-ID ...] [--quick] [--json] [--markdown]
 //! experiments sweep [--quick|--full|--large|--huge] [--seed N] [--trials N] [--max-size N]
 //!                   [--out PATH] [--timing-out PATH] [--mem-stats] [--json] [--markdown]
+//! experiments bench-check --baseline PATH --current PATH
+//!                         [--mem-tolerance F] [--time-tolerance F]
 //! ```
 //!
 //! With no experiment ids, every experiment (E1–E8, F1, F2, F8) is run.
@@ -29,6 +31,13 @@
 //! `--timing-out` to relocate) that CI uploads to track the perf trajectory;
 //! `--mem-stats` additionally folds the sweep's peak-memory aggregates (from
 //! the engine's deterministic `MemStats` counters) into that artifact.
+//!
+//! The `bench-check` subcommand diffs a fresh timing artifact against a
+//! committed baseline (`BENCH_sweep_baseline.json`) and exits non-zero when
+//! the sweep's peak engine memory regressed beyond `--mem-tolerance`
+//! (default +25%, deterministic) or the wall-clock regressed beyond
+//! `--time-tolerance` (default +50%, machine-noise-tolerant) — the CI step
+//! that turns the uploaded artifacts into an enforced perf trajectory.
 
 use std::process::ExitCode;
 
@@ -297,10 +306,85 @@ fn run_sweep(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn run_bench_check(args: &[String]) -> ExitCode {
+    let mut baseline_path = None;
+    let mut current_path = None;
+    let mut mem_tolerance = gossip_bench::bench_check::DEFAULT_MEM_TOLERANCE;
+    let mut time_tolerance = gossip_bench::bench_check::DEFAULT_TIME_TOLERANCE;
+    let usage = "usage: experiments bench-check --baseline PATH --current PATH \
+                 [--mem-tolerance F] [--time-tolerance F]";
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |name: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        let parsed = match arg.as_str() {
+            "--baseline" => value_of("--baseline").map(|v| baseline_path = Some(v)),
+            "--current" => value_of("--current").map(|v| current_path = Some(v)),
+            "--mem-tolerance" => value_of("--mem-tolerance").and_then(|v| {
+                v.parse()
+                    .map(|f| mem_tolerance = f)
+                    .map_err(|e| format!("invalid --mem-tolerance '{v}': {e}"))
+            }),
+            "--time-tolerance" => value_of("--time-tolerance").and_then(|v| {
+                v.parse()
+                    .map(|f| time_tolerance = f)
+                    .map_err(|e| format!("invalid --time-tolerance '{v}': {e}"))
+            }),
+            "--help" | "-h" => Err(usage.to_string()),
+            other => Err(format!("unknown bench-check option '{other}' ({usage})")),
+        };
+        if let Err(msg) = parsed {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let (Some(baseline_path), Some(current_path)) = (baseline_path, current_path) else {
+        eprintln!("{usage}");
+        return ExitCode::FAILURE;
+    };
+    let load = |path: &str| -> Result<gossip_bench::bench_check::TimingArtifact, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+        gossip_bench::bench_check::TimingArtifact::parse(&text)
+            .map_err(|e| format!("cannot parse '{path}': {e}"))
+    };
+    let (baseline, current) = match (load(&baseline_path), load(&current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("{err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome =
+        gossip_bench::bench_check::check(&baseline, &current, mem_tolerance, time_tolerance);
+    println!(
+        "bench-check: '{current_path}' vs baseline '{baseline_path}' (scale {})",
+        baseline.scale
+    );
+    for line in &outcome.lines {
+        println!("  {line}");
+    }
+    if outcome.ok {
+        println!("bench-check: OK");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench-check: perf regression against the committed baseline");
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("sweep") {
         return run_sweep(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("bench-check") {
+        return run_bench_check(&args[1..]);
     }
     let options = match parse_args() {
         Ok(o) => o,

@@ -12,6 +12,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench_check;
 pub mod experiments;
 pub mod json;
 pub mod sweep;

@@ -263,9 +263,11 @@ pub struct TrialMeasurement {
     pub activations: u64,
     /// Whether the goal was reached.
     pub completed: bool,
-    /// Peak engine memory, when the underlying simulation reports it
-    /// (see [`gossip_sim::MemStats::peak_engine_bytes`]).
-    pub peak_mem_bytes: Option<u64>,
+    /// The engine's full deterministic memory counters, when reported —
+    /// the source of the `peak_mem_bytes` (via
+    /// [`gossip_sim::MemStats::peak_engine_bytes`]), paged-set and
+    /// saturation-collapse aggregates in the report.
+    pub mem: Option<gossip_sim::MemStats>,
 }
 
 impl ProtocolKind {
@@ -298,7 +300,7 @@ impl ProtocolKind {
             rounds: r.rounds,
             activations: r.activations,
             completed: r.completed,
-            peak_mem_bytes: r.peak_mem_bytes,
+            mem: r.mem,
         };
         match self {
             ProtocolKind::PushPull => from_report(push_pull::broadcast(g, NodeId::new(0), seed)),
@@ -315,7 +317,7 @@ impl ProtocolKind {
                     rounds: r.rounds,
                     activations: r.push_pull.activations + r.spanner_route.activations,
                     completed: r.completed,
-                    peak_mem_bytes: None,
+                    mem: None,
                 }
             }
         }
@@ -363,9 +365,11 @@ impl SweepSpec {
     ///   **all-to-all** runs, where every node's knowledge saturates and only
     ///   the interval-compressed, shadow-truncated acquisition logs keep the
     ///   engine inside a 1 GB budget (flat logs would need ~4 GB).
-    /// * `Scale::Huge` adds the tier beyond: 65536-node all-to-all stars, a
-    ///   131072-node one-to-all star (the per-node rumor *bitsets* are now
-    ///   the dominant cost, ~2 GB), and a 16384-node Erdős–Rényi broadcast.
+    /// * `Scale::Huge` adds the tier beyond: 65536- and 131072-node
+    ///   all-to-all stars (opened by the paged, saturation-collapsing rumor
+    ///   sets — dense bitsets would cost ~4.3 GB at the top size), a
+    ///   131072-node one-to-all star, and a 16384-node Erdős–Rényi
+    ///   broadcast.
     pub fn standard(scale: Scale) -> Self {
         let families = vec![
             GraphFamily::Clique,
@@ -426,20 +430,24 @@ impl SweepSpec {
                 })
                 .collect();
                 if scale == Scale::Huge {
-                    // All-to-all at 65536 (interval compression keeps the
-                    // logs tiny on stars), one-to-all past 10^5, and a
-                    // random-topology broadcast at 16384.
+                    // All-to-all at 65536 *and* 131072 (paged rumor sets plus
+                    // saturation collapse keep the dissemination state in the
+                    // tens of MB — dense bitsets would need ~4.3 GB at the
+                    // top size), one-to-all past 10^5, and a random-topology
+                    // broadcast at 16384.
                     extra.extend(
                         [
                             ProtocolKind::PushPullAllToAll,
                             ProtocolKind::FloodingAllToAll,
                         ]
                         .into_iter()
-                        .map(|protocol| Scenario {
-                            family: GraphFamily::Star,
-                            size: 65536,
-                            profile: LatencyProfile::AsBuilt,
-                            protocol,
+                        .flat_map(|protocol| {
+                            [65536, 131072].into_iter().map(move |size| Scenario {
+                                family: GraphFamily::Star,
+                                size,
+                                profile: LatencyProfile::AsBuilt,
+                                protocol,
+                            })
                         }),
                     );
                     extra.extend(
@@ -612,7 +620,7 @@ struct TrialOutcome {
     completed: bool,
     nodes: usize,
     edges: usize,
-    peak_mem_bytes: Option<u64>,
+    mem: Option<gossip_sim::MemStats>,
 }
 
 /// Stable mix of the sweep seed with a trial's coordinates: FNV-1a over the
@@ -682,7 +690,7 @@ fn run_trial(
         completed: measured.completed,
         nodes: g.node_count(),
         edges: g.edge_count(),
-        peak_mem_bytes: measured.peak_mem_bytes,
+        mem: measured.mem,
     }
 }
 
@@ -722,6 +730,15 @@ pub struct ScenarioSummary {
     /// from the engine's [`gossip_sim::MemStats`] counters, not the
     /// allocator — so it participates in byte-identical reports.
     pub peak_mem_bytes: u64,
+    /// Largest peak of dense rumor-set pages over the trials (0 when memory
+    /// counters were not reported) — the paged-storage cost the dense
+    /// `n²/8` layout used to pay unconditionally.
+    pub pages_peak: u64,
+    /// Largest end-of-run count of fully saturated nodes over the trials.
+    pub saturated_nodes: u64,
+    /// Largest end-of-run count of saturation-collapsed nodes (log + shadow
+    /// freed, merges short-circuited) over the trials.
+    pub collapsed_nodes: u64,
 }
 
 impl ScenarioSummary {
@@ -749,7 +766,22 @@ impl ScenarioSummary {
             activations_median: percentile(&activations, 50),
             peak_mem_bytes: trials
                 .iter()
-                .filter_map(|t| t.peak_mem_bytes)
+                .filter_map(|t| t.mem.map(|m| m.peak_engine_bytes))
+                .max()
+                .unwrap_or(0),
+            pages_peak: trials
+                .iter()
+                .filter_map(|t| t.mem.map(|m| m.pages_peak))
+                .max()
+                .unwrap_or(0),
+            saturated_nodes: trials
+                .iter()
+                .filter_map(|t| t.mem.map(|m| m.saturated_nodes))
+                .max()
+                .unwrap_or(0),
+            collapsed_nodes: trials
+                .iter()
+                .filter_map(|t| t.mem.map(|m| m.collapsed_nodes))
                 .max()
                 .unwrap_or(0),
         }
@@ -784,7 +816,7 @@ impl SweepReport {
     /// the grid order, and the writer formats numbers deterministically.
     pub fn to_json(&self) -> String {
         Json::object(vec![
-            ("schema", Json::Str("gossip-sweep/v2".to_string())),
+            ("schema", Json::Str("gossip-sweep/v3".to_string())),
             ("trials_per_scenario", Json::Int(self.trials as i64)),
             // A string, not an i64: u64 seeds above i64::MAX must survive
             // the round trip through the report.
@@ -811,6 +843,9 @@ impl SweepReport {
                                 ("rounds_mean", Json::Float(s.rounds_mean)),
                                 ("activations_median", Json::Int(s.activations_median as i64)),
                                 ("peak_mem_bytes", Json::Int(s.peak_mem_bytes as i64)),
+                                ("pages_peak", Json::Int(s.pages_peak as i64)),
+                                ("saturated_nodes", Json::Int(s.saturated_nodes as i64)),
+                                ("collapsed_nodes", Json::Int(s.collapsed_nodes as i64)),
                             ])
                         })
                         .collect(),
@@ -1097,12 +1132,18 @@ mod tests {
         // Everything in Large is in Huge…
         assert!(huge.scenario_count() > large.scenario_count());
         let scenarios = huge.scenarios();
-        // …plus a >10^5-node cell, 65536-node all-to-all, and an
-        // Erdős–Rényi broadcast at 16384.
+        // …plus a >10^5-node cell, all-to-all at 65536 *and* 131072 (the
+        // paged-set tier), and an Erdős–Rényi broadcast at 16384.
         assert!(scenarios.iter().any(|s| s.size > 100_000));
         assert!(scenarios
             .iter()
             .any(|s| s.size == 65536 && s.protocol == ProtocolKind::PushPullAllToAll));
+        assert!(scenarios
+            .iter()
+            .any(|s| s.size == 131072 && s.protocol == ProtocolKind::PushPullAllToAll));
+        assert!(scenarios
+            .iter()
+            .any(|s| s.size == 131072 && s.protocol == ProtocolKind::FloodingAllToAll));
         assert!(scenarios
             .iter()
             .any(|s| s.size == 16384 && matches!(s.family, GraphFamily::ErdosRenyi { .. })));
@@ -1130,6 +1171,17 @@ mod tests {
         for s in &report.scenarios {
             assert_eq!(s.completed, s.trials, "{} must complete", s.protocol);
             assert!(s.peak_mem_bytes > 0, "{} must report memory", s.protocol);
+            assert!(s.pages_peak > 0, "{} must report page counters", s.protocol);
+            assert_eq!(
+                s.saturated_nodes, 64,
+                "{} all-to-all saturates every node",
+                s.protocol
+            );
+            assert!(s.collapsed_nodes <= 64);
+        }
+        let json = report.to_json();
+        for field in ["pages_peak", "saturated_nodes", "collapsed_nodes"] {
+            assert!(json.contains(field), "schema must carry {field}");
         }
         let (label, bytes) = report.peak_mem_max().unwrap();
         assert!(bytes >= report.scenarios[0].peak_mem_bytes);

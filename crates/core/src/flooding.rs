@@ -25,7 +25,7 @@ pub fn broadcast(g: &Graph, source: NodeId, seed: u64) -> DisseminationReport {
         report.activations,
         report.completed,
     )
-    .with_peak_mem(report.mem.map(|m| m.peak_engine_bytes))
+    .with_mem(report.mem)
 }
 
 /// All-to-all dissemination by round-robin flooding.
@@ -40,7 +40,7 @@ pub fn all_to_all(g: &Graph, seed: u64) -> DisseminationReport {
         report.activations,
         report.completed,
     )
-    .with_peak_mem(report.mem.map(|m| m.peak_engine_bytes))
+    .with_mem(report.mem)
 }
 
 fn round_cap(g: &Graph) -> u64 {

@@ -31,7 +31,7 @@ pub fn broadcast(g: &Graph, source: NodeId, seed: u64) -> DisseminationReport {
         report.activations,
         report.completed,
     )
-    .with_peak_mem(report.mem.map(|m| m.peak_engine_bytes))
+    .with_mem(report.mem)
 }
 
 /// All-to-all dissemination using push–pull: every node starts with its own
@@ -47,7 +47,7 @@ pub fn all_to_all(g: &Graph, seed: u64) -> DisseminationReport {
         report.activations,
         report.completed,
     )
-    .with_peak_mem(report.mem.map(|m| m.peak_engine_bytes))
+    .with_mem(report.mem)
 }
 
 /// Local broadcast via push–pull: run until every node knows the rumor of
@@ -66,7 +66,7 @@ pub fn local_broadcast(g: &Graph, bound: gossip_graph::Latency, seed: u64) -> Di
         report.activations,
         report.completed,
     )
-    .with_peak_mem(report.mem.map(|m| m.peak_engine_bytes))
+    .with_mem(report.mem)
 }
 
 fn round_cap(g: &Graph) -> u64 {

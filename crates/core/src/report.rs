@@ -44,6 +44,12 @@ pub struct DisseminationReport {
     /// phases or pre-counter engines.  Deterministic, so usable as a
     /// regression gate.
     pub peak_mem_bytes: Option<u64>,
+    /// The engine's full deterministic memory counters (paged-set
+    /// live/peak pages, saturated/collapsed node counts, log/shadow peaks),
+    /// when the underlying simulation reported them.  `peak_mem_bytes` is
+    /// this value's `peak_engine_bytes`, kept separate for callers that only
+    /// need the headline figure.
+    pub mem: Option<gossip_sim::MemStats>,
 }
 
 impl DisseminationReport {
@@ -58,6 +64,7 @@ impl DisseminationReport {
             completed,
             phases,
             peak_mem_bytes: None,
+            mem: None,
         }
     }
 
@@ -76,12 +83,15 @@ impl DisseminationReport {
             activations,
             completed,
             peak_mem_bytes: None,
+            mem: None,
         }
     }
 
-    /// Attaches the engine's peak-memory figure (builder style).
-    pub fn with_peak_mem(mut self, peak_mem_bytes: Option<u64>) -> Self {
-        self.peak_mem_bytes = peak_mem_bytes;
+    /// Attaches the engine's deterministic memory counters (builder style);
+    /// also fills the headline `peak_mem_bytes` figure from them.
+    pub fn with_mem(mut self, mem: Option<gossip_sim::MemStats>) -> Self {
+        self.peak_mem_bytes = mem.map(|m| m.peak_engine_bytes);
+        self.mem = mem;
         self
     }
 

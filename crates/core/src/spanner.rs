@@ -15,12 +15,6 @@
 //! [`spanner_broadcast`](crate::spanner_broadcast).  This module implements
 //! the computation.
 
-// BTreeMap, not HashMap: these maps are *iterated* when inserting edges into
-// the spanner, and std's per-instance hash seeds would make the out-edge order
-// (and therefore the round-robin broadcast schedule) differ between otherwise
-// identical runs.
-use std::collections::BTreeMap;
-
 use gossip_graph::spanner::DirectedSpanner;
 use gossip_graph::{EdgeId, Graph, Latency, NodeId};
 use rand::rngs::SmallRng;
@@ -32,6 +26,74 @@ type Weight = (Latency, u32);
 
 fn weight(g: &Graph, e: EdgeId) -> Weight {
     (g.latency(e), e.index() as u32)
+}
+
+/// Flat per-center "best edge" table, reused across vertices.
+///
+/// The construction repeatedly asks, per vertex, for the least-weight alive
+/// edge towards each adjacent cluster.  Centers are node ids, so instead of
+/// a fresh `BTreeMap<NodeId, _>` per vertex (the former hot spot of the
+/// whole spanner setup — `O(deg · log deg)` allocations and pointer chasing
+/// per vertex) this keeps one `n`-sized table stamped with an epoch per
+/// vertex: clearing is `O(1)`, lookups are array indexing.
+///
+/// Iteration order *is* observable downstream — the order edges enter the
+/// spanner fixes the round-robin broadcast schedule — so
+/// [`sorted_centers`](Self::sorted_centers) returns the touched centers in
+/// ascending id order, which is exactly the `BTreeMap` iteration order the
+/// previous implementation had: the constructed spanner is identical.
+struct BestEdgeTable {
+    entry: Vec<(Weight, EdgeId)>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    touched: Vec<usize>,
+}
+
+impl BestEdgeTable {
+    fn new(n: usize) -> Self {
+        BestEdgeTable {
+            entry: vec![((0, 0), EdgeId::new(0)); n],
+            stamp: vec![0; n],
+            epoch: 0,
+            touched: Vec::new(),
+        }
+    }
+
+    /// Starts a fresh per-vertex round, forgetting all previous offers.
+    fn clear(&mut self) {
+        self.epoch += 1;
+        self.touched.clear();
+    }
+
+    /// Offers `candidate` as an edge towards cluster `center`, keeping the
+    /// least-weight offer per center.
+    fn offer(&mut self, center: NodeId, candidate: (Weight, EdgeId)) {
+        let c = center.index();
+        if self.stamp[c] != self.epoch {
+            self.stamp[c] = self.epoch;
+            self.entry[c] = candidate;
+            self.touched.push(c);
+        } else if candidate.0 < self.entry[c].0 {
+            self.entry[c] = candidate;
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.touched.is_empty()
+    }
+
+    /// The best offer towards `center`, if any was made this round.
+    fn get(&self, center: NodeId) -> Option<(Weight, EdgeId)> {
+        let c = center.index();
+        (self.stamp[c] == self.epoch).then(|| self.entry[c])
+    }
+
+    /// Sorts the touched centers into ascending id order — the observable
+    /// order edges are inserted in (sorting `O(deg log deg)` once per vertex
+    /// beats per-edge tree inserts).  Call before iterating `touched`.
+    fn sort_touched(&mut self) {
+        self.touched.sort_unstable();
+    }
 }
 
 /// Builds a directed `(2k−1)`-spanner of `g` with the Baswana–Sen clustering
@@ -56,18 +118,25 @@ pub fn baswana_sen(g: &Graph, k: usize, seed: u64) -> DirectedSpanner {
     let mut clustering: Vec<Option<NodeId>> = g.nodes().map(Some).collect();
     let mut alive: Vec<bool> = vec![true; g.edge_count()];
 
+    let mut best = BestEdgeTable::new(n);
+    // sampled[c] = whether cluster center c survives this iteration.
+    let mut sampled: Vec<bool> = vec![false; n];
+
     for _iteration in 1..k {
-        // 1. Sample the clusters that survive this iteration.
+        // 1. Sample the clusters that survive this iteration (ascending
+        // center order, so RNG consumption matches run to run).
         let mut centers: Vec<NodeId> = clustering.iter().flatten().copied().collect();
         centers.sort_unstable();
         centers.dedup();
-        let sampled: BTreeMap<NodeId, bool> =
-            centers.iter().map(|&c| (c, rng.gen_bool(p))).collect();
+        sampled.iter_mut().for_each(|s| *s = false);
+        for &c in &centers {
+            sampled[c.index()] = rng.gen_bool(p);
+        }
 
         let mut next_clustering: Vec<Option<NodeId>> = vec![None; n];
         for v in 0..n {
             if let Some(c) = clustering[v] {
-                if sampled[&c] {
+                if sampled[c.index()] {
                     next_clustering[v] = Some(c);
                 }
             }
@@ -83,38 +152,35 @@ pub fn baswana_sen(g: &Graph, k: usize, seed: u64) -> DirectedSpanner {
             }
             let vid = NodeId::new(v);
             // Best (least-weight) alive edge towards each adjacent cluster.
-            let mut best: BTreeMap<NodeId, (Weight, EdgeId)> = BTreeMap::new();
+            best.clear();
             for (w, e) in g.neighbors(vid) {
                 if !alive[e.index()] {
                     continue;
                 }
                 if let Some(c) = clustering[w.index()] {
-                    let candidate = (weight(g, e), e);
-                    best.entry(c)
-                        .and_modify(|cur| {
-                            if candidate.0 < cur.0 {
-                                *cur = candidate;
-                            }
-                        })
-                        .or_insert(candidate);
+                    best.offer(c, (weight(g, e), e));
                 }
             }
             if best.is_empty() {
                 continue;
             }
-            // Sampled adjacent cluster with the overall least-weight edge.
+            best.sort_touched();
+            // Sampled adjacent cluster with the overall least-weight edge
+            // (weights are distinct — they embed the edge id — so the
+            // minimum is unique and iteration order does not matter here).
             let best_sampled = best
+                .touched
                 .iter()
-                .filter(|(c, _)| sampled[*c])
-                .min_by_key(|(_, (w, _))| *w)
-                .map(|(c, val)| (*c, *val));
+                .filter(|&&c| sampled[c])
+                .min_by_key(|&&c| best.entry[c].0)
+                .map(|&c| (NodeId::new(c), best.entry[c]));
 
             match best_sampled {
                 None => {
                     // Rule 1: no sampled neighbor cluster — keep one edge per
                     // adjacent cluster and discard everything else.
-                    for (_w, e) in best.values() {
-                        spanner.add_oriented(g, vid, *e);
+                    for &c in &best.touched {
+                        spanner.add_oriented(g, vid, best.entry[c].1);
                     }
                     for (w, e) in g.neighbors(vid) {
                         if alive[e.index()] && clustering[w.index()].is_some() {
@@ -127,9 +193,10 @@ pub fn baswana_sen(g: &Graph, k: usize, seed: u64) -> DirectedSpanner {
                     // every strictly cheaper cluster, discard the rest.
                     spanner.add_oriented(g, vid, e_star);
                     next_clustering[v] = Some(c_star);
-                    for (c, (w, e)) in &best {
-                        if *c != c_star && *w < w_star {
-                            spanner.add_oriented(g, vid, *e);
+                    for &c in &best.touched {
+                        let (w, e) = best.entry[c];
+                        if NodeId::new(c) != c_star && w < w_star {
+                            spanner.add_oriented(g, vid, e);
                         }
                     }
                     for (nbr, e) in g.neighbors(vid) {
@@ -138,7 +205,7 @@ pub fn baswana_sen(g: &Graph, k: usize, seed: u64) -> DirectedSpanner {
                         }
                         if let Some(c) = clustering[nbr.index()] {
                             let discard = c == c_star
-                                || best.get(&c).map(|(w, _)| *w < w_star).unwrap_or(false);
+                                || best.get(c).map(|(w, _)| w < w_star).unwrap_or(false);
                             if discard {
                                 alive[e.index()] = false;
                             }
@@ -168,7 +235,7 @@ pub fn baswana_sen(g: &Graph, k: usize, seed: u64) -> DirectedSpanner {
     // surviving cluster.
     for v in 0..n {
         let vid = NodeId::new(v);
-        let mut best: BTreeMap<NodeId, (Weight, EdgeId)> = BTreeMap::new();
+        best.clear();
         for (w, e) in g.neighbors(vid) {
             if !alive[e.index()] {
                 continue;
@@ -177,18 +244,12 @@ pub fn baswana_sen(g: &Graph, k: usize, seed: u64) -> DirectedSpanner {
                 if clustering[v] == Some(c) {
                     continue; // intra-cluster edges are never needed
                 }
-                let candidate = (weight(g, e), e);
-                best.entry(c)
-                    .and_modify(|cur| {
-                        if candidate.0 < cur.0 {
-                            *cur = candidate;
-                        }
-                    })
-                    .or_insert(candidate);
+                best.offer(c, (weight(g, e), e));
             }
         }
-        for (_c, (_w, e)) in best {
-            spanner.add_oriented(g, vid, e);
+        best.sort_touched();
+        for &c in &best.touched {
+            spanner.add_oriented(g, vid, best.entry[c].1);
         }
     }
 
@@ -322,5 +383,57 @@ mod tests {
     fn k_zero_panics() {
         let g = generators::cycle(4, 1).unwrap();
         let _ = baswana_sen(&g, 0, 1);
+    }
+}
+
+#[cfg(test)]
+mod equivalence_with_btreemap_impl {
+    use super::*;
+    use crate::spanner_old;
+    use gossip_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// The flat-table rework must construct byte-identical spanners (same
+    /// edges, same orientation, same out-edge order — the round-robin
+    /// broadcast schedule depends on it) for every graph and seed.
+    #[test]
+    fn flat_tables_reproduce_the_btreemap_construction_exactly() {
+        let mut graphs = vec![
+            generators::clique(48, 1).unwrap(),
+            generators::ring_of_cliques(4, 8, 9).unwrap(),
+            generators::binary_tree(63, 2).unwrap(),
+        ];
+        let mut rng = SmallRng::seed_from_u64(1234);
+        for n in [30, 60, 90] {
+            let base = generators::erdos_renyi(n, 0.3, 1, &mut rng).unwrap();
+            graphs.push(
+                gossip_graph::latency::LatencyScheme::UniformRandom { min: 1, max: 12 }
+                    .apply(&base, &mut rng)
+                    .unwrap(),
+            );
+        }
+        for g in &graphs {
+            for seed in [1u64, 7, 42] {
+                for k in [1usize, 2, 3, 6] {
+                    let new = baswana_sen(g, k, seed);
+                    let old = spanner_old::baswana_sen_old(g, k, seed);
+                    assert_eq!(
+                        new.edge_count(),
+                        old.edge_count(),
+                        "edge count differs (n={}, k={k}, seed={seed})",
+                        g.node_count()
+                    );
+                    for v in g.nodes() {
+                        assert_eq!(
+                            new.out_edges(v),
+                            old.out_edges(v),
+                            "out-edge order differs at {v:?} (n={}, k={k}, seed={seed})",
+                            g.node_count()
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,217 @@
+//! **Test-only oracle.**  A frozen copy of the `BTreeMap`-based Baswana–Sen
+//! construction that `spanner.rs` replaced with flat epoch-stamped tables.
+//! The `equivalence_with_btreemap_impl` test in `spanner.rs` pins the new
+//! construction byte-identical (same edges, same orientation, same out-edge
+//! order) against this implementation; it is compiled only under `cfg(test)`.
+//!
+#![allow(missing_docs, dead_code)]
+//! Directed Baswana–Sen spanner construction (Section 4.1.2, Lemma 19,
+//! Theorem 20 of the paper).
+//!
+//! The spanner-broadcast algorithm needs a subgraph that (a) approximates all
+//! distances within an `O(log n)` factor, (b) has only `O(n log n)` edges, and
+//! (c) admits an orientation in which every node has `O(log n)` out-edges.
+//! The paper obtains it by running the Baswana–Sen `(2k−1)`-spanner
+//! construction with `k = log n` and orienting every spanner edge out of the
+//! node that added it.
+//!
+//! In the distributed setting each node first collects its `log n`-hop
+//! neighborhood (via repeated `D`-DTG) and then simulates this construction
+//! locally; the construction itself is therefore a *local computation* whose
+//! communication cost is accounted separately in
+//! [`spanner_broadcast`](crate::spanner_broadcast).  This module implements
+//! the computation.
+
+// BTreeMap, not HashMap: these maps are *iterated* when inserting edges into
+// the spanner, and std's per-instance hash seeds would make the out-edge order
+// (and therefore the round-robin broadcast schedule) differ between otherwise
+// identical runs.
+use std::collections::BTreeMap;
+
+use gossip_graph::spanner::DirectedSpanner;
+use gossip_graph::{EdgeId, Graph, Latency, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Edge weight used for comparisons: `(latency, edge id)` — the paper assumes
+/// distinct weights and breaks ties by unique identifiers.
+type Weight = (Latency, u32);
+
+fn weight(g: &Graph, e: EdgeId) -> Weight {
+    (g.latency(e), e.index() as u32)
+}
+
+/// Builds a directed `(2k−1)`-spanner of `g` with the Baswana–Sen clustering
+/// algorithm, orienting each selected edge out of the node that selected it.
+///
+/// `k` is the number of clustering iterations; `k = ⌈log₂ n⌉` gives the
+/// `O(log n)`-stretch, `O(log n)`-out-degree spanner used by the paper
+/// (see [`log_spanner`] for that default).
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn baswana_sen_old(g: &Graph, k: usize, seed: u64) -> DirectedSpanner {
+    assert!(k >= 1, "the spanner parameter k must be at least 1");
+    let n = g.node_count();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut spanner = DirectedSpanner::new(g);
+    // Sampling probability n^{-1/k}.
+    let p = (n as f64).powf(-1.0 / k as f64);
+
+    // clustering[v] = Some(center) if v currently belongs to a cluster.
+    let mut clustering: Vec<Option<NodeId>> = g.nodes().map(Some).collect();
+    let mut alive: Vec<bool> = vec![true; g.edge_count()];
+
+    for _iteration in 1..k {
+        // 1. Sample the clusters that survive this iteration.
+        let mut centers: Vec<NodeId> = clustering.iter().flatten().copied().collect();
+        centers.sort_unstable();
+        centers.dedup();
+        let sampled: BTreeMap<NodeId, bool> =
+            centers.iter().map(|&c| (c, rng.gen_bool(p))).collect();
+
+        let mut next_clustering: Vec<Option<NodeId>> = vec![None; n];
+        for v in 0..n {
+            if let Some(c) = clustering[v] {
+                if sampled[&c] {
+                    next_clustering[v] = Some(c);
+                }
+            }
+        }
+
+        // 2. Every vertex outside the sampled clusters picks its spanner edges.
+        // Indexing is intentional: `next_clustering[v]` is assigned inside the
+        // loop body (Rule 2), so an iterator borrow would not compile.
+        #[allow(clippy::needless_range_loop)]
+        for v in 0..n {
+            if next_clustering[v].is_some() {
+                continue;
+            }
+            let vid = NodeId::new(v);
+            // Best (least-weight) alive edge towards each adjacent cluster.
+            let mut best: BTreeMap<NodeId, (Weight, EdgeId)> = BTreeMap::new();
+            for (w, e) in g.neighbors(vid) {
+                if !alive[e.index()] {
+                    continue;
+                }
+                if let Some(c) = clustering[w.index()] {
+                    let candidate = (weight(g, e), e);
+                    best.entry(c)
+                        .and_modify(|cur| {
+                            if candidate.0 < cur.0 {
+                                *cur = candidate;
+                            }
+                        })
+                        .or_insert(candidate);
+                }
+            }
+            if best.is_empty() {
+                continue;
+            }
+            // Sampled adjacent cluster with the overall least-weight edge.
+            let best_sampled = best
+                .iter()
+                .filter(|(c, _)| sampled[*c])
+                .min_by_key(|(_, (w, _))| *w)
+                .map(|(c, val)| (*c, *val));
+
+            match best_sampled {
+                None => {
+                    // Rule 1: no sampled neighbor cluster — keep one edge per
+                    // adjacent cluster and discard everything else.
+                    for (_w, e) in best.values() {
+                        spanner.add_oriented(g, vid, *e);
+                    }
+                    for (w, e) in g.neighbors(vid) {
+                        if alive[e.index()] && clustering[w.index()].is_some() {
+                            alive[e.index()] = false;
+                        }
+                    }
+                }
+                Some((c_star, (w_star, e_star))) => {
+                    // Rule 2: join the best sampled cluster, keep one edge to
+                    // every strictly cheaper cluster, discard the rest.
+                    spanner.add_oriented(g, vid, e_star);
+                    next_clustering[v] = Some(c_star);
+                    for (c, (w, e)) in &best {
+                        if *c != c_star && *w < w_star {
+                            spanner.add_oriented(g, vid, *e);
+                        }
+                    }
+                    for (nbr, e) in g.neighbors(vid) {
+                        if !alive[e.index()] {
+                            continue;
+                        }
+                        if let Some(c) = clustering[nbr.index()] {
+                            let discard = c == c_star
+                                || best.get(&c).map(|(w, _)| *w < w_star).unwrap_or(false);
+                            if discard {
+                                alive[e.index()] = false;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        clustering = next_clustering;
+
+        // 3. Remove intra-cluster edges.
+        for e in g.edge_ids() {
+            if !alive[e.index()] {
+                continue;
+            }
+            let rec = g.edge(e);
+            if let (Some(a), Some(b)) = (clustering[rec.u.index()], clustering[rec.v.index()]) {
+                if a == b {
+                    alive[e.index()] = false;
+                }
+            }
+        }
+    }
+
+    // Phase 2: every vertex keeps one least-weight alive edge to each adjacent
+    // surviving cluster.
+    for v in 0..n {
+        let vid = NodeId::new(v);
+        let mut best: BTreeMap<NodeId, (Weight, EdgeId)> = BTreeMap::new();
+        for (w, e) in g.neighbors(vid) {
+            if !alive[e.index()] {
+                continue;
+            }
+            if let Some(c) = clustering[w.index()] {
+                if clustering[v] == Some(c) {
+                    continue; // intra-cluster edges are never needed
+                }
+                let candidate = (weight(g, e), e);
+                best.entry(c)
+                    .and_modify(|cur| {
+                        if candidate.0 < cur.0 {
+                            *cur = candidate;
+                        }
+                    })
+                    .or_insert(candidate);
+            }
+        }
+        for (_c, (_w, e)) in best {
+            spanner.add_oriented(g, vid, e);
+        }
+    }
+
+    spanner
+}
+
+/// The spanner the paper's algorithm uses: Baswana–Sen with `k = ⌈log₂ n⌉`,
+/// giving `O(log n)` stretch, `O(n log n)` edges and `O(log n)` out-degree
+/// with high probability (Lemma 19 / Theorem 20).
+pub fn log_spanner_old(g: &Graph, seed: u64) -> DirectedSpanner {
+    let n = g.node_count().max(2);
+    let k = (usize::BITS - (n - 1).leading_zeros()) as usize;
+    baswana_sen_old(g, k.max(1), seed)
+}
+
+/// Expected stretch bound `2k − 1` for a given `k`.
+pub fn stretch_bound_old(k: usize) -> usize {
+    2 * k - 1
+}

@@ -28,6 +28,19 @@
 //!   Together these break the old `Θ(Σ|final rumor sets|)` log-memory wall
 //!   (~4 GB for all-to-all at 32768 nodes); the peak footprint is reported in
 //!   [`RunReport::mem`](crate::report::MemStats).
+//! * **Paged rumor sets + saturation collapse.**  Rumor sets are adaptive
+//!   paged bitsets ([`RumorSet`]): 4096-bit pages stored sparsely, with a
+//!   zero-allocation *full* sentinel for saturated pages, so per-node cost
+//!   tracks what the node actually knows instead of the dense `n/8`-byte
+//!   floor.  When a node's set goes full it collapses to the canonical
+//!   page-free full representation, and one calendar lap later — once no
+//!   outstanding snapshot can reference its history — the engine frees its
+//!   shadow, truncates its entire log, and marks it *collapsed*: every
+//!   future merge from it short-circuits to an `O(dst pages)` "peer is
+//!   saturated" union, and its edges become merge-complete after one such
+//!   union.  In the knowledge-saturating all-to-all regime this removes both
+//!   the `2·n²/8` dense-bitset wall (~4.3 GB at 131072 nodes) and the
+//!   endgame's redundant log replays.
 //! * **Calendar queue.**  In-flight exchanges live in a ring of
 //!   `max_latency + 1` buckets indexed by `completes_at % (max_latency + 1)`.
 //!   Since every latency is in `1..=max_latency`, the bucket drained at the
@@ -53,7 +66,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::report::{MemStats, RunReport};
-use crate::rumor::{self, AcquisitionLog, RumorId, RumorSet};
+use crate::rumor::{self, AcquisitionLog, RumorId, RumorRun, RumorSet};
 
 /// Whether a node may start a new exchange while one it initiated is still in flight.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -336,12 +349,32 @@ struct MemCounters {
     live_runs: u64,
     /// Peak of `live_runs` over the run so far.
     peak_runs: u64,
-    /// 64-bit words held by materialised shadow bitsets (monotone).
-    shadow_words: u64,
-    /// Total runs reclaimed by shadow-frontier truncation.
+    /// 64-bit words currently held by materialised shadow bitsets
+    /// (saturation collapse frees a node's shadow).
+    shadow_words_live: u64,
+    /// Peak of `shadow_words_live` over the run so far.
+    shadow_words_peak: u64,
+    /// Total runs reclaimed by shadow-frontier truncation and saturation
+    /// collapse.
     truncated_runs: u64,
     /// Number of shadow-frontier advancements.
     shadow_advances: u64,
+    /// Dense rumor-set pages currently allocated, summed over all nodes
+    /// (sampled at merge boundaries; empty and full sentinel pages are free).
+    pages_live: u64,
+    /// Peak of `pages_live` over the run so far.
+    pages_peak: u64,
+    /// Nodes whose log and shadow were freed by saturation collapse.
+    collapsed_nodes: u64,
+}
+
+impl MemCounters {
+    /// Applies a dense-page delta observed across one merge.
+    fn record_page_delta(&mut self, before: usize, after: usize) {
+        self.pages_live += after as u64;
+        self.pages_live -= before as u64;
+        self.pages_peak = self.pages_peak.max(self.pages_live);
+    }
 }
 
 /// Incrementally maintained dissemination state: interval-compressed
@@ -360,6 +393,11 @@ struct Progress<'g> {
     /// every snapshot still in flight from node `i` covers at least this
     /// prefix, so log entries below it are never read again.
     shadow_len: Vec<u32>,
+    /// Per-node saturation-collapse flag: the node's rumor set is full, every
+    /// possibly-outstanding snapshot of it covers the whole universe, and its
+    /// log and shadow have been freed.  Merges from such a node short-circuit
+    /// to an `O(pages)` "peer is saturated" union.
+    collapsed: Vec<bool>,
     /// `logs[i].len()`, cached as a plain counter (== rumor-set size).
     counts: Vec<usize>,
     /// Number of nodes whose rumor set is full.
@@ -376,8 +414,10 @@ struct Progress<'g> {
     tracked: Option<RumorId>,
     /// Per-node first round the tracked rumor was known (empty if untracked).
     informed_times: Vec<Option<u64>>,
-    /// Reusable buffer for the rumors a merge newly inserts.
-    scratch: Vec<RumorId>,
+    /// Reusable buffer for the maximal consecutive-id runs a merge newly
+    /// inserts (run-granular so a saturating merge is `O(runs)`, not
+    /// `O(rumors)`).
+    scratch: Vec<RumorRun>,
     mem: MemCounters,
 }
 
@@ -407,12 +447,14 @@ impl<'g> Progress<'g> {
         });
         let logs: Vec<AcquisitionLog> = rumors.iter().map(AcquisitionLog::from_set).collect();
         let live_runs: u64 = logs.iter().map(|l| l.retained_runs() as u64).sum();
+        let pages_live: u64 = rumors.iter().map(|s| s.live_pages() as u64).sum();
         let n = rumors.len();
         Progress {
             graph,
             logs,
             shadows: vec![Vec::new(); n],
             shadow_len: vec![0; n],
+            collapsed: vec![false; n],
             counts: rumors.iter().map(RumorSet::len).collect(),
             full_nodes: rumors.iter().filter(|s| s.is_full()).count(),
             source_rumor,
@@ -432,6 +474,8 @@ impl<'g> Progress<'g> {
             mem: MemCounters {
                 live_runs,
                 peak_runs: live_runs,
+                pages_live,
+                pages_peak: pages_live,
                 ..MemCounters::default()
             },
         }
@@ -439,20 +483,25 @@ impl<'g> Progress<'g> {
 
     /// Merges `src`'s log prefix of length `upto` into `dst`, resuming from
     /// the per-edge `watermark` so entries already carried over this edge are
-    /// never rescanned.  The prefix is served from two sources: positions
-    /// below `src`'s shadow frontier come from the shadow bitset (one word-OR
-    /// sweep — the log behind the frontier may already be truncated), the
-    /// retained tail is replayed run by run.  All termination counters and
-    /// `informed_times` are updated in the same pass.
+    /// never rescanned.  The prefix is served from three sources: a
+    /// saturation-collapsed `src` is unioned as "the full universe" in
+    /// `O(dst pages)` (its log and shadow are long gone — every outstanding
+    /// snapshot of it covers everything, so the complement of what `dst`
+    /// knows *is* the delta); otherwise positions below `src`'s shadow
+    /// frontier come from the shadow bitset (one word-OR sweep — the log
+    /// behind the frontier may already be truncated) and the retained tail is
+    /// replayed run by run.  All termination counters and `informed_times`
+    /// are updated run-granularly in the same pass.
     ///
     /// Returns `true` if `dst` learned at least one new rumor.
     ///
     /// Within a delivery phase the per-merge *insertion order* can differ
-    /// from the reference engine (the shadow union yields ascending rumor
-    /// ids, not `src`'s learn order), but snapshots are only ever taken on
-    /// round boundaries — after a phase's merges have all landed — so every
-    /// observable (rumor sets, reports, future snapshot prefixes *as sets*)
-    /// is identical.  The `engine_equivalence` suite pins this.
+    /// from the reference engine (the shadow and saturated-peer unions yield
+    /// ascending rumor ids, not `src`'s learn order), but snapshots are only
+    /// ever taken on round boundaries — after a phase's merges have all
+    /// landed — so every observable (rumor sets, reports, future snapshot
+    /// prefixes *as sets*) is identical.  The `engine_equivalence` suite pins
+    /// this.
     fn merge_prefix(
         &mut self,
         rumors: &mut [RumorSet],
@@ -471,45 +520,60 @@ impl<'g> Progress<'g> {
             return false;
         }
 
-        // Phase A: union the prefix into dst's bitset, collecting new rumors.
+        // Phase A: union the prefix into dst's paged set, collecting the new
+        // rumors as maximal consecutive-id runs.
         self.scratch.clear();
-        let shadow_frontier = self.shadow_len[si];
-        let dst_set = &mut rumors[di];
-        if start < shadow_frontier {
-            // Invariant: a nonzero frontier implies a materialised shadow
-            // holding exactly the first `shadow_frontier` log entries.
-            dst_set.union_words_collect_new(&self.shadows[si], &mut self.scratch);
+        let pages_before = rumors[di].live_pages();
+        if self.collapsed[si] {
+            // Saturation-collapsed peer: every snapshot of it still in
+            // flight was taken after it saturated (that is the collapse
+            // precondition), so the prefix is the whole universe.
+            debug_assert_eq!(upto as usize, rumors[si].universe());
+            rumors[di].insert_all(&mut self.scratch);
+        } else {
+            let shadow_frontier = self.shadow_len[si];
+            let dst_set = &mut rumors[di];
+            if start < shadow_frontier {
+                // Invariant: a nonzero frontier implies a materialised shadow
+                // holding exactly the first `shadow_frontier` log entries.
+                dst_set.union_words_collect_new_runs(&self.shadows[si], &mut self.scratch);
+            }
+            let scratch = &mut self.scratch;
+            self.logs[si].for_each_segment(start.max(shadow_frontier), upto, |first, len| {
+                dst_set.insert_run(first, len, scratch);
+            });
         }
-        let scratch = &mut self.scratch;
-        self.logs[si].for_each_segment(start.max(shadow_frontier), upto, |first, len| {
-            dst_set.insert_consecutive(first, len, scratch);
-        });
+        self.mem
+            .record_page_delta(pages_before, rumors[di].live_pages());
         if self.scratch.is_empty() {
             return false;
         }
 
-        // Phase B: append the new rumors to dst's log and update counters.
-        let new_rumors = std::mem::take(&mut self.scratch);
+        // Phase B: append the new runs to dst's log and update counters —
+        // O(runs), with per-rumor work only for the local-broadcast deficit.
+        let new_runs = std::mem::take(&mut self.scratch);
         let universe = rumors[di].universe();
-        for &rumor in &new_rumors {
-            if self.logs[di].push(rumor) {
+        for &(first, len) in &new_runs {
+            if self.logs[di].push_run(first, len) {
                 self.mem.live_runs += 1;
                 self.mem.peak_runs = self.mem.peak_runs.max(self.mem.live_runs);
             }
-            self.counts[di] += 1;
+            self.counts[di] += len as usize;
             if self.counts[di] == universe {
                 self.full_nodes += 1;
             }
-            if self.source_rumor == Some(rumor) {
+            let run_contains =
+                |r: RumorId| r.0 >= first.0 && u64::from(r.0) < u64::from(first.0) + u64::from(len);
+            if self.source_rumor.is_some_and(run_contains) {
                 self.source_known_by += 1;
             }
-            if self.tracked == Some(rumor) && self.informed_times[di].is_none() {
+            if self.tracked.is_some_and(run_contains) && self.informed_times[di].is_none() {
                 self.informed_times[di] = Some(round);
             }
             if let Some(bound) = self.lb_bound {
-                let j = rumor.index();
-                if j < self.graph.node_count() {
-                    let nbrs = self.graph.neighbor_slice(dst);
+                let nbrs = self.graph.neighbor_slice(dst);
+                let node_count = self.graph.node_count();
+                for j in first.index()..(first.index() + len as usize).min(node_count) {
                     if let Ok(pos) = nbrs.binary_search_by_key(&NodeId::new(j), |&(w, _)| w) {
                         if self.graph.latency(nbrs[pos].1) <= bound {
                             self.lb_deficit -= 1;
@@ -518,7 +582,7 @@ impl<'g> Progress<'g> {
                 }
             }
         }
-        self.scratch = new_rumors;
+        self.scratch = new_runs;
         true
     }
 
@@ -529,6 +593,15 @@ impl<'g> Progress<'g> {
     /// The shadow bitset is materialised lazily: until at least
     /// `min_truncate_runs` whole runs would be reclaimed, advancing is
     /// skipped entirely — the retained log *is* the prefix, and stays small.
+    ///
+    /// Saturated nodes take the **collapse** path instead: once the queued
+    /// target reaches the full universe — i.e. one whole calendar lap has
+    /// passed since the node's set went full, so every snapshot of it still
+    /// in flight covers everything — the node's shadow is freed, its log
+    /// truncated entirely, and the node marked collapsed: all future merges
+    /// from it short-circuit.  While a saturated node waits for that lap,
+    /// ordinary advances are skipped (no point materialising a shadow the
+    /// collapse is about to free).
     fn advance_shadow(
         &mut self,
         rumors: &[RumorSet],
@@ -536,6 +609,15 @@ impl<'g> Progress<'g> {
         target: u32,
         min_truncate_runs: usize,
     ) {
+        if self.collapsed[node] {
+            return;
+        }
+        if self.counts[node] >= rumors[node].universe() {
+            if target as usize == rumors[node].universe() {
+                self.collapse_node(node);
+            }
+            return;
+        }
         let current = self.shadow_len[node];
         if target <= current {
             return;
@@ -545,7 +627,8 @@ impl<'g> Progress<'g> {
                 return;
             }
             let words = vec![0u64; rumors[node].word_count()];
-            self.mem.shadow_words += words.len() as u64;
+            self.mem.shadow_words_live += words.len() as u64;
+            self.mem.shadow_words_peak = self.mem.shadow_words_peak.max(self.mem.shadow_words_live);
             self.shadows[node] = words;
         }
         let shadow = &mut self.shadows[node];
@@ -557,6 +640,27 @@ impl<'g> Progress<'g> {
         self.mem.live_runs -= freed;
         self.mem.truncated_runs += freed;
         self.mem.shadow_advances += 1;
+    }
+
+    /// Saturation collapse of `node`: frees its shadow, truncates its entire
+    /// log (releasing the storage), and marks it collapsed so merges from it
+    /// serve "the full universe" in `O(dst pages)`.
+    ///
+    /// Sound only when every possibly-outstanding snapshot of the node
+    /// covers the whole universe — the callers guarantee it (one calendar
+    /// lap after saturation, or at initialisation when nothing is in
+    /// flight).  Its rumor set needs no action: [`RumorSet`] collapsed it to
+    /// the canonical page-free full representation the moment it saturated.
+    fn collapse_node(&mut self, node: usize) {
+        debug_assert!(!self.collapsed[node]);
+        let freed = self.logs[node].truncate_all() as u64;
+        self.mem.live_runs -= freed;
+        self.mem.truncated_runs += freed;
+        let shadow = std::mem::take(&mut self.shadows[node]);
+        self.mem.shadow_words_live -= shadow.len() as u64;
+        self.shadow_len[node] = self.logs[node].len();
+        self.collapsed[node] = true;
+        self.mem.collapsed_nodes += 1;
     }
 
     fn is_done<P: Protocol>(
@@ -655,6 +759,13 @@ impl<'g> Simulation<'g> {
         let mut rng = SmallRng::seed_from_u64(self.config.seed);
 
         let mut progress = Progress::new(self.graph, &self.config, &self.rumors);
+        // Nodes that start fully saturated (trivial universes, pre-seeded
+        // states) have no outstanding snapshots at all: collapse immediately.
+        for i in 0..n {
+            if progress.counts[i] >= self.rumors[i].universe() {
+                progress.collapse_node(i);
+            }
+        }
         // Calendar queue: `completes_at % ring_len` addresses the bucket of
         // exchanges completing at `completes_at`.  Latencies are in
         // `1..=max_latency`, so at any instant the live completion times
@@ -813,18 +924,24 @@ impl<'g> Simulation<'g> {
             completed =
                 progress.is_done(&self.config.termination, round, protocol, in_flight_count);
         }
-        let rumor_set_bytes: u64 = self.rumors.iter().map(|s| s.word_count() as u64 * 8).sum();
+        let rumor_set_bytes = progress.mem.pages_peak * RumorSet::page_cost_bytes()
+            + n as u64 * RumorSet::base_cost_bytes();
         let peak_log_bytes = progress.mem.peak_runs * 8; // a Run is two u32s
-        let shadow_bytes = progress.mem.shadow_words * 8;
+        let shadow_bytes = progress.mem.shadow_words_peak * 8;
         let watermark_bytes = self.graph.edge_count() as u64 * 8;
         let discovery_bytes = discovered.bits.len() as u64 * 8;
         let mem = MemStats {
             peak_log_runs: progress.mem.peak_runs,
             peak_log_bytes,
+            live_log_runs: progress.mem.live_runs,
             truncated_runs: progress.mem.truncated_runs,
             shadow_advances: progress.mem.shadow_advances,
             shadow_bytes,
             rumor_set_bytes,
+            pages_live: progress.mem.pages_live,
+            pages_peak: progress.mem.pages_peak,
+            saturated_nodes: progress.full_nodes as u64,
+            collapsed_nodes: progress.mem.collapsed_nodes,
             peak_engine_bytes: rumor_set_bytes
                 + shadow_bytes
                 + peak_log_bytes

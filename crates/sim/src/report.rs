@@ -18,15 +18,32 @@ pub struct MemStats {
     pub peak_log_runs: u64,
     /// `peak_log_runs` in bytes.
     pub peak_log_bytes: u64,
-    /// Total log runs reclaimed by shadow-frontier truncation.
+    /// Interval runs still retained when the run ended (zero once every node
+    /// has saturation-collapsed).
+    pub live_log_runs: u64,
+    /// Total log runs reclaimed by shadow-frontier truncation and saturation
+    /// collapse.
     pub truncated_runs: u64,
     /// Number of shadow-frontier advancements (each may truncate logs).
     pub shadow_advances: u64,
-    /// Bytes held by materialised delayed-shadow bitsets at the end of the
-    /// run (shadows are lazily allocated and never freed mid-run).
+    /// Peak bytes held by materialised delayed-shadow bitsets (shadows are
+    /// lazily allocated and freed again by saturation collapse).
     pub shadow_bytes: u64,
-    /// Bytes held by the per-node rumor bitsets (fixed for the whole run).
+    /// Peak bytes held by the per-node *paged* rumor sets: peak dense pages
+    /// times the per-page cost, plus the fixed per-node set overhead.  Empty
+    /// and full sentinel pages are free, and a fully saturated set collapses
+    /// to zero pages — this is what replaces the old dense `n²/8` floor.
     pub rumor_set_bytes: u64,
+    /// Dense rumor-set pages alive when the run ended.
+    pub pages_live: u64,
+    /// Peak dense rumor-set pages at any merge boundary of the run.
+    pub pages_peak: u64,
+    /// Nodes whose rumor set was full when the run ended.
+    pub saturated_nodes: u64,
+    /// Saturated nodes whose log and shadow were freed by saturation
+    /// collapse (a node collapses one calendar lap after filling up, once no
+    /// outstanding snapshot can reference its history).
+    pub collapsed_nodes: u64,
     /// Peak bytes of the engine's dissemination state: rumor sets + shadows +
     /// retained logs + per-edge watermarks + latency-discovery bits.  The
     /// graph itself and protocol state are not included.

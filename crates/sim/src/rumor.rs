@@ -1,9 +1,31 @@
-//! Rumors and per-node rumor sets.
+//! Rumors, paged per-node rumor sets, and compressed acquisition logs.
 //!
 //! Every node in an information-dissemination instance can originate one
 //! rumor; rumor `i` is "the rumor whose source is node `i`".  A node's state
-//! with respect to dissemination is the set of rumors it currently knows,
-//! which we store as a fixed-width bitset.
+//! with respect to dissemination is the set of rumors it currently knows.
+//!
+//! # Paged rumor sets
+//!
+//! [`RumorSet`] stores that set as an **adaptive paged bitset**: the universe
+//! is split into fixed 4096-bit pages, kept in a sorted sparse vector with
+//! three page states —
+//!
+//! * **empty** — the page is simply absent (no storage);
+//! * **dense** — an owned 64-word block holding the page's bits;
+//! * **full** — a shared sentinel ([`PageState::Full`]) meaning every bit of
+//!   the page is set (no storage).
+//!
+//! A set whose every page is full additionally **saturation-collapses** to
+//! the canonical full representation — no pages at all — so a node that has
+//! learned everything costs a few machine words instead of `n/8` bytes.  In
+//! the saturating all-to-all regime this is what breaks the dense-bitset
+//! `2·n²/8` memory wall: nodes spend most of a run either nearly-empty
+//! (a handful of pages) or fully informed (zero pages).
+//!
+//! The representation is kept **canonical** at all times (pages sorted and
+//! unique, never empty, all-ones pages always stored as the full sentinel,
+//! fully saturated sets always collapsed), so structural equality is semantic
+//! equality and `#[derive(PartialEq)]` is sound.
 
 use std::fmt;
 
@@ -37,11 +59,85 @@ impl fmt::Display for RumorId {
     }
 }
 
-/// A set of rumors, stored as a bitset over the rumor universe `0..universe`.
+/// A run of consecutive rumor ids `first, first+1, …, first+len-1`, the unit
+/// in which the engine's merge path reports newly learned rumors.
+pub(crate) type RumorRun = (RumorId, u32);
+
+/// Bits per page of a [`RumorSet`].
+pub(crate) const PAGE_BITS: usize = 4096;
+/// 64-bit words per page.
+const PAGE_WORDS: usize = PAGE_BITS / 64;
+
+/// Storage of one non-empty page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum PageState {
+    /// Every bit of the page (up to its capacity) is set; no storage.
+    Full,
+    /// An owned 64-word block holding the page's bits.
+    Dense(Box<[u64; PAGE_WORDS]>),
+}
+
+/// One non-empty page of a [`RumorSet`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PageEntry {
+    /// Page number (bit `i` of the universe lives in page `i / 4096`).
+    index: u32,
+    /// Number of set bits in the page (`== capacity` iff the state is full).
+    ones: u32,
+    state: PageState,
+}
+
+/// A set of rumors over the universe `0..universe`, stored as a sparse
+/// vector of 4096-bit pages (see the module docs for the representation).
 #[derive(Clone, PartialEq, Eq)]
 pub struct RumorSet {
     universe: usize,
-    words: Vec<u64>,
+    /// Number of rumors in the set (maintained incrementally).
+    len: usize,
+    /// Non-empty pages, sorted by `index`.  Empty when the set is empty *or*
+    /// fully saturated (`len == universe`), the canonical collapsed form.
+    pages: Vec<PageEntry>,
+}
+
+/// The in-page word holding bit `w*64..` of a full page of capacity `cap`.
+fn full_page_word(cap: u32, w: usize) -> u64 {
+    let lo = (w * 64) as u32;
+    if lo + 64 <= cap {
+        !0
+    } else if lo >= cap {
+        0
+    } else {
+        (1u64 << (cap - lo)) - 1
+    }
+}
+
+/// Appends the new-rumor run `first..first+len`, coalescing with the
+/// previously pushed run when exactly contiguous.
+fn push_new_run(out: &mut Vec<RumorRun>, first: usize, len: u32) {
+    if len == 0 {
+        return;
+    }
+    if let Some(last) = out.last_mut() {
+        if last.0.index() as u64 + u64::from(last.1) == first as u64 {
+            last.1 += len;
+            return;
+        }
+    }
+    out.push((RumorId(first as u32), len));
+}
+
+/// Decomposes the set bits of `new_bits` (a word whose bit 0 is universe bit
+/// `word_base`) into maximal consecutive runs, in ascending order.
+fn push_word_new_runs(out: &mut Vec<RumorRun>, word_base: usize, mut new_bits: u64) {
+    while new_bits != 0 {
+        let tz = new_bits.trailing_zeros();
+        let run = (new_bits >> tz).trailing_ones();
+        push_new_run(out, word_base + tz as usize, run);
+        if tz + run >= 64 {
+            break;
+        }
+        new_bits &= !0u64 << (tz + run);
+    }
 }
 
 impl RumorSet {
@@ -49,7 +145,8 @@ impl RumorSet {
     pub fn empty(universe: usize) -> Self {
         RumorSet {
             universe,
-            words: vec![0; universe.div_ceil(64)],
+            len: 0,
+            pages: Vec::new(),
         }
     }
 
@@ -69,6 +166,44 @@ impl RumorSet {
         self.universe
     }
 
+    /// Number of set bits the page can hold (4096 except for the last page).
+    fn page_capacity(&self, page: u32) -> u32 {
+        let start = page as usize * PAGE_BITS;
+        debug_assert!(start < self.universe || self.universe == 0);
+        (self.universe - start).min(PAGE_BITS) as u32
+    }
+
+    /// Collapses to the canonical full representation once saturated.
+    fn collapse_if_full(&mut self) {
+        if self.len == self.universe && !self.pages.is_empty() {
+            debug_assert!(self.pages.iter().all(|e| e.state == PageState::Full));
+            self.pages = Vec::new();
+        }
+    }
+
+    /// Number of dense (heap-allocated) pages — the set's live page cost.
+    /// Empty and full pages are free; this is what [`MemStats`]'s page
+    /// counters aggregate.
+    ///
+    /// [`MemStats`]: crate::MemStats
+    pub fn live_pages(&self) -> usize {
+        self.pages
+            .iter()
+            .filter(|e| matches!(e.state, PageState::Dense(_)))
+            .count()
+    }
+
+    /// Heap bytes of one dense page, including its directory entry — the
+    /// conversion factor for the engine's deterministic page counters.
+    pub(crate) fn page_cost_bytes() -> u64 {
+        (PAGE_WORDS * 8 + std::mem::size_of::<PageEntry>()) as u64
+    }
+
+    /// Fixed per-set bytes (the struct itself, pages excluded).
+    pub(crate) fn base_cost_bytes() -> u64 {
+        std::mem::size_of::<RumorSet>() as u64
+    }
+
     /// Inserts a rumor; returns `true` if it was not already present.
     ///
     /// # Panics
@@ -81,10 +216,51 @@ impl RumorSet {
             "rumor {i} outside universe of size {}",
             self.universe
         );
-        let (word, bit) = (i / 64, i % 64);
-        let was_set = self.words[word] & (1 << bit) != 0;
-        self.words[word] |= 1 << bit;
-        !was_set
+        if self.len == self.universe {
+            return false;
+        }
+        let page = (i / PAGE_BITS) as u32;
+        let bit = i % PAGE_BITS;
+        let cap = self.page_capacity(page);
+        match self.pages.binary_search_by_key(&page, |e| e.index) {
+            Err(at) => {
+                let state = if cap == 1 {
+                    PageState::Full
+                } else {
+                    let mut words = Box::new([0u64; PAGE_WORDS]);
+                    words[bit / 64] |= 1 << (bit % 64);
+                    PageState::Dense(words)
+                };
+                self.pages.insert(
+                    at,
+                    PageEntry {
+                        index: page,
+                        ones: 1,
+                        state,
+                    },
+                );
+            }
+            Ok(p) => {
+                let entry = &mut self.pages[p];
+                match &mut entry.state {
+                    PageState::Full => return false,
+                    PageState::Dense(words) => {
+                        let mask = 1u64 << (bit % 64);
+                        if words[bit / 64] & mask != 0 {
+                            return false;
+                        }
+                        words[bit / 64] |= mask;
+                        entry.ones += 1;
+                        if entry.ones == cap {
+                            entry.state = PageState::Full;
+                        }
+                    }
+                }
+            }
+        }
+        self.len += 1;
+        self.collapse_if_full();
+        true
     }
 
     /// Returns `true` if the set contains `rumor`.
@@ -93,22 +269,35 @@ impl RumorSet {
         if i >= self.universe {
             return false;
         }
-        self.words[i / 64] & (1 << (i % 64)) != 0
+        if self.len == self.universe {
+            return true;
+        }
+        let page = (i / PAGE_BITS) as u32;
+        match self.pages.binary_search_by_key(&page, |e| e.index) {
+            Err(_) => false,
+            Ok(p) => match &self.pages[p].state {
+                PageState::Full => true,
+                PageState::Dense(words) => {
+                    let bit = i % PAGE_BITS;
+                    words[bit / 64] & (1 << (bit % 64)) != 0
+                }
+            },
+        }
     }
 
     /// Number of rumors in the set.
     pub fn len(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        self.len
     }
 
     /// Returns `true` if the set is empty.
     pub fn is_empty(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        self.len == 0
     }
 
     /// Returns `true` if the set contains every rumor of the universe.
     pub fn is_full(&self) -> bool {
-        self.len() == self.universe
+        self.len == self.universe
     }
 
     /// Unions `other` into `self`; returns `true` if any new rumor was added.
@@ -121,14 +310,60 @@ impl RumorSet {
             self.universe, other.universe,
             "rumor sets must share a universe"
         );
+        if self.len == self.universe || other.len == 0 {
+            return false;
+        }
+        if other.len == other.universe {
+            self.pages = Vec::new();
+            self.len = self.universe;
+            return true;
+        }
         let mut changed = false;
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            let new = *a | *b;
-            if new != *a {
+        for src in &other.pages {
+            let cap = self.page_capacity(src.index);
+            let added = match self.pages.binary_search_by_key(&src.index, |e| e.index) {
+                Err(at) => {
+                    self.pages.insert(
+                        at,
+                        PageEntry {
+                            index: src.index,
+                            ones: src.ones,
+                            state: src.state.clone(),
+                        },
+                    );
+                    src.ones
+                }
+                Ok(p) => {
+                    let entry = &mut self.pages[p];
+                    match (&mut entry.state, &src.state) {
+                        (PageState::Full, _) => 0,
+                        (PageState::Dense(_), PageState::Full) => {
+                            let added = cap - entry.ones;
+                            entry.state = PageState::Full;
+                            entry.ones = cap;
+                            added
+                        }
+                        (PageState::Dense(a), PageState::Dense(b)) => {
+                            let mut added = 0u32;
+                            for (x, y) in a.iter_mut().zip(b.iter()) {
+                                added += (*y & !*x).count_ones();
+                                *x |= *y;
+                            }
+                            entry.ones += added;
+                            if entry.ones == cap {
+                                entry.state = PageState::Full;
+                            }
+                            added
+                        }
+                    }
+                }
+            };
+            if added > 0 {
+                self.len += added as usize;
                 changed = true;
-                *a = new;
             }
         }
+        self.collapse_if_full();
         changed
     }
 
@@ -142,37 +377,67 @@ impl RumorSet {
             self.universe, other.universe,
             "rumor sets must share a universe"
         );
-        self.words
-            .iter()
-            .zip(&other.words)
-            .all(|(a, b)| a & b == *b)
+        if other.len > self.len {
+            return false;
+        }
+        if self.len == self.universe {
+            return true;
+        }
+        // `self` is not full here, so a full `other` cannot be covered (and
+        // the length check above already rejected it).
+        for src in &other.pages {
+            match self.pages.binary_search_by_key(&src.index, |e| e.index) {
+                Err(_) => return false,
+                Ok(p) => match (&self.pages[p].state, &src.state) {
+                    (PageState::Full, _) => {}
+                    (PageState::Dense(_), PageState::Full) => return false,
+                    (PageState::Dense(a), PageState::Dense(b)) => {
+                        if a.iter().zip(b.iter()).any(|(x, y)| x & y != *y) {
+                            return false;
+                        }
+                    }
+                },
+            }
+        }
+        true
     }
 
     /// Iterator over the rumors present in the set, in increasing id order.
     ///
-    /// Runs in `O(universe/64 + len)` — it walks whole words and peels set
-    /// bits — so materialising a sparse set is cheap even for large universes
-    /// (the engine uses this to seed per-node acquisition logs).
+    /// Runs in `O(pages·words + len)` — it walks the non-empty pages word by
+    /// word and peels set bits — so materialising a sparse set stays cheap
+    /// for large universes, and a saturation-collapsed full set iterates
+    /// without touching any storage at all.
     pub fn iter(&self) -> RumorIter<'_> {
         RumorIter {
-            words: &self.words,
-            word_index: 0,
-            current: self.words.first().copied().unwrap_or(0),
+            universe: self.universe,
+            full: self.universe > 0 && self.len == self.universe,
+            next_id: 0,
+            pages: &self.pages,
+            page_pos: 0,
+            cur_entry: None,
+            cur_base: 0,
+            cur_cap: 0,
+            cur_words: 0,
+            word_idx: 0,
+            word: 0,
         }
     }
 
-    /// Inserts the `len` consecutive rumors `first, first+1, …, first+len-1`,
-    /// pushing every rumor that was *not* already present onto `out_new` in
-    /// increasing id order.
+    /// Inserts the `len` consecutive rumors `first, …, first+len-1`, pushing
+    /// every *maximal run* of rumors that was not already present onto
+    /// `out_new` in increasing id order.
     ///
     /// This is the word-level workhorse of the engine's interval-log merge:
-    /// one run of consecutive rumor ids is unioned in `O(len/64 + new)` time
-    /// instead of `len` individual inserts.
+    /// one run of consecutive rumor ids is unioned in `O(len/64 + new runs)`
+    /// time, and a run covering a whole absent page materialises the full
+    /// sentinel directly — no allocation, which is how a saturating merge
+    /// fills a 131072-rumor set with 32 page flips.
     ///
     /// # Panics
     ///
     /// Panics if the run extends past the universe.
-    pub fn insert_consecutive(&mut self, first: RumorId, len: u32, out_new: &mut Vec<RumorId>) {
+    pub(crate) fn insert_run(&mut self, first: RumorId, len: u32, out_new: &mut Vec<RumorRun>) {
         if len == 0 {
             return;
         }
@@ -183,37 +448,193 @@ impl RumorSet {
             "run {lo}..{hi} outside universe of size {}",
             self.universe
         );
-        let words = &mut self.words;
-        for_each_word_mask(lo, len as usize, |w, mask| {
-            let mut new = mask & !words[w];
-            words[w] |= mask;
-            while new != 0 {
-                let bit = new.trailing_zeros();
-                new &= new - 1;
-                out_new.push(RumorId((w * 64) as u32 + bit));
-            }
-        });
+        if self.len == self.universe {
+            return;
+        }
+        for page in (lo / PAGE_BITS) as u32..=((hi - 1) / PAGE_BITS) as u32 {
+            let page_start = page as usize * PAGE_BITS;
+            let cap = self.page_capacity(page);
+            let a = lo.max(page_start) - page_start;
+            let b = (hi - page_start).min(PAGE_BITS);
+            let added = match self.pages.binary_search_by_key(&page, |e| e.index) {
+                Err(at) if a == 0 && b >= cap as usize => {
+                    // The run covers the whole (absent) page: full sentinel,
+                    // no allocation.
+                    self.pages.insert(
+                        at,
+                        PageEntry {
+                            index: page,
+                            ones: cap,
+                            state: PageState::Full,
+                        },
+                    );
+                    push_new_run(out_new, page_start, cap);
+                    cap
+                }
+                Err(at) => {
+                    let mut words = Box::new([0u64; PAGE_WORDS]);
+                    for_each_word_mask(a, b - a, |w, mask| words[w] |= mask);
+                    self.pages.insert(
+                        at,
+                        PageEntry {
+                            index: page,
+                            ones: (b - a) as u32,
+                            state: PageState::Dense(words),
+                        },
+                    );
+                    push_new_run(out_new, page_start + a, (b - a) as u32);
+                    (b - a) as u32
+                }
+                Ok(p) => {
+                    let entry = &mut self.pages[p];
+                    match &mut entry.state {
+                        PageState::Full => 0,
+                        PageState::Dense(words) => {
+                            let mut added = 0u32;
+                            for_each_word_mask(a, b - a, |w, mask| {
+                                let new = mask & !words[w];
+                                words[w] |= mask;
+                                added += new.count_ones();
+                                push_word_new_runs(out_new, page_start + w * 64, new);
+                            });
+                            entry.ones += added;
+                            if entry.ones == cap {
+                                entry.state = PageState::Full;
+                            }
+                            added
+                        }
+                    }
+                }
+            };
+            self.len += added as usize;
+        }
+        self.collapse_if_full();
     }
 
-    /// Unions a raw word slice (same universe layout) into the set, pushing
-    /// every newly inserted rumor onto `out_new` in increasing id order.
-    /// Used by the engine to merge a peer's delayed bitset shadow.
-    pub(crate) fn union_words_collect_new(&mut self, words: &[u64], out_new: &mut Vec<RumorId>) {
-        debug_assert_eq!(words.len(), self.words.len(), "universe mismatch");
-        for (w, (a, &b)) in self.words.iter_mut().zip(words).enumerate() {
-            let mut new = b & !*a;
-            *a |= b;
-            while new != 0 {
-                let bit = new.trailing_zeros();
-                new &= new - 1;
-                out_new.push(RumorId((w * 64) as u32 + bit));
+    /// Compatibility wrapper over [`insert_run`](Self::insert_run) that
+    /// expands the new runs into individual rumor ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run extends past the universe.
+    pub fn insert_consecutive(&mut self, first: RumorId, len: u32, out_new: &mut Vec<RumorId>) {
+        let mut runs = Vec::new();
+        self.insert_run(first, len, &mut runs);
+        for (f, l) in runs {
+            for k in 0..l {
+                out_new.push(RumorId(f.0 + k));
             }
         }
     }
 
-    /// Number of 64-bit words a shadow bitset over this universe needs.
+    /// Unions a raw dense word slice (universe layout, as used by the
+    /// engine's delayed shadows) into the set, pushing every maximal run of
+    /// newly inserted rumors onto `out_new` in increasing id order.
+    pub(crate) fn union_words_collect_new_runs(
+        &mut self,
+        words: &[u64],
+        out_new: &mut Vec<RumorRun>,
+    ) {
+        debug_assert_eq!(words.len(), self.universe.div_ceil(64), "universe mismatch");
+        if self.len == self.universe {
+            return;
+        }
+        for page in 0..self.universe.div_ceil(PAGE_BITS) as u32 {
+            let page_start = page as usize * PAGE_BITS;
+            let word_lo = page_start / 64;
+            let word_hi = (word_lo + PAGE_WORDS).min(words.len());
+            let src = &words[word_lo..word_hi];
+            if src.iter().all(|&w| w == 0) {
+                continue;
+            }
+            let cap = self.page_capacity(page);
+            let added = match self.pages.binary_search_by_key(&page, |e| e.index) {
+                Err(at) => {
+                    let ones: u32 = src.iter().map(|w| w.count_ones()).sum();
+                    for (w, &bits) in src.iter().enumerate() {
+                        push_word_new_runs(out_new, page_start + w * 64, bits);
+                    }
+                    let state = if ones == cap {
+                        PageState::Full
+                    } else {
+                        let mut owned = Box::new([0u64; PAGE_WORDS]);
+                        owned[..src.len()].copy_from_slice(src);
+                        PageState::Dense(owned)
+                    };
+                    self.pages.insert(
+                        at,
+                        PageEntry {
+                            index: page,
+                            ones,
+                            state,
+                        },
+                    );
+                    ones
+                }
+                Ok(p) => {
+                    let entry = &mut self.pages[p];
+                    match &mut entry.state {
+                        PageState::Full => 0,
+                        PageState::Dense(dst) => {
+                            let mut added = 0u32;
+                            for (w, &bits) in src.iter().enumerate() {
+                                let new = bits & !dst[w];
+                                dst[w] |= bits;
+                                added += new.count_ones();
+                                push_word_new_runs(out_new, page_start + w * 64, new);
+                            }
+                            entry.ones += added;
+                            if entry.ones == cap {
+                                entry.state = PageState::Full;
+                            }
+                            added
+                        }
+                    }
+                }
+            };
+            self.len += added as usize;
+        }
+        self.collapse_if_full();
+    }
+
+    /// Fills the set to the full universe, pushing every maximal run of
+    /// newly inserted rumors onto `out_new` in increasing id order, and
+    /// collapses to the canonical (page-free) full representation.
+    ///
+    /// This is the engine's `O(pages)` "peer is saturated" merge: unioning a
+    /// saturation-collapsed peer needs no shadow words and no log replay —
+    /// the complement of what `self` already knows *is* the delta.
+    pub(crate) fn insert_all(&mut self, out_new: &mut Vec<RumorRun>) {
+        if self.len == self.universe {
+            return;
+        }
+        let mut next = 0usize; // cursor into self.pages
+        for page in 0..self.universe.div_ceil(PAGE_BITS) as u32 {
+            let page_start = page as usize * PAGE_BITS;
+            let cap = self.page_capacity(page);
+            if next < self.pages.len() && self.pages[next].index == page {
+                let entry = &self.pages[next];
+                next += 1;
+                match &entry.state {
+                    PageState::Full => {}
+                    PageState::Dense(words) => {
+                        for (w, &bits) in words.iter().enumerate() {
+                            let new = full_page_word(cap, w) & !bits;
+                            push_word_new_runs(out_new, page_start + w * 64, new);
+                        }
+                    }
+                }
+            } else {
+                push_new_run(out_new, page_start, cap);
+            }
+        }
+        self.pages = Vec::new();
+        self.len = self.universe;
+    }
+
+    /// Number of 64-bit words a dense shadow bitset over this universe needs.
     pub(crate) fn word_count(&self) -> usize {
-        self.words.len()
+        self.universe.div_ceil(64)
     }
 }
 
@@ -272,6 +693,8 @@ struct Run {
 ///   frontier are a contract violation (the engine serves them from a delayed
 ///   bitset shadow instead).  Positions stay absolute across truncation, so
 ///   snapshots and watermarks taken earlier remain valid.
+///   [`truncate_all`](Self::truncate_all) is the saturation-collapse variant:
+///   it drops *every* run and releases the log's storage outright.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AcquisitionLog {
     runs: Vec<Run>,
@@ -335,17 +758,27 @@ impl AcquisitionLog {
     /// (`false` when it extended the last run — extensions are free, the run
     /// length is implicit).
     pub fn push(&mut self, rumor: RumorId) -> bool {
+        self.push_run(rumor, 1)
+    }
+
+    /// Appends `len` consecutive entries `first, first+1, …` as one batch.
+    /// Returns `true` if the batch started a new run (`false` when it
+    /// extended the last run).  `len == 0` is a no-op returning `false`.
+    pub fn push_run(&mut self, first: RumorId, len: u32) -> bool {
+        if len == 0 {
+            return false;
+        }
         let pos = self.len;
-        self.len += 1;
+        self.len += len;
         if self.head < self.runs.len() {
             let last = self.runs[self.runs.len() - 1];
-            if u64::from(last.first) + u64::from(pos - last.start) == u64::from(rumor.0) {
+            if u64::from(last.first) + u64::from(pos - last.start) == u64::from(first.0) {
                 return false;
             }
         }
         self.runs.push(Run {
             start: pos,
-            first: rumor.0,
+            first: first.0,
         });
         true
     }
@@ -390,6 +823,19 @@ impl AcquisitionLog {
                 self.runs.shrink_to(2 * self.runs.len().max(8));
             }
         }
+        dropped
+    }
+
+    /// Drops every retained run and releases the log's storage, returning
+    /// how many runs were reclaimed.  The saturation-collapse path: once a
+    /// node's rumor set is full and every possibly-outstanding snapshot of it
+    /// covers the whole universe, the log's history can never be read again.
+    /// Positions stay absolute — appends after collapse continue at `len()`.
+    pub fn truncate_all(&mut self) -> usize {
+        let dropped = self.retained_runs();
+        self.runs = Vec::new();
+        self.head = 0;
+        self.front = self.len;
         dropped
     }
 
@@ -451,25 +897,67 @@ impl Default for AcquisitionLog {
 /// Produced by [`RumorSet::iter`].
 #[derive(Debug, Clone)]
 pub struct RumorIter<'a> {
-    words: &'a [u64],
-    word_index: usize,
-    current: u64,
+    universe: usize,
+    /// Saturation-collapsed full set: iterate ids directly, no storage.
+    full: bool,
+    next_id: usize,
+    pages: &'a [PageEntry],
+    /// Index of the next page to load.
+    page_pos: usize,
+    cur_entry: Option<&'a PageEntry>,
+    cur_base: usize,
+    cur_cap: u32,
+    cur_words: usize,
+    word_idx: usize,
+    word: u64,
 }
 
 impl Iterator for RumorIter<'_> {
     type Item = RumorId;
 
     fn next(&mut self) -> Option<RumorId> {
-        while self.current == 0 {
-            self.word_index += 1;
-            if self.word_index >= self.words.len() {
+        if self.full {
+            if self.next_id < self.universe {
+                let r = RumorId(self.next_id as u32);
+                self.next_id += 1;
+                return Some(r);
+            }
+            return None;
+        }
+        loop {
+            if self.word != 0 {
+                let bit = self.word.trailing_zeros();
+                self.word &= self.word - 1;
+                return Some(RumorId((self.cur_base + self.word_idx * 64) as u32 + bit));
+            }
+            if let Some(entry) = self.cur_entry {
+                self.word_idx += 1;
+                if self.word_idx < self.cur_words {
+                    self.word = page_word(entry, self.word_idx, self.cur_cap);
+                    continue;
+                }
+                self.cur_entry = None;
+            }
+            if self.page_pos >= self.pages.len() {
                 return None;
             }
-            self.current = self.words[self.word_index];
+            let entry = &self.pages[self.page_pos];
+            self.page_pos += 1;
+            self.cur_base = entry.index as usize * PAGE_BITS;
+            self.cur_cap = (self.universe - self.cur_base).min(PAGE_BITS) as u32;
+            self.cur_words = (self.cur_cap as usize).div_ceil(64);
+            self.word_idx = 0;
+            self.word = page_word(entry, 0, self.cur_cap);
+            self.cur_entry = Some(entry);
         }
-        let bit = self.current.trailing_zeros();
-        self.current &= self.current - 1;
-        Some(RumorId((self.word_index * 64) as u32 + bit))
+    }
+}
+
+/// Word `w` of a page entry, masking full pages to their capacity.
+fn page_word(entry: &PageEntry, w: usize, cap: u32) -> u64 {
+    match &entry.state {
+        PageState::Full => full_page_word(cap, w),
+        PageState::Dense(words) => words[w],
     }
 }
 
@@ -484,6 +972,19 @@ impl fmt::Debug for RumorSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Exhaustive semantic mirror: a `RumorSet` must behave exactly like a
+    /// plain boolean vector.
+    fn assert_matches_naive(set: &RumorSet, naive: &[bool]) {
+        assert_eq!(set.universe(), naive.len());
+        assert_eq!(set.len(), naive.iter().filter(|&&b| b).count());
+        let got: Vec<usize> = set.iter().map(RumorId::index).collect();
+        let expected: Vec<usize> = (0..naive.len()).filter(|&i| naive[i]).collect();
+        assert_eq!(got, expected);
+        for (i, &want) in naive.iter().enumerate() {
+            assert_eq!(set.contains(RumorId::from(i)), want, "bit {i}");
+        }
+    }
 
     #[test]
     fn singleton_and_membership() {
@@ -527,6 +1028,8 @@ mod tests {
             s.iter().collect::<Vec<_>>(),
             vec![RumorId(0), RumorId(1), RumorId(2)]
         );
+        // Saturation collapse: a full set holds no pages at all.
+        assert_eq!(s.live_pages(), 0);
     }
 
     #[test]
@@ -534,6 +1037,7 @@ mod tests {
         let s = RumorSet::empty(0);
         assert!(s.is_empty());
         assert!(s.is_full());
+        assert!(s.iter().next().is_none());
     }
 
     #[test]
@@ -559,10 +1063,10 @@ mod tests {
     }
 
     #[test]
-    fn iter_walks_words_in_order() {
-        // Rumors spread across multiple 64-bit words, including word edges.
-        let ids = [0usize, 1, 63, 64, 127, 128, 200];
-        let mut s = RumorSet::empty(201);
+    fn iter_walks_pages_in_order() {
+        // Rumors spread across multiple pages, including word and page edges.
+        let ids = [0usize, 1, 63, 64, 4095, 4096, 8191, 8192, 9000];
+        let mut s = RumorSet::empty(9001);
         for &i in &ids {
             s.insert(RumorId::from(i));
         }
@@ -570,6 +1074,7 @@ mod tests {
         assert_eq!(got, ids);
         assert!(RumorSet::empty(0).iter().next().is_none());
         assert!(RumorSet::empty(100).iter().next().is_none());
+        assert_eq!(s.live_pages(), 3, "pages 0, 1, 2 are dense");
     }
 
     #[test]
@@ -607,6 +1112,81 @@ mod tests {
     }
 
     #[test]
+    fn insert_run_crossing_pages_matches_individual_inserts() {
+        let mut a = RumorSet::empty(3 * PAGE_BITS + 100);
+        a.insert(RumorId(5000));
+        let mut b = a.clone();
+        let mut runs = Vec::new();
+        // Spans pages 0..=3 (the last one partial).
+        a.insert_run(
+            RumorId(100),
+            (3 * PAGE_BITS + 100 - 100 - 7) as u32,
+            &mut runs,
+        );
+        let mut naive = vec![false; 3 * PAGE_BITS + 100];
+        naive[5000] = true;
+        for (i, slot) in naive
+            .iter_mut()
+            .enumerate()
+            .take(3 * PAGE_BITS + 100 - 7)
+            .skip(100)
+        {
+            *slot = true;
+            b.insert(RumorId::from(i));
+        }
+        assert_eq!(a, b);
+        assert_matches_naive(&a, &naive);
+        // The new runs tile exactly the inserted range minus the old bit.
+        let expanded: Vec<usize> = runs
+            .iter()
+            .flat_map(|&(f, l)| f.index()..f.index() + l as usize)
+            .collect();
+        let expected: Vec<usize> = (100..3 * PAGE_BITS + 100 - 7)
+            .filter(|&i| i != 5000)
+            .collect();
+        assert_eq!(expanded, expected);
+        // Whole interior pages became sentinel pages, not allocations.
+        assert!(a.live_pages() <= 2, "only boundary pages may stay dense");
+    }
+
+    #[test]
+    fn full_page_runs_do_not_allocate() {
+        let mut s = RumorSet::empty(2 * PAGE_BITS);
+        let mut runs = Vec::new();
+        s.insert_run(RumorId(0), PAGE_BITS as u32, &mut runs);
+        assert_eq!(s.live_pages(), 0, "a whole-page run is a sentinel page");
+        assert_eq!(s.len(), PAGE_BITS);
+        assert_eq!(runs, vec![(RumorId(0), PAGE_BITS as u32)]);
+        s.insert_run(RumorId(PAGE_BITS as u32), PAGE_BITS as u32, &mut runs);
+        assert!(s.is_full());
+        assert_eq!(s.live_pages(), 0, "full sets collapse to zero pages");
+    }
+
+    #[test]
+    fn equality_is_canonical_across_construction_orders() {
+        // The same contents must compare equal no matter how they were built:
+        // bit-by-bit, by run, or via union.
+        let n = PAGE_BITS + 10;
+        let mut by_bits = RumorSet::empty(n);
+        for i in 0..n {
+            by_bits.insert(RumorId::from(i));
+        }
+        let mut by_run = RumorSet::empty(n);
+        by_run.insert_run(RumorId(0), n as u32, &mut Vec::new());
+        assert_eq!(by_bits, by_run);
+        assert!(by_bits.is_full());
+        assert_eq!(by_bits.live_pages(), 0);
+
+        let mut partial_bits = RumorSet::empty(n);
+        for i in 0..PAGE_BITS {
+            partial_bits.insert(RumorId::from(i));
+        }
+        let mut partial_run = RumorSet::empty(n);
+        partial_run.insert_run(RumorId(0), PAGE_BITS as u32, &mut Vec::new());
+        assert_eq!(partial_bits, partial_run, "full page == sentinel page");
+    }
+
+    #[test]
     #[should_panic(expected = "outside universe")]
     fn insert_consecutive_past_universe_panics() {
         let mut s = RumorSet::empty(10);
@@ -614,19 +1194,84 @@ mod tests {
     }
 
     #[test]
-    fn union_words_collects_exactly_the_new_rumors() {
-        let mut dst = RumorSet::singleton(130, RumorId(5));
-        let mut src = RumorSet::singleton(130, RumorId(5));
-        src.insert(RumorId(0));
-        src.insert(RumorId(64));
-        src.insert(RumorId(129));
+    fn union_words_collects_exactly_the_new_runs() {
+        let n = PAGE_BITS + 130;
+        let mut dst = RumorSet::singleton(n, RumorId(5));
+        let mut shadow = vec![0u64; n.div_ceil(64)];
+        set_words_range(&mut shadow, 0, 2); // 0, 1
+        set_words_range(&mut shadow, 5, 1); // already known
+        set_words_range(&mut shadow, 64, 1); // 64
+        set_words_range(&mut shadow, PAGE_BITS + 129, 1); // second page
         let mut new = Vec::new();
-        dst.union_words_collect_new(&src.words, &mut new);
-        assert_eq!(new, vec![RumorId(0), RumorId(64), RumorId(129)]);
-        assert!(dst.is_superset(&src));
+        dst.union_words_collect_new_runs(&shadow, &mut new);
+        assert_eq!(
+            new,
+            vec![
+                (RumorId(0), 2),
+                (RumorId(64), 1),
+                (RumorId(PAGE_BITS as u32 + 129), 1)
+            ]
+        );
+        assert_eq!(dst.len(), 5);
         new.clear();
-        dst.union_words_collect_new(&src.words, &mut new);
+        dst.union_words_collect_new_runs(&shadow, &mut new);
         assert!(new.is_empty(), "second union adds nothing");
+    }
+
+    #[test]
+    fn insert_all_emits_the_complement_and_collapses() {
+        let n = PAGE_BITS + 50;
+        let mut s = RumorSet::empty(n);
+        s.insert(RumorId(3));
+        s.insert_run(RumorId(0), PAGE_BITS as u32, &mut Vec::new()); // page 0 full
+        s.insert(RumorId(PAGE_BITS as u32 + 10));
+        let mut new = Vec::new();
+        s.insert_all(&mut new);
+        assert!(s.is_full());
+        assert_eq!(s.live_pages(), 0);
+        let expanded: Vec<usize> = new
+            .iter()
+            .flat_map(|&(f, l)| f.index()..f.index() + l as usize)
+            .collect();
+        let expected: Vec<usize> = (PAGE_BITS..n).filter(|&i| i != PAGE_BITS + 10).collect();
+        assert_eq!(expanded, expected);
+    }
+
+    #[test]
+    fn union_with_full_source_and_randomish_mix_matches_naive() {
+        let n = 2 * PAGE_BITS + 77;
+        let mut naive_a = vec![false; n];
+        let mut naive_b = vec![false; n];
+        let mut a = RumorSet::empty(n);
+        let mut b = RumorSet::empty(n);
+        // Deterministic scatter over both sets (multiplicative hashing).
+        for k in 0..800usize {
+            let i = (k.wrapping_mul(2654435761)) % n;
+            let j = (k.wrapping_mul(40503) + 17) % n;
+            a.insert(RumorId::from(i));
+            naive_a[i] = true;
+            b.insert(RumorId::from(j));
+            naive_b[j] = true;
+        }
+        assert_matches_naive(&a, &naive_a);
+        assert_matches_naive(&b, &naive_b);
+        let mut merged = a.clone();
+        assert!(merged.union_with(&b));
+        let naive_merged: Vec<bool> = (0..n).map(|i| naive_a[i] || naive_b[i]).collect();
+        assert_matches_naive(&merged, &naive_merged);
+        assert!(merged.is_superset(&a));
+        assert!(merged.is_superset(&b));
+        assert!(!a.is_superset(&b));
+
+        // A full source saturates the destination in one step.
+        let mut full = RumorSet::empty(n);
+        full.insert_run(RumorId(0), n as u32, &mut Vec::new());
+        assert!(full.is_full());
+        let mut c = a.clone();
+        assert!(c.union_with(&full));
+        assert!(c.is_full());
+        assert_eq!(c, full);
+        assert!(!c.union_with(&b), "full destinations absorb nothing");
     }
 
     #[test]
@@ -635,14 +1280,14 @@ mod tests {
         set_words_range(&mut words, 60, 10); // spans the 0/1 word boundary
         set_words_range(&mut words, 128, 64); // a full word
         set_words_range(&mut words, 0, 0); // no-op
-        let mut expected = RumorSet::empty(256);
+        let mut expected = vec![0u64; 4];
         for i in 60..70 {
-            expected.insert(RumorId(i));
+            expected[i / 64] |= 1 << (i % 64);
         }
         for i in 128..192 {
-            expected.insert(RumorId(i));
+            expected[i / 64] |= 1 << (i % 64);
         }
-        assert_eq!(words, expected.words);
+        assert_eq!(words, expected);
     }
 
     #[test]
@@ -655,6 +1300,23 @@ mod tests {
         assert_eq!(log.retained_runs(), 3, "7..=10, 3..=4, 42");
         let entries: Vec<u32> = (0..7).map(|p| log.get(p).0).collect();
         assert_eq!(entries, vec![7, 8, 9, 10, 3, 4, 42]);
+    }
+
+    #[test]
+    fn log_push_run_extends_and_starts_runs_like_pushes() {
+        let mut by_push = AcquisitionLog::new();
+        let mut by_run = AcquisitionLog::new();
+        // (first, len) batches, some contiguous with the previous one.
+        for &(first, len) in &[(10u32, 3u32), (13, 4), (50, 2), (52, 1), (0, 5)] {
+            for k in 0..len {
+                by_push.push(RumorId(first + k));
+            }
+            by_run.push_run(RumorId(first), len);
+        }
+        assert_eq!(by_push, by_run);
+        assert_eq!(by_run.retained_runs(), 3, "10..=16, 50..=52, 0..=4");
+        assert!(!by_run.push_run(RumorId(99), 0), "empty batch is a no-op");
+        assert_eq!(by_push.len(), by_run.len());
     }
 
     #[test]
@@ -716,6 +1378,24 @@ mod tests {
         assert!(log.push(RumorId(91)));
         assert_eq!(log.get(6), RumorId(91));
         assert_eq!(log.len(), 7);
+    }
+
+    #[test]
+    fn log_truncate_all_frees_everything_and_keeps_positions() {
+        let mut log = AcquisitionLog::new();
+        for i in 0..100u32 {
+            log.push(RumorId(2 * i)); // 100 singleton runs
+        }
+        assert_eq!(log.truncate_all(), 100);
+        assert_eq!(log.retained_runs(), 0);
+        assert_eq!(log.front(), 100);
+        assert_eq!(log.len(), 100);
+        // Appends continue at the absolute position after the collapse.
+        assert!(log.push_run(RumorId(500), 3));
+        assert_eq!(log.get(100), RumorId(500));
+        assert_eq!(log.get(102), RumorId(502));
+        assert_eq!(log.truncate_all(), 1);
+        assert_eq!(log.front(), 103);
     }
 
     #[test]

@@ -215,8 +215,57 @@ proptest! {
         let report = assert_equivalent(&g, &config, || RandomPushPull::new(&g), "forced-shadows");
         prop_assert_eq!(report.rejections, 0);
         let mem = report.mem.unwrap();
-        prop_assert!(mem.shadow_advances > 0, "forced compaction must advance shadows");
+        // Truncation must genuinely have happened — through shadow
+        // advancement, or through saturation collapse when the instance
+        // saturates within one calendar lap (small dense samples do).
+        prop_assert!(
+            mem.shadow_advances > 0 || mem.collapsed_nodes > 0,
+            "forced compaction must advance shadows or collapse saturated nodes"
+        );
         prop_assert!(mem.truncated_runs > 0, "advancement must truncate log runs");
         assert_equivalent(&g, &config, || RoundRobinFlood::new(&g), "forced-shadows flood");
+    }
+
+    /// Saturation collapse, specifically: all-to-all on small universes with
+    /// latencies ≥ 2 and a round budget far past completion, so nodes
+    /// saturate mid-run, survive the `max_latency + 1` calendar lap, and get
+    /// their shadow freed, their log truncated entirely, and their edges
+    /// short-circuited to the `O(pages)` "peer is saturated" merge — while
+    /// `shadow_compaction(0)` keeps ordinary frontier advancement busy on
+    /// the not-yet-saturated nodes.  Every observable must still match the
+    /// reference engine exactly, and the run must genuinely have collapsed.
+    #[test]
+    fn saturation_collapse_matches_reference_mid_run(
+        n in 6usize..32,
+        p in 0.2f64..0.9,
+        max_latency in 2u64..8,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xC011A);
+        let g = generators::erdos_renyi(n, p, 1, &mut rng).unwrap();
+        let g = gossip_graph::latency::LatencyScheme::UniformRandom { min: 2, max: max_latency }
+            .apply(&g, &mut rng)
+            .unwrap();
+        // Far past all-to-all completion: plenty of rounds for every node to
+        // saturate *and* outlive the collapse lap, with saturated-peer
+        // merges continuing to fire afterwards.
+        let config = SimConfig::new(seed)
+            .termination(Termination::FixedRounds(40 * g.max_latency()))
+            .track_rumor(RumorId::from(n / 2))
+            .shadow_compaction(0);
+        let report =
+            assert_equivalent(&g, &config, || RandomPushPull::new(&g), "saturation-collapse");
+        prop_assert_eq!(report.rejections, 0);
+        let mem = report.mem.unwrap();
+        if report.min_rumors_known == n {
+            // The run saturated: with 40·L rounds of slack every node also
+            // outlived its collapse lap.
+            prop_assert_eq!(mem.saturated_nodes, n as u64);
+            prop_assert_eq!(mem.collapsed_nodes, n as u64, "saturated nodes must collapse");
+            prop_assert_eq!(mem.pages_live, 0, "collapsed sets hold no dense pages");
+            prop_assert_eq!(mem.live_log_runs, 0, "collapsed logs retain no runs");
+        }
+        prop_assert!(mem.truncated_runs > 0);
+        assert_equivalent(&g, &config, || RoundRobinFlood::new(&g), "saturation-collapse flood");
     }
 }

@@ -43,9 +43,11 @@ fn push_pull_all_to_all_on_4096_node_erdos_renyi() {
 
 /// Always-on memory gate at a debug-friendly size: all-to-all on a 4096-node
 /// star must stay tiny — interval runs collapse the star's bursty
-/// acquisition orders to a handful of runs per node, so the dissemination
-/// state is dominated by the rumor bitsets (~2 MB) and stays far below the
-/// 16 MB budget asserted here.
+/// acquisition orders to a handful of runs per node, and the paged rumor
+/// sets never materialise more than one dense page per node (most saturate
+/// straight into full sentinel pages), so the whole dissemination state
+/// stays far below the 16 MiB budget asserted here (a dense bitset layout
+/// alone would be ~2 MiB per direction).
 #[test]
 fn star_all_to_all_memory_stays_within_sixteen_megabytes_at_4096() {
     let g = generators::star(4096, 1).unwrap();
@@ -59,7 +61,17 @@ fn star_all_to_all_memory_stays_within_sixteen_megabytes_at_4096() {
         "peak {} bytes exceeds the 16 MiB budget ({mem:?})",
         mem.peak_engine_bytes
     );
-    assert!(mem.rumor_set_bytes >= 4096 * (4096 / 64) * 8);
+    // Paged sets: at most one dense page per node ever lives (universe 4096
+    // is exactly one page), and saturated sets collapse to zero pages.
+    assert!(
+        mem.pages_peak <= 4096,
+        "star sets need at most one dense page per node, got {}",
+        mem.pages_peak
+    );
+    assert_eq!(
+        mem.saturated_nodes, 4096,
+        "all-to-all completion saturates every node"
+    );
     // The whole point of interval runs: ~n log entries per node compress to
     // a handful of runs each (the hub relays ascending leaf ids; each run
     // splits only around ids learned out of order).
@@ -70,12 +82,35 @@ fn star_all_to_all_memory_stays_within_sixteen_megabytes_at_4096() {
     );
 }
 
-/// THE ISSUE acceptance gate (release only — the run pushes ~10^9 word
-/// operations, fine optimised, minutes unoptimised): push–pull *all-to-all*
-/// on a 32768-node star, where every node ends up knowing all 32768 rumors.
-/// Flat `Vec<RumorId>` acquisition logs would need `Σ|final rumor sets|`
-/// entries ≈ 4 GiB; the interval-compressed logs plus delayed shadows must
-/// hold the whole dissemination state under 1 GiB, measured by the engine's
+/// Always-on saturation-collapse gate: run a small all-to-all past
+/// completion (`FixedRounds` keeps the engine going) so every node
+/// saturates and then survives a full calendar lap.  Every node must be
+/// collapsed by the end: zero dense pages alive, zero retained log runs —
+/// the collapsed state is literally free.
+#[test]
+fn saturated_nodes_report_zero_live_pages_and_truncated_logs() {
+    let g = generators::clique(64, 3).unwrap();
+    let config = SimConfig::new(11).termination(Termination::FixedRounds(120));
+    let report = Simulation::new(&g, config).run(&mut RandomPushPull::new(&g));
+    assert_eq!(report.min_rumors_known, 64, "the run must saturate");
+    let mem = report.mem.unwrap();
+    assert_eq!(mem.saturated_nodes, 64);
+    assert_eq!(
+        mem.collapsed_nodes, 64,
+        "every saturated node must collapse one calendar lap later ({mem:?})"
+    );
+    assert_eq!(mem.pages_live, 0, "collapsed sets hold no dense pages");
+    assert_eq!(mem.live_log_runs, 0, "collapsed logs retain no runs");
+    assert!(mem.truncated_runs > 0, "collapse reclaims the log history");
+    assert!(mem.pages_peak > 0, "the run did allocate pages mid-flight");
+}
+
+/// The PR-3 acceptance gate, kept under the paged layout (release only):
+/// push–pull *all-to-all* on a 32768-node star, where every node ends up
+/// knowing all 32768 rumors.  Flat `Vec<RumorId>` acquisition logs would
+/// need ≈ 4 GiB and dense bitsets another ~270 MB; interval-compressed logs
+/// plus paged, saturation-collapsing sets must hold the whole dissemination
+/// state under 1 GiB (in fact tens of MB), measured by the engine's
 /// deterministic memory counters.
 #[cfg(not(debug_assertions))]
 #[test]
@@ -93,8 +128,7 @@ fn push_pull_all_to_all_on_a_32768_node_star_stays_under_one_gigabyte() {
         "peak {} bytes exceeds the 1 GiB budget ({mem:?})",
         mem.peak_engine_bytes
     );
-    // The rumor bitsets alone are ~128 MiB at this size; the log + shadow
-    // overhead on top must be a small multiple, not the 4 GiB wall.
+    // The logs + shadow overhead must stay far below the 4 GiB flat wall.
     assert!(
         mem.peak_log_bytes < 64 << 20,
         "interval logs must stay far below the flat-log wall, got {} bytes",
@@ -103,6 +137,48 @@ fn push_pull_all_to_all_on_a_32768_node_star_stays_under_one_gigabyte() {
     assert!(
         elapsed < std::time::Duration::from_secs(60),
         "32768-node all-to-all took {elapsed:.2?} (budget 60s)"
+    );
+}
+
+/// THE ISSUE acceptance gate (release only): push–pull *all-to-all* on a
+/// **131072-node star** — the workload the dense-bitset layout could never
+/// touch (`2·n²/8` ≈ 4.3 GiB for sets + shadows alone).  With paged sets a
+/// node costs a couple of dense pages (its own singleton page, plus page 0
+/// once the hub's first exchange delivers rumor 0) until a saturating merge
+/// flips whole pages to the full sentinel and the set collapses to nothing;
+/// with saturation collapse the logs and shadows of informed nodes are
+/// freed one calendar lap later.  The deterministic peak must stay under
+/// 1.5 GiB (measured: ~145 MB) and the endgame must short-circuit fast
+/// enough to finish within the wall-clock budget.
+#[cfg(not(debug_assertions))]
+#[test]
+fn push_pull_all_to_all_on_a_131072_node_star_stays_under_1_5_gigabytes() {
+    let g = generators::star(131072, 1).unwrap();
+    let started = std::time::Instant::now();
+    let config = SimConfig::new(17).termination(Termination::AllKnowAll);
+    let report = Simulation::new(&g, config).run(&mut RandomPushPull::new(&g));
+    let elapsed = started.elapsed();
+    assert!(report.completed, "{report}");
+    assert_eq!(report.min_rumors_known, 131072, "knowledge must saturate");
+    let mem = report.mem.unwrap();
+    assert!(
+        mem.peak_engine_bytes < 3 << 29,
+        "peak {} bytes exceeds the 1.5 GiB budget ({mem:?})",
+        mem.peak_engine_bytes
+    );
+    assert_eq!(mem.saturated_nodes, 131072);
+    // Two dense pages per node is the ceiling on a star (own page + page 0
+    // from the hub's first delivery): the saturating merge arrives as a few
+    // huge consecutive runs and flips every further page straight to the
+    // full sentinel — never a dense materialisation of the whole universe.
+    assert!(
+        mem.pages_peak <= 2 * 131072 + 64,
+        "paged sets must stay near two pages per node, got {}",
+        mem.pages_peak
+    );
+    assert!(
+        elapsed < std::time::Duration::from_secs(120),
+        "131072-node all-to-all took {elapsed:.2?} (budget 120s)"
     );
 }
 

@@ -21,6 +21,14 @@ pub const DEFAULT_TIME_TOLERANCE: f64 = 0.5;
 
 /// The fields of a `gossip-bench-timing/v2` artifact that the regression
 /// check consumes.
+///
+/// Parsing is deliberately **unknown-field-tolerant**: only the fields below
+/// are read, everything else in the artifact is ignored, and fields that
+/// were added to the artifact *after* v2 shipped (the event-driven
+/// scheduler's `rounds_*_total` aggregates) are optional.  A freshly written
+/// artifact therefore always checks cleanly against a baseline produced by
+/// an older binary, and vice versa — schema growth never breaks CI
+/// retroactively.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TimingArtifact {
     /// Sweep scale identifier (`quick` / `full` / `large` / `huge`).
@@ -33,10 +41,18 @@ pub struct TimingArtifact {
     pub peak_mem_bytes: u64,
     /// Label of the scenario that produced `peak_mem_bytes`.
     pub peak_mem_scenario: String,
+    /// Total rounds the event-driven scheduler actually walked, summed over
+    /// every scenario trial (`None` for artifacts written before the
+    /// scheduler existed).
+    pub rounds_simulated_total: Option<u64>,
+    /// Total rounds fast-forwarded over (`None` for pre-scheduler
+    /// artifacts).
+    pub rounds_skipped_total: Option<u64>,
 }
 
 impl TimingArtifact {
-    /// Parses a timing artifact, validating the schema tag.
+    /// Parses a timing artifact, validating the schema tag.  Unknown fields
+    /// are ignored and post-v2 additions are optional (see the type docs).
     ///
     /// # Errors
     ///
@@ -50,6 +66,12 @@ impl TimingArtifact {
         if schema != "gossip-bench-timing/v2" {
             return Err(format!("unsupported schema '{schema}'"));
         }
+        let opt_u64 = |field: &str| {
+            value
+                .get(field)
+                .and_then(Json::as_i64)
+                .map(|v| v.max(0) as u64)
+        };
         Ok(TimingArtifact {
             scale: value
                 .get("scale")
@@ -71,6 +93,8 @@ impl TimingArtifact {
                 .and_then(Json::as_str)
                 .unwrap_or("")
                 .to_string(),
+            rounds_simulated_total: opt_u64("rounds_simulated_total"),
+            rounds_skipped_total: opt_u64("rounds_skipped_total"),
         })
     }
 }
@@ -156,6 +180,21 @@ pub fn check(
             time_tolerance * 100.0,
         ));
     }
+    // Scheduler aggregates are informational only (no gate): they explain
+    // *why* wall-clock moved, and older baselines may not carry them at all.
+    if let (Some(simulated), Some(skipped)) =
+        (current.rounds_simulated_total, current.rounds_skipped_total)
+    {
+        let total = simulated + skipped;
+        lines.push(format!(
+            "INFO rounds: {simulated} simulated, {skipped} skipped ({:.1}% fast-forwarded)",
+            if total == 0 {
+                0.0
+            } else {
+                100.0 * skipped as f64 / total as f64
+            },
+        ));
+    }
     CheckOutcome { ok, lines }
 }
 
@@ -170,6 +209,8 @@ mod tests {
             mem_stats: true,
             peak_mem_bytes: mem,
             peak_mem_scenario: "star/32768/as-built/push-pull-all-to-all".to_string(),
+            rounds_simulated_total: None,
+            rounds_skipped_total: None,
         }
     }
 
@@ -193,8 +234,48 @@ mod tests {
         assert_eq!(parsed.peak_mem_bytes, 123456);
         assert!(parsed.mem_stats);
         assert!((parsed.elapsed_seconds - 12.5).abs() < 1e-12);
+        // A pre-scheduler artifact simply has no round aggregates.
+        assert_eq!(parsed.rounds_simulated_total, None);
+        assert_eq!(parsed.rounds_skipped_total, None);
         assert!(TimingArtifact::parse("{}").is_err());
         assert!(TimingArtifact::parse(r#"{"schema": "gossip-bench-timing/v1"}"#).is_err());
+    }
+
+    #[test]
+    fn parsing_tolerates_new_and_unknown_fields() {
+        // The event-driven scheduler added `rounds_*_total` to the v2
+        // artifact; the parser must surface them when present — and keep
+        // ignoring fields it has never heard of, so future schema growth
+        // cannot break CI against an already-committed baseline.
+        let text = r#"{
+  "schema": "gossip-bench-timing/v2",
+  "scale": "large",
+  "elapsed_seconds": 3.25,
+  "mem_stats": true,
+  "peak_mem_bytes": 42,
+  "peak_mem_scenario": "star/64/as-built/push-pull",
+  "rounds_simulated_total": 1000,
+  "rounds_skipped_total": 250000,
+  "some_future_field": {"nested": [1, 2, 3]},
+  "another_future_counter": 7
+}"#;
+        let parsed = TimingArtifact::parse(text).unwrap();
+        assert_eq!(parsed.rounds_simulated_total, Some(1000));
+        assert_eq!(parsed.rounds_skipped_total, Some(250_000));
+        assert_eq!(parsed.peak_mem_bytes, 42);
+
+        // Both directions check cleanly against a baseline that predates
+        // the new fields (and the informational line never gates).
+        let old = artifact(3.0, 42);
+        let outcome = check(&old, &parsed, DEFAULT_MEM_TOLERANCE, DEFAULT_TIME_TOLERANCE);
+        assert!(outcome.ok, "{:?}", outcome.lines);
+        assert!(
+            outcome.lines.iter().any(|l| l.starts_with("INFO rounds")),
+            "skipped-round aggregates surface informationally: {:?}",
+            outcome.lines
+        );
+        let outcome = check(&parsed, &old, DEFAULT_MEM_TOLERANCE, DEFAULT_TIME_TOLERANCE);
+        assert!(outcome.ok, "{:?}", outcome.lines);
     }
 
     #[test]

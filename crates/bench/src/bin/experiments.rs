@@ -239,6 +239,7 @@ fn run_sweep(args: &[String]) -> ExitCode {
     } else {
         (String::new(), 0)
     };
+    let (rounds_simulated_total, rounds_skipped_total) = report.rounds_totals();
     let timing = gossip_bench::json::Json::object(vec![
         (
             "schema",
@@ -276,6 +277,18 @@ fn run_sweep(args: &[String]) -> ExitCode {
         (
             "mem_stats",
             gossip_bench::json::Json::Bool(options.mem_stats),
+        ),
+        // Event-driven scheduler aggregates (deterministic engine counters):
+        // total rounds walked vs fast-forwarded across all scenarios.
+        // `bench-check` parses artifacts leniently, so baselines predating
+        // these fields keep working.
+        (
+            "rounds_simulated_total",
+            gossip_bench::json::Json::Int(rounds_simulated_total as i64),
+        ),
+        (
+            "rounds_skipped_total",
+            gossip_bench::json::Json::Int(rounds_skipped_total as i64),
         ),
         (
             "peak_mem_bytes",

@@ -739,6 +739,12 @@ pub struct ScenarioSummary {
     /// Largest end-of-run count of saturation-collapsed nodes (log + shadow
     /// freed, merges short-circuited) over the trials.
     pub collapsed_nodes: u64,
+    /// Rounds the event-driven scheduler actually executed, summed over the
+    /// trials (0 when memory counters were not reported).
+    pub rounds_simulated: u64,
+    /// Rounds the scheduler fast-forwarded over (empty active worklist, the
+    /// clock jumped to the next calendar event), summed over the trials.
+    pub rounds_skipped: u64,
 }
 
 impl ScenarioSummary {
@@ -784,6 +790,14 @@ impl ScenarioSummary {
                 .filter_map(|t| t.mem.map(|m| m.collapsed_nodes))
                 .max()
                 .unwrap_or(0),
+            rounds_simulated: trials
+                .iter()
+                .filter_map(|t| t.mem.map(|m| m.rounds_simulated))
+                .sum(),
+            rounds_skipped: trials
+                .iter()
+                .filter_map(|t| t.mem.map(|m| m.rounds_skipped))
+                .sum(),
         }
     }
 }
@@ -816,7 +830,7 @@ impl SweepReport {
     /// the grid order, and the writer formats numbers deterministically.
     pub fn to_json(&self) -> String {
         Json::object(vec![
-            ("schema", Json::Str("gossip-sweep/v3".to_string())),
+            ("schema", Json::Str("gossip-sweep/v4".to_string())),
             ("trials_per_scenario", Json::Int(self.trials as i64)),
             // A string, not an i64: u64 seeds above i64::MAX must survive
             // the round trip through the report.
@@ -846,6 +860,8 @@ impl SweepReport {
                                 ("pages_peak", Json::Int(s.pages_peak as i64)),
                                 ("saturated_nodes", Json::Int(s.saturated_nodes as i64)),
                                 ("collapsed_nodes", Json::Int(s.collapsed_nodes as i64)),
+                                ("rounds_simulated", Json::Int(s.rounds_simulated as i64)),
+                                ("rounds_skipped", Json::Int(s.rounds_skipped as i64)),
                             ])
                         })
                         .collect(),
@@ -871,6 +887,16 @@ impl SweepReport {
             })
     }
 
+    /// Sweep-wide `(rounds_simulated, rounds_skipped)` totals over every
+    /// scenario — the event-driven scheduler's aggregate: how many rounds
+    /// were actually walked vs fast-forwarded over.  Deterministic (engine
+    /// counters), so it participates in byte-identical artifacts.
+    pub fn rounds_totals(&self) -> (u64, u64) {
+        self.scenarios.iter().fold((0, 0), |(sim, skip), s| {
+            (sim + s.rounds_simulated, skip + s.rounds_skipped)
+        })
+    }
+
     /// Renders the aggregates as a [`Table`] for terminal / markdown output.
     pub fn to_table(&self) -> Table {
         let mut table = Table::new(
@@ -882,10 +908,18 @@ impl SweepReport {
             ),
             &[
                 "family", "n", "profile", "protocol", "ok", "min", "median", "p95", "max", "mean",
-                "memMB",
+                "memMB", "skipped%",
             ],
         );
         for s in &self.scenarios {
+            // Share of all rounds (across the scenario's trials) the
+            // event-driven scheduler fast-forwarded over instead of walking.
+            let total_rounds = s.rounds_simulated + s.rounds_skipped;
+            let skipped_pct = if total_rounds == 0 {
+                0.0
+            } else {
+                100.0 * s.rounds_skipped as f64 / total_rounds as f64
+            };
             table.push_row(vec![
                 s.family.as_str().into(),
                 s.nodes.into(),
@@ -898,6 +932,7 @@ impl SweepReport {
                 s.rounds_max.into(),
                 s.rounds_mean.into(),
                 (s.peak_mem_bytes / (1 << 20)).into(),
+                skipped_pct.into(),
             ]);
         }
         table

@@ -1,10 +1,11 @@
 //! The synchronous round engine.
 //!
-//! # Architecture: the snapshot-free hot path
+//! # Architecture: the snapshot-free, event-driven hot path
 //!
-//! The engine is built so that the per-round cost is `O(n)` protocol
-//! decisions plus work proportional to what actually *happens* — never a
-//! rescan of global state:
+//! The engine is built so that the per-round cost is `O(active nodes)`
+//! protocol decisions plus work proportional to what actually *happens* —
+//! never a rescan of global state, and never a decision loop over nodes that
+//! have promised they cannot act:
 //!
 //! * **Acquisition logs.**  Alongside its rumor bitset, every node keeps an
 //!   append-only log of the rumors it learned, in learn order.  A node's
@@ -46,6 +47,25 @@
 //!   Since every latency is in `1..=max_latency`, the bucket drained at the
 //!   start of a round holds exactly the exchanges completing that round, in
 //!   initiation order — delivery is `O(completions)`, not `O(in flight)`.
+//! * **Event-driven active-set scheduling.**  Protocols report per-node
+//!   quiescence through [`Protocol::activity`]: a node whose `on_round` just
+//!   returned `None` and whose `activity` answers
+//!   [`IdleUntilWoken`](Activity::IdleUntilWoken) or
+//!   [`Quiescent`](Activity::Quiescent) leaves the engine's sorted active
+//!   worklist and is simply never asked again — idle nodes re-join when an
+//!   exchange incident to them completes (which is the only way their rumor
+//!   set, `on_exchange` state, or Blocking-mode `can_initiate` flag can
+//!   change) or when their saturation-collapse lap finishes; quiescent nodes
+//!   are retired permanently.  The decision loop therefore costs
+//!   `O(active)`, not `O(n)`, and the protocol contract (idle nodes would
+//!   have returned `None` without touching the RNG) makes the skipped calls
+//!   unobservable: reports stay byte-identical to an engine that asks every
+//!   node every round.  When the worklist empties entirely while the
+//!   calendar ring still holds in-flight exchanges or shadow/collapse laps,
+//!   the round clock **fast-forwards** to the next non-empty bucket instead
+//!   of spinning through empty rounds; `rounds_simulated`, `rounds_skipped`
+//!   and the peak/final active-set size are reported in
+//!   [`MemStats`](crate::report::MemStats).
 //! * **Incremental termination.**  Counters (nodes with a full set, nodes
 //!   knowing the tracked rumor, outstanding local-broadcast pairs) are
 //!   updated inside the merge, so every [`Termination`] check is `O(1)`;
@@ -268,6 +288,45 @@ impl NodeView<'_> {
     }
 }
 
+/// A protocol's promise about a node's upcoming behavior, returned by
+/// [`Protocol::activity`] and consumed by the engine's event-driven
+/// scheduler.
+///
+/// The engine consults `activity` for a node only directly after that node's
+/// [`on_round`](Protocol::on_round) returned `None` in the same round, with
+/// the same [`NodeView`].  Anything other than [`Activity::Active`] is a
+/// *binding promise* about future `on_round` calls — see the variants — that
+/// lets the engine skip those calls entirely; because a skipped call would
+/// have returned `None` without touching the RNG or the protocol state,
+/// skipping is unobservable and all reports stay byte-identical to an engine
+/// that asks every node every round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Activity {
+    /// No promise: keep asking this node every round (the default, and the
+    /// exact pre-scheduler behavior).
+    #[default]
+    Active,
+    /// Until a *wake event* occurs at this node, every `on_round` call would
+    /// return `None` without drawing from the RNG and without mutating the
+    /// protocol.  The engine stops asking and re-activates the node on the
+    /// next wake event.  Wake events at node `v` are:
+    ///
+    /// * an exchange incident to `v` completes — the only way `v`'s rumor
+    ///   set can grow, [`on_exchange`](Protocol::on_exchange) can fire at
+    ///   `v`, or `v`'s `pending_own` / Blocking-mode `can_initiate` state
+    ///   can change;
+    /// * `v`'s saturation-collapse lap finishes (an engine-internal event,
+    ///   included so a protocol may key idleness off `view.rumors` becoming
+    ///   full without tracking the collapse calendar itself).
+    IdleUntilWoken,
+    /// The same promise, unconditionally and forever: no event can make this
+    /// node act again.  The engine retires the node permanently — it is
+    /// *not* re-activated by wake events — so this is only sound when the
+    /// silence derives from irreversible state (a full rumor set, an
+    /// isolated node, a finished program).
+    Quiescent,
+}
+
 /// A completed bidirectional exchange, as seen by one endpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExchangeEvent {
@@ -326,6 +385,28 @@ pub trait Protocol {
         let _ = node;
         false
     }
+
+    /// The node's quiescence promise, consulted by the event-driven
+    /// scheduler directly after an [`on_round`](Self::on_round) call that
+    /// returned `None` (with the same `view`).
+    ///
+    /// The default returns [`Activity::Active`], which makes no promise:
+    /// the engine keeps asking the node every round, so **third-party
+    /// protocols that do not override this method keep the exact
+    /// pre-scheduler behavior** — every node is consulted every round and no
+    /// rounds are skipped.
+    ///
+    /// Overriding implementations must uphold the contract documented on
+    /// [`Activity`]: while idle or quiescent, any `on_round` call the engine
+    /// elides would have returned `None` without drawing from the RNG and
+    /// without mutating the protocol.  Violating the contract desynchronises
+    /// the run from the reference semantics (and from the same protocol run
+    /// under [`crate::reference::ReferenceSimulation`], which still asks
+    /// every node every round).
+    fn activity(&self, view: &NodeView<'_>) -> Activity {
+        let _ = view;
+        Activity::Active
+    }
 }
 
 /// An in-flight exchange: its endpoints plus the `O(1)` snapshot of what each
@@ -338,6 +419,48 @@ struct Flight {
     initiator_known: u32,
     /// Responder's log length at initiation time.
     responder_known: u32,
+}
+
+/// Scheduler-side view of one node, maintained by the engine (the protocol's
+/// [`Activity`] answers drive the transitions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeState {
+    /// In the active worklist; consulted every round.
+    Active,
+    /// Out of the worklist; re-activated by the next wake event.
+    Idle,
+    /// Retired permanently; never consulted or woken again.
+    Quiescent,
+}
+
+/// The next round strictly after `round` at which any calendar bucket fires:
+/// in-flight exchange completions (`calendar`) or queued shadow/collapse
+/// laps (`shadow_ring`).  Both rings map a fire time `t` to bucket
+/// `t % ring_len`, and every queued entry fires within one lap, so bucket
+/// `b` fires at the unique `t ∈ (round, round + ring_len]` with
+/// `t ≡ b (mod ring_len)` — including the wraparound case `b == round %
+/// ring_len`, which (being already drained for the current round) can only
+/// mean `t = round + ring_len`.
+fn next_event_round(
+    round: u64,
+    ring_len: usize,
+    calendar: &[Vec<Flight>],
+    shadow_ring: &[Vec<(u32, u32)>],
+) -> Option<u64> {
+    let cur = (round % ring_len as u64) as usize;
+    let mut best: Option<u64> = None;
+    for (b, (flights, advances)) in calendar.iter().zip(shadow_ring).enumerate() {
+        if flights.is_empty() && advances.is_empty() {
+            continue;
+        }
+        let delta = match (b + ring_len - cur) % ring_len {
+            0 => ring_len as u64,
+            d => d as u64,
+        };
+        let t = round + delta;
+        best = Some(best.map_or(t, |prev| prev.min(t)));
+    }
+    best
 }
 
 /// Deterministic memory accounting of the dissemination state (the source of
@@ -789,17 +912,42 @@ impl<'g> Simulation<'g> {
         let mut changed_this_round: Vec<u32> = Vec::new();
         let min_truncate_runs = self.config.shadow_min_truncate_runs;
 
+        // Event-driven scheduler state: the sorted worklist of active nodes
+        // (ascending node order keeps protocol calls — and therefore RNG
+        // draws — in exactly the order of the historical all-nodes sweep),
+        // a per-node state, and the buffer wake events accumulate in before
+        // being merged back into the worklist.
+        let mut node_state: Vec<NodeState> = vec![NodeState::Active; n];
+        let mut worklist: Vec<u32> = (0..n as u32).collect();
+        let mut woken: Vec<u32> = Vec::new();
+        let mut merge_buf: Vec<u32> = Vec::new();
+        let mut rounds_simulated: u64 = 0;
+        let mut rounds_skipped: u64 = 0;
+        // Every node starts in the worklist, so the peak is at least `n`
+        // even for runs that complete before their first decision phase
+        // (keeps the `active_peak >= active_final` invariant).
+        let mut active_peak: u64 = worklist.len() as u64;
+
         let mut round: u64 = 0;
         let mut completed =
             progress.is_done(&self.config.termination, 0, protocol, in_flight_count);
         if !completed {
             while round < self.config.max_rounds {
+                rounds_simulated += 1;
                 let bucket = round as usize % ring_len;
                 // 0. Advance shadow frontiers queued `ring_len` rounds ago and
-                //    truncate the logs behind them.
+                //    truncate the logs behind them.  A finished
+                //    saturation-collapse lap is a wake event (see
+                //    [`Activity::IdleUntilWoken`]).
                 let mut advances = std::mem::take(&mut shadow_ring[bucket]);
                 for (node, target) in advances.drain(..) {
-                    progress.advance_shadow(&self.rumors, node as usize, target, min_truncate_runs);
+                    let i = node as usize;
+                    let was_collapsed = progress.collapsed[i];
+                    progress.advance_shadow(&self.rumors, i, target, min_truncate_runs);
+                    if !was_collapsed && progress.collapsed[i] && node_state[i] == NodeState::Idle {
+                        node_state[i] = NodeState::Active;
+                        woken.push(node);
+                    }
                 }
                 shadow_ring[bucket] = advances; // keep the bucket's capacity
 
@@ -852,6 +1000,15 @@ impl<'g> Simulation<'g> {
                                 round,
                             },
                         );
+                        // A completed incident exchange is a wake event: the
+                        // node may have merged new rumors, its `on_exchange`
+                        // state changed, and (Blocking mode) `can_initiate`
+                        // may have flipped.
+                        let i = node.index();
+                        if node_state[i] == NodeState::Idle {
+                            node_state[i] = NodeState::Active;
+                            woken.push(i as u32);
+                        }
                     }
                 }
                 calendar[bucket] = completions; // keep the bucket's capacity
@@ -868,33 +1025,73 @@ impl<'g> Simulation<'g> {
                     break;
                 }
 
-                // 3. Let every node act.
-                for (i, pending) in pending_own.iter_mut().enumerate() {
+                // Re-activate woken nodes, keeping the worklist sorted so
+                // decisions stay in ascending node order (wakes arrive in
+                // completion order and may repeat across a node's two
+                // endpoints' events, hence sort + dedup).
+                if !woken.is_empty() {
+                    woken.sort_unstable();
+                    woken.dedup();
+                    merge_buf.clear();
+                    merge_buf.reserve(worklist.len() + woken.len());
+                    let (mut a, mut b) = (0, 0);
+                    while a < worklist.len() && b < woken.len() {
+                        if worklist[a] < woken[b] {
+                            merge_buf.push(worklist[a]);
+                            a += 1;
+                        } else {
+                            merge_buf.push(woken[b]);
+                            b += 1;
+                        }
+                    }
+                    merge_buf.extend_from_slice(&worklist[a..]);
+                    merge_buf.extend_from_slice(&woken[b..]);
+                    std::mem::swap(&mut worklist, &mut merge_buf);
+                    woken.clear();
+                }
+                active_peak = active_peak.max(worklist.len() as u64);
+
+                // 3. Let every *active* node act.  Nodes whose `on_round`
+                //    returned `None` and whose `activity` promises silence
+                //    leave the worklist here.
+                let mut kept = 0;
+                for k in 0..worklist.len() {
+                    let i = worklist[k] as usize;
                     let node = NodeId::new(i);
                     let can_initiate = match self.config.mode {
                         ExchangeMode::NonBlocking => true,
-                        ExchangeMode::Blocking => *pending == 0,
+                        ExchangeMode::Blocking => pending_own[i] == 0,
                     };
-                    let choice = {
-                        let view = NodeView {
-                            node,
-                            round,
-                            rumors: &self.rumors[i],
-                            neighbors: self.graph.neighbor_slice(node),
-                            can_initiate,
-                            pending_own: *pending,
-                            latency_oracle: LatencyOracle {
-                                graph: self.graph,
-                                known_all: self.config.latencies_known,
-                                source: OracleSource::Flat {
-                                    node,
-                                    discovered: &discovered,
-                                },
+                    let view = NodeView {
+                        node,
+                        round,
+                        rumors: &self.rumors[i],
+                        neighbors: self.graph.neighbor_slice(node),
+                        can_initiate,
+                        pending_own: pending_own[i],
+                        latency_oracle: LatencyOracle {
+                            graph: self.graph,
+                            known_all: self.config.latencies_known,
+                            source: OracleSource::Flat {
+                                node,
+                                discovered: &discovered,
                             },
-                        };
-                        protocol.on_round(&view, &mut rng)
+                        },
                     };
-                    let Some(target) = choice else { continue };
+                    let choice = protocol.on_round(&view, &mut rng);
+                    let Some(target) = choice else {
+                        match protocol.activity(&view) {
+                            Activity::Active => {
+                                worklist[kept] = i as u32;
+                                kept += 1;
+                            }
+                            Activity::IdleUntilWoken => node_state[i] = NodeState::Idle,
+                            Activity::Quiescent => node_state[i] = NodeState::Quiescent,
+                        }
+                        continue;
+                    };
+                    worklist[kept] = i as u32;
+                    kept += 1;
                     if !can_initiate {
                         continue;
                     }
@@ -905,7 +1102,7 @@ impl<'g> Simulation<'g> {
                     };
                     let latency = self.graph.latency(edge);
                     activations += 1;
-                    *pending += 1;
+                    pending_own[i] += 1;
                     calendar[(round + latency) as usize % ring_len].push(Flight {
                         initiator: node,
                         responder: target,
@@ -915,8 +1112,48 @@ impl<'g> Simulation<'g> {
                     });
                     in_flight_count += 1;
                 }
+                worklist.truncate(kept);
 
-                round += 1;
+                // 4. Advance the round clock.  With an empty worklist no
+                //    node can act until the next calendar event, and rounds
+                //    without events are no-ops (no deliveries, no shadow
+                //    laps, no decisions) — so fast-forward straight past
+                //    them instead of spinning, stopping early at a
+                //    `FixedRounds` target or the `max_rounds` cap, both of
+                //    which are evaluated on the round counter itself.
+                //
+                //    One caveat: this round's *decision phase* ran after
+                //    this round's termination check, and for
+                //    [`Termination::Quiescent`] a final `on_round` call may
+                //    have flipped the last `is_idle` — state the check
+                //    could not see but that the reference engine observes
+                //    at the next round's boundary.  Nothing can change
+                //    *during* a gap (no protocol calls, frozen counters),
+                //    so one re-check at `round + 1` is exact: if the run is
+                //    done there, walk a single round and let the loop
+                //    terminate where the reference engine does.
+                if worklist.is_empty() {
+                    let mut next = next_event_round(round, ring_len, &calendar, &shadow_ring)
+                        .unwrap_or(self.config.max_rounds)
+                        .min(self.config.max_rounds);
+                    if let Termination::FixedRounds(target) = self.config.termination {
+                        // `target > round`, else step 2 would have completed.
+                        next = next.min(target);
+                    }
+                    if progress.is_done(
+                        &self.config.termination,
+                        round + 1,
+                        protocol,
+                        in_flight_count,
+                    ) {
+                        next = next.min(round + 1);
+                    }
+                    debug_assert!(next > round);
+                    rounds_skipped += next - round - 1;
+                    round = next;
+                } else {
+                    round += 1;
+                }
             }
         }
 
@@ -947,6 +1184,10 @@ impl<'g> Simulation<'g> {
                 + peak_log_bytes
                 + watermark_bytes
                 + discovery_bytes,
+            rounds_simulated,
+            rounds_skipped,
+            active_peak,
+            active_final: worklist.len() as u64,
         };
         RunReport {
             protocol: protocol.name().to_string(),
@@ -1022,13 +1263,21 @@ mod tests {
 
     #[test]
     fn blocking_mode_throttles_initiations() {
+        // A protocol that never goes quiet, so the measured contrast is the
+        // exchange *mode* alone (the bundled flood now idles between laps).
+        struct Chatty;
+        impl Protocol for Chatty {
+            fn on_round(&mut self, view: &NodeView<'_>, _rng: &mut SmallRng) -> Option<NodeId> {
+                view.can_initiate.then(|| view.neighbors[0].0)
+            }
+        }
         let g = generators::clique(6, 5).unwrap();
         let blocking = SimConfig::new(9)
             .mode(ExchangeMode::Blocking)
             .termination(Termination::FixedRounds(50));
         let nonblocking = SimConfig::new(9).termination(Termination::FixedRounds(50));
-        let b = Simulation::new(&g, blocking).run(&mut RoundRobinFlood::new(&g));
-        let nb = Simulation::new(&g, nonblocking).run(&mut RoundRobinFlood::new(&g));
+        let b = Simulation::new(&g, blocking).run(&mut Chatty);
+        let nb = Simulation::new(&g, nonblocking).run(&mut Chatty);
         // With latency-5 edges a blocking node can start at most 1 exchange
         // per 5 rounds; non-blocking can start one every round.
         assert!(b.activations * 3 < nb.activations);
@@ -1089,15 +1338,29 @@ mod tests {
         // round 5; it is dropped, so nobody has learned anything.
         assert!(sim.rumors().iter().all(|s| s.len() == 1));
 
-        // Re-running restarts the round counter (the FixedRounds(12) target is
-        // relative to the new run) and re-initiates from scratch: the fresh
-        // exchange completes at round 10 of the *second* run.
+        // The reused protocol value continues its program: the flood already
+        // completed its relay lap in the first run, so it believes every
+        // neighbor has been offered everything and stays quiet.
         let mut sim = Simulation::with_rumors(
             &g,
             SimConfig::new(1).termination(Termination::FixedRounds(12)),
             sim.into_rumors(),
         );
-        let second = sim.run(&mut protocol);
+        let continued = sim.run(&mut protocol);
+        assert_eq!(continued.rounds, 12);
+        assert_eq!(continued.activations, 0, "a clean flood stays quiet");
+        assert!(sim.rumors().iter().all(|s| s.len() == 1));
+
+        // Re-running with a *fresh* protocol restarts the round counter (the
+        // FixedRounds(12) target is relative to the new run) and re-initiates
+        // from scratch: the fresh exchange completes at round 10 of the new
+        // run.
+        let mut sim = Simulation::with_rumors(
+            &g,
+            SimConfig::new(1).termination(Termination::FixedRounds(12)),
+            sim.into_rumors(),
+        );
+        let second = sim.run(&mut RoundRobinFlood::new(&g));
         assert_eq!(second.rounds, 12);
         assert!(sim.rumors().iter().all(|s| s.len() == 2));
     }

@@ -48,7 +48,7 @@ pub mod protocols;
 pub mod reference;
 
 pub use engine::{
-    ExchangeEvent, ExchangeMode, NodeView, Protocol, SimConfig, Simulation, Termination,
+    Activity, ExchangeEvent, ExchangeMode, NodeView, Protocol, SimConfig, Simulation, Termination,
 };
 pub use report::{MemStats, RunReport};
 pub use rumor::{AcquisitionLog, RumorId, RumorIter, RumorSet};

@@ -14,13 +14,25 @@ use gossip_graph::{Graph, NodeId};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-use crate::engine::{NodeView, Protocol};
+use crate::engine::{Activity, NodeView, Protocol};
 
 /// Classical push–pull (the "random phone call" model): every node contacts a
-/// uniformly random neighbor in every round.
+/// uniformly random neighbor in every round — until it is *saturated*.
 ///
 /// Theorem 29 of the paper shows this completes information dissemination in
 /// `O((ℓ*/φ*)·log n)` rounds w.h.p. in the latency model.
+///
+/// A node whose rumor set holds the full universe goes quiescent: it has
+/// nothing left to pull, and anything it could push is pulled by its
+/// unsaturated neighbors' own calls, so it stops initiating (the classical
+/// "coordinated stopping" variant of the random phone call model).
+/// Saturation is irreversible, so the protocol reports
+/// [`Activity::Quiescent`] and the engine retires the node — this is what
+/// lets runs that continue past all-to-all completion (`FixedRounds` far
+/// beyond saturation) fast-forward instead of spinning `O(n)` RNG draws per
+/// round.  The silence decision draws nothing from the RNG, keeping the
+/// random stream — and therefore the whole run — identical whether or not
+/// the engine actually asks the saturated node.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RandomPushPull;
 
@@ -40,16 +52,42 @@ impl Protocol for RandomPushPull {
 
     fn on_round(&mut self, view: &NodeView<'_>, rng: &mut SmallRng) -> Option<NodeId> {
         let deg = view.neighbors.len();
-        if deg == 0 {
+        // The saturation check comes before the RNG draw: a quiescent node
+        // must not perturb the random stream (see the `activity` contract).
+        if deg == 0 || view.rumors.is_full() {
             return None;
         }
         let pick = rng.gen_range(0..deg);
         Some(view.neighbors[pick].0)
     }
+
+    fn activity(&self, view: &NodeView<'_>) -> Activity {
+        // A full rumor set never shrinks and an isolated node never gains a
+        // neighbor: both silences are permanent.
+        if view.neighbors.is_empty() || view.rumors.is_full() {
+            Activity::Quiescent
+        } else {
+            Activity::Active
+        }
+    }
 }
 
-/// Deterministic flooding: every node cycles through its neighbors in
-/// round-robin order, contacting one per round.
+/// Per-node cursor and lap bookkeeping of [`RoundRobinFlood`].
+#[derive(Debug, Clone, Copy, Default)]
+struct FloodCursor {
+    /// Index of the next neighbor to contact.
+    cursor: usize,
+    /// The node's rumor count the last time a lap was (re)started.  New
+    /// rumors since then make the node *dirty*: it owes every neighbor one
+    /// more contact.
+    last_seen: usize,
+    /// Contacts left in the current lap (0 = lap complete, node is clean).
+    remaining: usize,
+}
+
+/// Deterministic flooding: a node cycles through its neighbors in round-robin
+/// order, contacting one per round — but only while it is *dirty*, i.e. while
+/// it has learned rumors its neighbors have not yet been offered.
 ///
 /// This is the natural deterministic baseline; on a star it exhibits the
 /// `Ω(n·D)` behaviour the paper mentions when pull is unavailable, and it is
@@ -60,9 +98,28 @@ impl Protocol for RandomPushPull {
 /// (`view.can_initiate`): in [`Blocking`](crate::ExchangeMode::Blocking) mode
 /// a node waiting on a slow edge would otherwise spin its cursor past
 /// neighbors that were never contacted, starving them.
+///
+/// **Dirty-lap idling.**  Each node caches the rumor count at which its
+/// current relay lap started; once it has contacted every neighbor without
+/// learning anything new in between, another contact could only repeat an
+/// offer every neighbor has already received, so the node stops initiating
+/// ("flood until quiet") instead of re-scanning its neighbor list forever.
+/// New rumors — which can only arrive through a completed incident exchange,
+/// one of the engine's wake events — restart a full lap from the current
+/// cursor position.  The clean-state silence neither mutates the protocol
+/// nor touches the RNG, so it is reported as [`Activity::IdleUntilWoken`]
+/// and the engine can skip the node outright.
+///
+/// The lap bookkeeping observes rumor *counts*, which is only meaningful
+/// within one simulation: a protocol value carried to a **different**
+/// simulation whose initial counts happen to match the old final ones would
+/// believe it already offered those (entirely different) rumors and stay
+/// quiet.  Reusing a value is supported for *continuing* a run on the same
+/// rumor state (see `Simulation::run`); for anything else, construct a fresh
+/// protocol.
 #[derive(Debug, Clone, Default)]
 pub struct RoundRobinFlood {
-    next: Vec<usize>,
+    state: Vec<FloodCursor>,
 }
 
 impl RoundRobinFlood {
@@ -71,7 +128,7 @@ impl RoundRobinFlood {
     /// protocol is reused on a larger graph).
     pub fn new(graph: &Graph) -> Self {
         RoundRobinFlood {
-            next: vec![0; graph.node_count()],
+            state: vec![FloodCursor::default(); graph.node_count()],
         }
     }
 }
@@ -84,16 +141,56 @@ impl Protocol for RoundRobinFlood {
     fn on_round(&mut self, view: &NodeView<'_>, _rng: &mut SmallRng) -> Option<NodeId> {
         let deg = view.neighbors.len();
         if deg == 0 || !view.can_initiate {
-            // Do not advance the cursor for a choice the engine would discard.
+            // Do not advance the cursor (or any lap state) for a choice the
+            // engine would discard.
             return None;
         }
         let i = view.node.index();
-        if i >= self.next.len() {
-            self.next.resize(i + 1, 0);
+        if i >= self.state.len() {
+            self.state.resize(i + 1, FloodCursor::default());
         }
-        let pick = self.next[i] % deg;
-        self.next[i] = (self.next[i] + 1) % deg;
+        let st = &mut self.state[i];
+        let len = view.rumors.len();
+        if len != st.last_seen {
+            // Fresh rumors since the lap started (or a protocol value reused
+            // on a new simulation, where the count may even have shrunk):
+            // every neighbor is owed a contact again.
+            st.last_seen = len;
+            st.remaining = deg;
+        }
+        if st.remaining == 0 {
+            // Clean: every neighbor has been offered everything this node
+            // knows.  Stay silent until new rumors arrive.
+            return None;
+        }
+        st.remaining -= 1;
+        let pick = st.cursor % deg;
+        st.cursor = (st.cursor + 1) % deg;
         Some(view.neighbors[pick].0)
+    }
+
+    fn activity(&self, view: &NodeView<'_>) -> Activity {
+        let deg = view.neighbors.len();
+        if deg == 0 {
+            return Activity::Quiescent;
+        }
+        if !view.can_initiate {
+            // Blocked: `on_round` returns `None` without mutating until the
+            // own exchange completes — which is a wake event.
+            return Activity::IdleUntilWoken;
+        }
+        // Mirror the `on_round` predicate exactly: silence is only promised
+        // when the rumor count is unchanged *and* the lap is complete.
+        let st = self
+            .state
+            .get(view.node.index())
+            .copied()
+            .unwrap_or_default();
+        if view.rumors.len() != st.last_seen || st.remaining > 0 {
+            Activity::Active
+        } else {
+            Activity::IdleUntilWoken
+        }
     }
 }
 
@@ -112,6 +209,10 @@ impl Protocol for Silent {
 
     fn is_idle(&self, _node: NodeId) -> bool {
         true
+    }
+
+    fn activity(&self, _view: &NodeView<'_>) -> Activity {
+        Activity::Quiescent
     }
 }
 
@@ -220,6 +321,41 @@ mod tests {
         fn is_idle(&self, node: NodeId) -> bool {
             self.inner.is_idle(node)
         }
+        fn activity(&self, view: &NodeView<'_>) -> Activity {
+            self.inner.activity(view)
+        }
+    }
+
+    #[test]
+    fn flood_goes_idle_after_a_clean_lap_and_rewakes_on_news() {
+        // Regression test for the dirty-lap flag: a node that has contacted
+        // every neighbor without learning anything new since the lap began
+        // must stop initiating (the old cursor re-scanned neighbors every
+        // round forever), and must resume when a merge delivers new rumors.
+        let g = generators::path(2, 1).unwrap();
+        let config = SimConfig::new(1).termination(Termination::FixedRounds(40));
+        let report = Simulation::new(&g, config).run(&mut RoundRobinFlood::new(&g));
+        // Round 0: both initiate (initial rumor is un-offered news).  Round
+        // 1: the merge delivers the peer's rumor — news again, one more
+        // offer each.  Round 2 onward: rumor sets stop growing, laps are
+        // complete, both nodes stay silent.  The old protocol initiated
+        // every round: 40 rounds x 2 nodes = 80 activations.
+        assert_eq!(report.activations, 4, "{report}");
+        let mem = report.mem.unwrap();
+        assert!(
+            mem.rounds_skipped > 0,
+            "idle flood nodes must let the engine fast-forward ({mem:?})"
+        );
+        assert_eq!(mem.active_final, 0, "{mem:?}");
+
+        // A three-node path shows re-waking: the middle node goes clean
+        // after its first lap, then receives rumor 2 (and later rumor 0)
+        // through completed exchanges and must relay each across.
+        let g = generators::path(3, 1).unwrap();
+        let config = SimConfig::new(1).termination(Termination::AllKnowAll);
+        let report = Simulation::new(&g, config).run(&mut RoundRobinFlood::new(&g));
+        assert!(report.completed, "re-woken nodes must finish the relay");
+        assert_eq!(report.min_rumors_known, 3);
     }
 
     #[test]

@@ -2,13 +2,15 @@
 
 use std::fmt;
 
-/// Peak-memory diagnostics of the engine's dissemination state, reported by
-/// [`Simulation::run`](crate::Simulation::run).
+/// Engine diagnostics of a run, reported by
+/// [`Simulation::run`](crate::Simulation::run): peak-memory counters of the
+/// dissemination state plus the event-driven scheduler's round/active-set
+/// accounting.
 ///
 /// All byte figures are *estimates derived from deterministic counters*
 /// (entries × entry size), not allocator measurements, so they are
 /// reproducible across machines and usable as regression gates.  The engine
-/// fills them in; the reference engine reports `None` — memory diagnostics
+/// fills them in; the reference engine reports `None` — these diagnostics
 /// are engine-specific and excluded from semantic equivalence (see
 /// [`RunReport::semantics`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -48,6 +50,22 @@ pub struct MemStats {
     /// retained logs + per-edge watermarks + latency-discovery bits.  The
     /// graph itself and protocol state are not included.
     pub peak_engine_bytes: u64,
+    /// Rounds the event-driven scheduler actually executed (delivered
+    /// exchanges, advanced shadows, asked active nodes to act).
+    pub rounds_simulated: u64,
+    /// Rounds the scheduler *fast-forwarded over*: the active worklist was
+    /// empty, so the round clock jumped straight to the next non-empty
+    /// calendar bucket (in-flight completion or shadow/collapse lap) instead
+    /// of spinning an `O(n)` decision loop per empty round.  Skipped rounds
+    /// are provably no-ops — [`RunReport::rounds`] and every other semantic
+    /// field are identical to an engine that walked them one by one.
+    pub rounds_skipped: u64,
+    /// Largest size of the scheduler's active worklist at any decision phase
+    /// (at least `n` — every node starts active — and protocols that never
+    /// report idleness keep it pinned there).
+    pub active_peak: u64,
+    /// Size of the active worklist when the run stopped.
+    pub active_final: u64,
 }
 
 /// Measurements from one simulation run.
@@ -73,7 +91,8 @@ pub struct RunReport {
     /// The smallest rumor-set size over all nodes at the end of the run
     /// (equals `n` exactly when all-to-all dissemination finished).
     pub min_rumors_known: usize,
-    /// Peak-memory diagnostics of the engine's dissemination state
+    /// Engine diagnostics: peak-memory counters of the dissemination state
+    /// plus the scheduler's skipped-round / active-set accounting
     /// (`None` for the reference engine, which predates the counters).
     ///
     /// Deterministic, but engine-specific: strip with

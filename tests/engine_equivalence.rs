@@ -268,4 +268,65 @@ proptest! {
         prop_assert!(mem.truncated_runs > 0);
         assert_equivalent(&g, &config, || RoundRobinFlood::new(&g), "saturation-collapse flood");
     }
+
+    /// The event-driven scheduler, specifically: sparse stars with latencies
+    /// ≥ 2 and a `FixedRounds` budget far past all-to-all saturation force
+    /// long windows in which every node is idle (flood: clean laps;
+    /// push–pull: saturation quiescence), so the engine must *fast-forward*
+    /// the round clock across empty calendar stretches — while the reference
+    /// engine walks every round and asks every node.  `informed_times`,
+    /// activation/rejection counters, `min_rumors_known` and the final rumor
+    /// sets must all be unchanged, and the run must genuinely have skipped.
+    #[test]
+    fn event_skipping_matches_reference_on_sparse_stars(
+        n in 4usize..40,
+        max_latency in 2u64..10,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x51C1);
+        let g = generators::star(n, 1).unwrap();
+        // Latencies ≥ 2 keep every exchange in flight for at least one full
+        // round, so the idle windows the scheduler skips genuinely contain
+        // in-flight state (and shadow laps, via shadow_compaction(0)).
+        let g = gossip_graph::latency::LatencyScheme::UniformRandom { min: 2, max: max_latency }
+            .apply(&g, &mut rng)
+            .unwrap();
+        // Far past saturation: the star saturates within a few calendar
+        // laps, after which both bundled protocols go quiet and the engine
+        // should jump straight to the FixedRounds target.
+        let budget = (n as u64 + 30) * g.max_latency();
+        let config = SimConfig::new(seed)
+            .termination(Termination::FixedRounds(budget))
+            .track_rumor(RumorId::from(0usize))
+            .shadow_compaction(0);
+        let check = |report: RunReport, label: &str| {
+            prop_assert_eq!(report.rounds, budget);
+            prop_assert_eq!(report.min_rumors_known, n, "the star must saturate");
+            let mem = report.mem.unwrap();
+            prop_assert!(
+                mem.rounds_skipped > 0,
+                "{label}: an idle endgame of {budget} rounds must fast-forward"
+            );
+            prop_assert_eq!(mem.active_final, 0, "every node ends idle or quiescent");
+            // The clock accounting must tile the run exactly: every round is
+            // either walked or skipped (the final break iteration is walked
+            // but does not advance the clock).
+            let ticks = mem.rounds_simulated + mem.rounds_skipped;
+            prop_assert!(
+                ticks == report.rounds || ticks == report.rounds + 1,
+                "walked {} + skipped {} rounds vs clock {}",
+                mem.rounds_simulated,
+                mem.rounds_skipped,
+                report.rounds
+            );
+        };
+        check(
+            assert_equivalent(&g, &config, || RandomPushPull::new(&g), "skip push-pull"),
+            "skip push-pull",
+        );
+        check(
+            assert_equivalent(&g, &config, || RoundRobinFlood::new(&g), "skip flood"),
+            "skip flood",
+        );
+    }
 }

@@ -103,6 +103,19 @@ fn saturated_nodes_report_zero_live_pages_and_truncated_logs() {
     assert_eq!(mem.live_log_runs, 0, "collapsed logs retain no runs");
     assert!(mem.truncated_runs > 0, "collapse reclaims the log history");
     assert!(mem.pages_peak > 0, "the run did allocate pages mid-flight");
+    // Always-on scheduler gate: once every node saturates, push–pull goes
+    // quiescent and the remaining FixedRounds budget is fast-forwarded.
+    assert!(
+        mem.rounds_skipped > 0,
+        "the saturated endgame must skip rounds ({mem:?})"
+    );
+    assert_eq!(mem.active_final, 0, "every node ends quiescent ({mem:?})");
+    assert_eq!(mem.active_peak, 64, "all nodes start active ({mem:?})");
+    assert!(
+        mem.rounds_simulated + mem.rounds_skipped <= report.rounds + 1
+            && mem.rounds_simulated + mem.rounds_skipped >= report.rounds,
+        "walked + skipped rounds must tile the clock ({mem:?})"
+    );
 }
 
 /// The PR-3 acceptance gate, kept under the paged layout (release only):
@@ -179,6 +192,62 @@ fn push_pull_all_to_all_on_a_131072_node_star_stays_under_1_5_gigabytes() {
     assert!(
         elapsed < std::time::Duration::from_secs(120),
         "131072-node all-to-all took {elapsed:.2?} (budget 120s)"
+    );
+}
+
+/// THE ISSUE wall-clock gate (release only): push–pull one-to-all on the
+/// **131072-node star** must finish in under 2 s — and the same star driven
+/// far past completion must be *event-bounded*, not round-bounded.
+///
+/// The second half is where the event-driven scheduler earns its keep: a
+/// `FixedRounds(1_000_000)` run used to spin the full `O(n)` decision loop
+/// for every one of a million rounds (measured ~30 min extrapolated at this
+/// size; 191 s for 100k rounds at 65536 nodes), initiating ~10¹¹ pointless
+/// saturated exchanges.  Now every node saturates within a few rounds, goes
+/// [`Quiescent`](gossip_sim::Activity::Quiescent), the worklist empties, and
+/// the engine fast-forwards the remaining ~10⁶ rounds in one jump — the
+/// whole run is sub-second and reports `rounds_skipped > 0`.
+#[cfg(not(debug_assertions))]
+#[test]
+fn one_to_all_on_a_131072_node_star_is_event_bounded() {
+    let g = generators::star(131072, 1).unwrap();
+
+    // (a) The < 2 s one-to-all gate.
+    let started = std::time::Instant::now();
+    let config = SimConfig::new(3)
+        .termination(Termination::AllKnowRumorOf(NodeId::new(0)))
+        .track_rumor(RumorId(0));
+    let report = Simulation::new(&g, config).run(&mut RandomPushPull::new(&g));
+    let elapsed = started.elapsed();
+    assert!(report.completed, "{report}");
+    let times = report.informed_times.unwrap();
+    assert!(times.iter().all(Option::is_some));
+    assert!(
+        elapsed < std::time::Duration::from_secs(2),
+        "131072-node one-to-all took {elapsed:.2?} (budget 2s)"
+    );
+
+    // (b) The same star, a million rounds of budget: event-bounded work.
+    let started = std::time::Instant::now();
+    let config = SimConfig::new(17).termination(Termination::FixedRounds(1_000_000));
+    let report = Simulation::new(&g, config).run(&mut RandomPushPull::new(&g));
+    let elapsed = started.elapsed();
+    assert_eq!(report.rounds, 1_000_000);
+    assert_eq!(report.min_rumors_known, 131072, "the star saturates early");
+    let mem = report.mem.unwrap();
+    assert!(
+        mem.rounds_skipped > 990_000,
+        "the quiescent endgame must fast-forward, got {mem:?}"
+    );
+    assert!(
+        mem.rounds_simulated < 64,
+        "only event rounds are walked, got {mem:?}"
+    );
+    assert_eq!(mem.active_final, 0, "every node ends quiescent");
+    assert!(
+        elapsed < std::time::Duration::from_secs(2),
+        "131072-node million-round run took {elapsed:.2?} (budget 2s; \
+         pre-scheduler engines needed ~half an hour)"
     );
 }
 

@@ -46,7 +46,7 @@ fn sweep_report_json_parses_and_covers_the_grid() {
 
     assert_eq!(
         parsed.get("schema").and_then(Json::as_str),
-        Some("gossip-sweep/v3")
+        Some("gossip-sweep/v4")
     );
     assert_eq!(
         parsed.get("trials_per_scenario").and_then(Json::as_i64),

@@ -109,10 +109,19 @@ pub struct CheckOutcome {
     pub lines: Vec<String>,
 }
 
-/// Relative growth of `current` over `baseline` (0.0 when the baseline is 0).
+/// Relative growth of `current` over `baseline`.
+///
+/// A zero (or negative) baseline with a positive current value is **infinite
+/// growth**, which fails every finite tolerance — a `0 → anything` move used
+/// to report 0.0 and silently pass, hiding regressions against baselines
+/// whose metric was never populated.  `0 → 0` is genuinely no growth.
 fn growth(baseline: f64, current: f64) -> f64 {
     if baseline <= 0.0 {
-        0.0
+        if current > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        }
     } else {
         current / baseline - 1.0
     }
@@ -144,7 +153,10 @@ pub fn check(
             )],
         };
     }
-    if baseline.mem_stats && current.mem_stats && baseline.peak_mem_bytes > 0 {
+    // Note: a baseline with `mem_stats` but `peak_mem_bytes == 0` still
+    // gates — any positive current value is infinite growth and FAILs.
+    // Only artifacts that carry no memory stats at all skip the gate.
+    if baseline.mem_stats && current.mem_stats {
         let g = growth(
             baseline.peak_mem_bytes as f64,
             current.peak_mem_bytes as f64,
@@ -340,6 +352,43 @@ mod tests {
         );
         assert!(!outcome.ok);
         assert!(outcome.lines[0].contains("scale mismatch"));
+    }
+
+    #[test]
+    fn zero_baseline_with_positive_current_fails() {
+        // A baseline generated with `--mem-stats` but a zero metric (or a
+        // truncated artifact) must not silently pass a real regression:
+        // growth over a zero baseline is infinite, beyond every tolerance.
+        let outcome = check(
+            &artifact(10.0, 0),
+            &artifact(10.0, 1),
+            DEFAULT_MEM_TOLERANCE,
+            DEFAULT_TIME_TOLERANCE,
+        );
+        assert!(!outcome.ok, "{:?}", outcome.lines);
+        assert!(outcome.lines[0].starts_with("FAIL peak_mem_bytes"));
+        // Same for wall-clock: 0s baseline, any positive current.
+        let outcome = check(
+            &artifact(0.0, 100),
+            &artifact(5.0, 100),
+            DEFAULT_MEM_TOLERANCE,
+            DEFAULT_TIME_TOLERANCE,
+        );
+        assert!(!outcome.ok, "{:?}", outcome.lines);
+        assert!(outcome.lines[1].starts_with("FAIL elapsed_seconds"));
+    }
+
+    #[test]
+    fn zero_baseline_with_zero_current_passes() {
+        // `0 → 0` is no growth in either metric.
+        let outcome = check(
+            &artifact(0.0, 0),
+            &artifact(0.0, 0),
+            DEFAULT_MEM_TOLERANCE,
+            DEFAULT_TIME_TOLERANCE,
+        );
+        assert!(outcome.ok, "{:?}", outcome.lines);
+        assert!(outcome.lines.iter().all(|l| l.starts_with("PASS")));
     }
 
     #[test]

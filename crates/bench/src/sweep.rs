@@ -22,7 +22,7 @@ use std::sync::Arc;
 
 use gossip_core::{flooding, pattern, push_pull, spanner_broadcast, unified};
 use gossip_graph::latency::LatencyScheme;
-use gossip_graph::{generators, Graph, NodeId};
+use gossip_graph::{generators, Graph, Latency, NodeId};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -296,23 +296,41 @@ impl ProtocolKind {
 
     /// Runs one trial of this protocol (broadcasts start at node 0).
     pub fn run(&self, g: &Graph, seed: u64) -> TrialMeasurement {
+        self.run_with_diameter_bound(g, None, seed)
+    }
+
+    /// [`run`](Self::run) with the diameter bound the heavy protocols' "known
+    /// D" oracle would compute supplied by the caller (`None` computes it on
+    /// the spot).  The sweep computes the bound once per shared topology and
+    /// feeds it to every trial over that topology, so the heavy protocols at
+    /// 8192+ nodes don't each redo the Dijkstra sweeps.  The lightweight
+    /// protocols ignore the bound entirely.
+    pub fn run_with_diameter_bound(
+        &self,
+        g: &Graph,
+        d: Option<Latency>,
+        seed: u64,
+    ) -> TrialMeasurement {
         let from_report = |r: gossip_core::DisseminationReport| TrialMeasurement {
             rounds: r.rounds,
             activations: r.activations,
             completed: r.completed,
             mem: r.mem,
         };
+        let bound = || d.unwrap_or_else(|| gossip_core::diameter_bound(g));
         match self {
             ProtocolKind::PushPull => from_report(push_pull::broadcast(g, NodeId::new(0), seed)),
             ProtocolKind::Flooding => from_report(flooding::broadcast(g, NodeId::new(0), seed)),
             ProtocolKind::PushPullAllToAll => from_report(push_pull::all_to_all(g, seed)),
             ProtocolKind::FloodingAllToAll => from_report(flooding::all_to_all(g, seed)),
             ProtocolKind::SpannerBroadcast => {
-                from_report(spanner_broadcast::run_known_diameter(g, seed))
+                from_report(spanner_broadcast::run_known_diameter_with(g, bound(), seed))
             }
-            ProtocolKind::PatternBroadcast => from_report(pattern::run_known_diameter(g, seed)),
+            ProtocolKind::PatternBroadcast => {
+                from_report(pattern::run_known_diameter_with(g, bound(), seed))
+            }
             ProtocolKind::Unified => {
-                let r = unified::run_known_latencies(g, NodeId::new(0), seed);
+                let r = unified::run_known_latencies_with(g, NodeId::new(0), bound(), seed);
                 TrialMeasurement {
                     rounds: r.rounds,
                     activations: r.push_pull.activations + r.spanner_route.activations,
@@ -429,6 +447,46 @@ impl SweepSpec {
                     protocol,
                 })
                 .collect();
+                // Heavy-protocol cells past the old 1024 wall: the
+                // diameter-bound oracle replaces the all-pairs exact diameter
+                // (the former `O(n·m·log n)` setup bottleneck), the phase
+                // simulations run over the spanner subgraph, and ℓ-DTG no
+                // longer snapshots rumor sets per exchange — together cheap
+                // enough for 8192–16384-node multi-phase runs.
+                extra.extend(
+                    [
+                        ProtocolKind::SpannerBroadcast,
+                        ProtocolKind::PatternBroadcast,
+                        ProtocolKind::Unified,
+                    ]
+                    .into_iter()
+                    .map(|protocol| Scenario {
+                        family: GraphFamily::Star,
+                        size: 8192,
+                        profile: LatencyProfile::AsBuilt,
+                        protocol,
+                    }),
+                );
+                extra.extend(
+                    [ProtocolKind::SpannerBroadcast, ProtocolKind::Unified]
+                        .into_iter()
+                        .flat_map(|protocol| {
+                            [
+                                Scenario {
+                                    family: GraphFamily::Star,
+                                    size: 16384,
+                                    profile: LatencyProfile::AsBuilt,
+                                    protocol,
+                                },
+                                Scenario {
+                                    family: GraphFamily::Grid,
+                                    size: 8192,
+                                    profile: LatencyProfile::AsBuilt,
+                                    protocol,
+                                },
+                            ]
+                        }),
+                );
                 if scale == Scale::Huge {
                     // All-to-all at 65536 *and* 131072 (paged rumor sets plus
                     // saturation collapse keep the dissemination state in the
@@ -481,7 +539,10 @@ impl SweepSpec {
                     // Dense families deliberately run at the full 4096 (the
                     // cap mechanism exists for user specs that push further).
                     dense_size_cap: None,
-                    heavy_size_cap: Some(1024),
+                    // The heavy protocols now clear the whole grid (max size
+                    // 4096); the cap at 8192 matches the extra cells above
+                    // and guards user specs that push the sizes further.
+                    heavy_size_cap: Some(8192),
                     extra,
                 }
             }
@@ -544,12 +605,21 @@ impl SweepSpec {
         // ignore the RNG for these families, so cached instances are
         // bit-identical to per-trial builds and reports are unchanged.
         let mut distinct: HashMap<(String, usize), GraphFamily> = HashMap::new();
+        // Heavy protocols consult the diameter-bound oracle; when the cached
+        // `AsBuilt` topology is the graph they'll actually run on, compute
+        // the bound once alongside the build and share it across trials.
+        // (Other profiles re-weight per trial, so their bound is per-trial.)
+        let mut needs_bound: std::collections::HashSet<(String, usize)> =
+            std::collections::HashSet::new();
         for s in scenarios.iter().filter(|s| s.family.is_deterministic()) {
             distinct
                 .entry((s.family.name(), s.size))
                 .or_insert(s.family);
+            if s.protocol.is_heavyweight() && matches!(s.profile, LatencyProfile::AsBuilt) {
+                needs_bound.insert((s.family.name(), s.size));
+            }
         }
-        let cached: HashMap<(String, usize), Arc<Graph>> = distinct
+        let cached: HashMap<(String, usize), (Arc<Graph>, Option<Latency>)> = distinct
             .into_iter()
             .collect::<Vec<_>>()
             .into_par_iter()
@@ -557,7 +627,10 @@ impl SweepSpec {
                 // The RNG is unused for deterministic families; seed fixed.
                 let mut rng = SmallRng::seed_from_u64(0);
                 let graph = Arc::new(family.build(key.1, &mut rng));
-                (key, graph)
+                let bound = needs_bound
+                    .contains(&key)
+                    .then(|| gossip_core::diameter_bound(&graph));
+                (key, (graph, bound))
             })
             .collect();
 
@@ -574,8 +647,10 @@ impl SweepSpec {
         let outcomes: Vec<TrialOutcome> = tasks
             .into_par_iter()
             .map(move |(index, scenario, trial)| {
-                let base = cached.get(&(scenario.family.name(), scenario.size));
-                run_trial(base_seed, index, scenario, trial, base.map(Arc::as_ref))
+                let entry = cached.get(&(scenario.family.name(), scenario.size));
+                let base = entry.map(|(g, _)| Arc::as_ref(g));
+                let bound = entry.and_then(|(_, b)| *b);
+                run_trial(base_seed, index, scenario, trial, base, bound)
             })
             .collect();
 
@@ -658,6 +733,7 @@ fn run_trial(
     scenario: Scenario,
     trial: u64,
     cached_base: Option<&Graph>,
+    cached_bound: Option<Latency>,
 ) -> TrialOutcome {
     let seed = trial_seed(base_seed, &scenario, trial);
     // Split the trial seed into independent streams for graph topology,
@@ -675,14 +751,19 @@ fn run_trial(
     // `AsBuilt` keeps the cached/built instance as-is — no per-trial clone;
     // every other profile re-weights through `LatencyProfile::apply`.
     let reweighted;
-    let g: &Graph = match scenario.profile {
-        LatencyProfile::AsBuilt => base,
+    // The cached diameter bound describes the cached `AsBuilt` instance only;
+    // a re-weighted graph has different latencies, so its bound is computed
+    // inside the protocol run.
+    let (g, bound): (&Graph, Option<Latency>) = match scenario.profile {
+        LatencyProfile::AsBuilt => (base, cached_bound),
         _ => {
             reweighted = scenario.profile.apply(base, &mut latency_rng);
-            &reweighted
+            (&reweighted, None)
         }
     };
-    let measured = scenario.protocol.run(g, seed ^ 0x03);
+    let measured = scenario
+        .protocol
+        .run_with_diameter_bound(g, bound, seed ^ 0x03);
     TrialOutcome {
         scenario_index,
         rounds: measured.rounds,
@@ -1139,11 +1220,30 @@ mod tests {
                 family.name()
             );
         }
-        // … but the heavyweight protocols stay within their cap.
+        // … and the heavyweight protocols reach past the old 1024 wall: the
+        // full grid (4096) plus dedicated 8192/16384 cells, capped at 16384.
         for s in &scenarios {
             if s.protocol.is_heavyweight() {
-                assert!(s.size <= 1024, "{} at {}", s.protocol.name(), s.size);
+                assert!(s.size <= 16384, "{} at {}", s.protocol.name(), s.size);
             }
+        }
+        for (size, protocol) in [
+            (4096, ProtocolKind::SpannerBroadcast),
+            (4096, ProtocolKind::Unified),
+            (8192, ProtocolKind::SpannerBroadcast),
+            (8192, ProtocolKind::PatternBroadcast),
+            (8192, ProtocolKind::Unified),
+            (16384, ProtocolKind::SpannerBroadcast),
+            (16384, ProtocolKind::Unified),
+        ] {
+            assert!(
+                scenarios
+                    .iter()
+                    .any(|s| s.size == size && s.protocol == protocol),
+                "{} missing at {}",
+                protocol.name(),
+                size
+            );
         }
         // The promoted all-to-all cells: knowledge saturation at 32768.
         for protocol in [

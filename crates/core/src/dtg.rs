@@ -14,15 +14,21 @@
 //! not heard from yet and then performs the pipelined
 //! PUSH(i..1) / PULL(1..i) / PULL / PUSH exchange sequence over the neighbors
 //! linked so far, waiting for each exchange to complete before the next.
-//! "Heard from" is tracked per invocation with exactly the same snapshot
-//! semantics the simulator uses for rumors, so a node never believes it heard
-//! from a neighbor whose rumors it has not actually received.
+//! "Heard from" is tracked per invocation with exactly the same *snapshot-free*
+//! semantics the simulator uses for rumors: each node keeps an append-only
+//! [`AcquisitionLog`] of the ids it heard, an in-flight exchange records only
+//! the two log **lengths** at initiation, and completion replays the
+//! unmerged log prefix through a per-direction watermark.  A node therefore
+//! never believes it heard from a neighbor whose rumors it has not actually
+//! received — at the cost of two integers per in-flight exchange instead of
+//! the two full `RumorSet` clones this used to take.
 
 use std::collections::HashMap;
 
 use gossip_graph::{Graph, Latency, NodeId};
 use gossip_sim::{
-    ExchangeEvent, NodeView, Protocol, RumorId, RumorSet, SimConfig, Simulation, Termination,
+    AcquisitionLog, Activity, ExchangeEvent, NodeView, Protocol, RumorId, RumorSet, SimConfig,
+    Simulation, Termination,
 };
 use rand::rngs::SmallRng;
 
@@ -57,9 +63,22 @@ pub struct EllDtg {
     nodes: Vec<DtgNode>,
     /// Per-node set of node ids heard from during this invocation.
     heard: Vec<RumorSet>,
-    /// Snapshots of the `heard` sets taken when an exchange was initiated,
-    /// keyed by `(initiator, responder, initiation round)`.
-    pending: HashMap<(u32, u32, u64), (RumorSet, RumorSet)>,
+    /// Append-only acquisition order of each `heard` set (run-compressed);
+    /// in-flight exchanges snapshot *positions* into these logs, never the
+    /// sets themselves.
+    heard_log: Vec<AcquisitionLog>,
+    /// Log lengths `(initiator, responder)` at initiation time, keyed by
+    /// `(initiator, responder, initiation round)` — the snapshot-free
+    /// analogue of the engine's own exchange bookkeeping.
+    pending: HashMap<(u32, u32, u64), (u32, u32)>,
+    /// Directed merge watermarks: `(src, dst) → position`, the prefix of
+    /// `src`'s log already replayed into `dst`.  Completions replay only
+    /// `[watermark, snapshot)`, so overlapping exchanges on the same pair
+    /// never re-scan merged history.
+    merged: HashMap<(u32, u32), u32>,
+    /// Scratch reused across completions (log segments, newly heard ids).
+    scratch_segments: Vec<(RumorId, u32)>,
+    scratch_new: Vec<RumorId>,
 }
 
 impl EllDtg {
@@ -85,15 +104,56 @@ impl EllDtg {
                 }
             })
             .collect();
-        let heard = (0..n)
+        let heard: Vec<RumorSet> = (0..n)
             .map(|i| RumorSet::singleton(n, RumorId::from(i)))
             .collect();
+        let heard_log = heard.iter().map(AcquisitionLog::from_set).collect();
         EllDtg {
             bound,
             nodes,
             heard,
+            heard_log,
             pending: HashMap::new(),
+            merged: HashMap::new(),
+            scratch_segments: Vec::new(),
+            scratch_new: Vec::new(),
         }
+    }
+
+    /// Records `id` as heard by `node`, keeping the acquisition log in sync.
+    fn hear(&mut self, node: usize, id: RumorId) {
+        if self.heard[node].insert(id) {
+            self.heard_log[node].push(id);
+        }
+    }
+
+    /// Replays `src`'s heard-log prefix `[watermark, upto)` into `dst`,
+    /// advancing the directed watermark.  Positions below the watermark were
+    /// already merged into `dst` by an earlier completion on this pair, so
+    /// the result equals the old union-with-snapshot semantics.
+    fn replay(&mut self, src: usize, dst: usize, upto: u32) {
+        let wm = self.merged.entry((src as u32, dst as u32)).or_insert(0);
+        let from = *wm;
+        if from >= upto {
+            return;
+        }
+        *wm = upto;
+        let mut segments = std::mem::take(&mut self.scratch_segments);
+        self.heard_log[src].for_each_segment(from, upto, |first, len| {
+            segments.push((first, len));
+        });
+        let mut new_ids = std::mem::take(&mut self.scratch_new);
+        for &(first, len) in &segments {
+            new_ids.clear();
+            self.heard[dst].insert_consecutive(first, len, &mut new_ids);
+            for &id in &new_ids {
+                self.heard_log[dst].push(id);
+            }
+        }
+        segments.clear();
+        new_ids.clear();
+        self.scratch_segments = segments;
+        self.scratch_new = new_ids;
     }
 
     /// Latency bound ℓ of this invocation.
@@ -164,7 +224,10 @@ impl Protocol for EllDtg {
         self.nodes[v].waiting = true;
         self.pending.insert(
             (v as u32, target.index() as u32, view.round),
-            (self.heard[v].clone(), self.heard[target.index()].clone()),
+            (
+                self.heard_log[v].len(),
+                self.heard_log[target.index()].len(),
+            ),
         );
         Some(target)
     }
@@ -176,18 +239,35 @@ impl Protocol for EllDtg {
         let v = node.index();
         let u = event.peer.index();
         let init_round = event.round - event.latency;
-        if let Some((snap_v, snap_u)) = self.pending.remove(&(v as u32, u as u32, init_round)) {
-            self.heard[v].union_with(&snap_u);
-            self.heard[u].union_with(&snap_v);
+        if let Some((len_v, len_u)) = self.pending.remove(&(v as u32, u as u32, init_round)) {
+            self.replay(u, v, len_u);
+            self.replay(v, u, len_v);
         }
-        self.heard[v].insert(RumorId::of_node(event.peer));
-        self.heard[u].insert(RumorId::of_node(node));
+        self.hear(v, RumorId::of_node(event.peer));
+        self.hear(u, RumorId::of_node(node));
         self.nodes[v].waiting = false;
         self.nodes[v].queue_pos += 1;
     }
 
     fn is_idle(&self, node: NodeId) -> bool {
         self.nodes[node.index()].done
+    }
+
+    fn activity(&self, view: &NodeView<'_>) -> Activity {
+        let state = &self.nodes[view.node.index()];
+        if state.done {
+            // `done` is never reset: the node has heard from every fast
+            // neighbor and `on_round` returns `None` forever.
+            Activity::Quiescent
+        } else if state.waiting {
+            // Blocked on its own in-flight exchange; its completion is a
+            // wake event (it reaches `on_exchange` with `initiated_here`,
+            // which clears `waiting`).  Until then `on_round` returns `None`
+            // without touching any state or the RNG.
+            Activity::IdleUntilWoken
+        } else {
+            Activity::Active
+        }
     }
 }
 

@@ -50,3 +50,18 @@ mod spanner_old;
 pub mod unified;
 
 pub use report::{DisseminationReport, Phase};
+
+/// The "known D" the phase drivers consume: the diameter-bound oracle's
+/// upper bound (exact below [`gossip_graph::metrics::EXACT_DIAMETER_THRESHOLD`],
+/// a constant-sweep bound `≥ D` above it), falling back to the maximum edge
+/// latency for disconnected graphs — on which no all-to-all algorithm can
+/// complete, so any positive guess only bounds the wasted work.
+///
+/// Exposed so drivers that amortise the bound across runs (the sweep caches
+/// one per shared topology) feed the `*_with` entry points the exact same
+/// value the plain entry points would compute.
+pub fn diameter_bound(g: &gossip_graph::Graph) -> gossip_graph::Latency {
+    gossip_graph::metrics::estimate_diameter(g)
+        .map(|e| e.upper)
+        .unwrap_or_else(|| g.max_latency().max(1))
+}

@@ -16,7 +16,6 @@
 //! the same guess-and-double / Termination_Check loop as the spanner
 //! algorithm (Algorithm 5).
 
-use gossip_graph::metrics;
 use gossip_graph::{Graph, Latency};
 use gossip_sim::{RumorId, RumorSet};
 
@@ -73,9 +72,19 @@ pub fn run_schedule(
 }
 
 /// Pattern Broadcast with a known diameter: runs `T(D)` once (Lemma 27).
+///
+/// "Known D" is served by the diameter-bound oracle (exact below the
+/// threshold, an upper bound `≥ D` above it); the schedule rounds `k` up to
+/// a power of two anyway, so a constant-factor overshoot only ever doubles
+/// the top-level `k`.
 pub fn run_known_diameter(g: &Graph, seed: u64) -> DisseminationReport {
-    let d = metrics::weighted_diameter(g).unwrap_or_else(|| g.max_latency().max(1));
-    run_schedule(g, d, seed, initial_rumors(g), true).0
+    run_known_diameter_with(g, crate::diameter_bound(g), seed)
+}
+
+/// [`run_known_diameter`] with the diameter (or an upper bound on it)
+/// supplied by the caller instead of recomputed from the graph.
+pub fn run_known_diameter_with(g: &Graph, d: Latency, seed: u64) -> DisseminationReport {
+    run_schedule(g, d.max(1), seed, initial_rumors(g), true).0
 }
 
 /// Pattern Broadcast with an unknown diameter (Algorithm 5): guess-and-double

@@ -17,7 +17,6 @@
 //! itself one more broadcast over the current spanner, and Lemma 24 shows all
 //! nodes stop in the same phase.
 
-use gossip_graph::metrics;
 use gossip_graph::{Graph, Latency};
 use gossip_sim::{RumorId, RumorSet};
 
@@ -30,12 +29,20 @@ fn ceil_log2(n: usize) -> u64 {
 
 /// Runs Spanner Broadcast with a known diameter (Algorithm 2 / Lemma 23).
 ///
-/// The diameter is computed from the graph (the "known D" assumption); the
-/// returned report breaks the cost into the discovery, construction and
-/// broadcast phases.
+/// "Known D" is served by the diameter-bound oracle
+/// ([`gossip_graph::metrics::estimate_diameter`]): exact below the threshold, a
+/// constant-sweep upper bound `≥ D` above it — the algorithm's phases only
+/// need `D` up to constant factors, which the bound preserves.  Callers that
+/// already hold a bound (the sweep caches one per topology) use
+/// [`run_known_diameter_with`].
 pub fn run_known_diameter(g: &Graph, seed: u64) -> DisseminationReport {
-    let d = metrics::weighted_diameter(g).unwrap_or_else(|| g.max_latency().max(1));
-    run_with_guess(g, d, seed, initial_rumors(g)).0
+    run_known_diameter_with(g, crate::diameter_bound(g), seed)
+}
+
+/// [`run_known_diameter`] with the diameter (or an upper bound on it)
+/// supplied by the caller instead of recomputed from the graph.
+pub fn run_known_diameter_with(g: &Graph, d: Latency, seed: u64) -> DisseminationReport {
+    run_with_guess(g, d.max(1), seed, initial_rumors(g)).0
 }
 
 /// Runs Spanner Broadcast with the guess-and-double strategy for an unknown

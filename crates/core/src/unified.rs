@@ -106,10 +106,23 @@ pub fn run_unknown_latencies(g: &Graph, source: NodeId, seed: u64) -> UnifiedRep
 }
 
 /// Unified algorithm in the *known latency* setting (Theorem 31, second
-/// bound): push–pull races against spanner broadcast with the known diameter.
+/// bound): push–pull races against spanner broadcast with the known diameter
+/// (served by the diameter-bound oracle; see
+/// [`spanner_broadcast::run_known_diameter`]).
 pub fn run_known_latencies(g: &Graph, source: NodeId, seed: u64) -> UnifiedReport {
+    run_known_latencies_with(g, source, crate::diameter_bound(g), seed)
+}
+
+/// [`run_known_latencies`] with the diameter (or an upper bound on it)
+/// supplied by the caller instead of recomputed from the graph.
+pub fn run_known_latencies_with(
+    g: &Graph,
+    source: NodeId,
+    d: gossip_graph::Latency,
+    seed: u64,
+) -> UnifiedReport {
     let pp = push_pull::broadcast(g, source, seed);
-    let sb = spanner_broadcast::run_known_diameter(g, seed ^ 0x5b);
+    let sb = spanner_broadcast::run_known_diameter_with(g, d, seed ^ 0x5b);
     UnifiedReport::from_routes(pp, sb)
 }
 

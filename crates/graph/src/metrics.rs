@@ -105,8 +105,12 @@ pub fn weighted_diameter(g: &Graph) -> Option<Distance> {
 /// bound on `D` that is exact on trees and very close in practice; it costs
 /// only two Dijkstra runs.
 ///
-/// Returns `None` if the graph is disconnected.
+/// Returns `None` if the graph is disconnected; the empty graph has diameter
+/// `Some(0)`, consistently with [`weighted_diameter`] and [`hop_diameter`].
 pub fn weighted_diameter_double_sweep(g: &Graph) -> Option<Distance> {
+    if g.node_count() == 0 {
+        return Some(0);
+    }
     let first = dijkstra(g, NodeId::new(0));
     let mut far = NodeId::new(0);
     let mut far_d = 0;
@@ -120,6 +124,135 @@ pub fn weighted_diameter_double_sweep(g: &Graph) -> Option<Distance> {
         }
     }
     eccentricity(g, far)
+}
+
+/// Largest graph (in nodes) for which [`estimate_diameter`] falls back to
+/// the exact all-pairs computation.
+///
+/// Below this size the exact diameter is cheap (`O(n·m·log n)` with small
+/// `n`), and every experiment table that prints `D` stays byte-identical to
+/// the historical exact output.  Above it, the estimators run a constant
+/// number of sweeps instead.
+pub const EXACT_DIAMETER_THRESHOLD: usize = 1024;
+
+/// Lower and upper bounds on a diameter, as produced by
+/// [`estimate_diameter`] / [`estimate_hop_diameter`].
+///
+/// The paper's phase algorithms only need the diameter `D` up to constant
+/// factors (the guess-and-double drivers tolerate a factor-2 overshoot by
+/// construction), so the hot path consumes `upper` — guaranteed `≥ D` —
+/// while `lower` is kept for reporting and for sanity checks
+/// (`lower ≤ D ≤ upper` always holds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiameterEstimate {
+    /// Lower bound: the largest eccentricity seen from any sweep root
+    /// (every eccentricity is `≤ D`).
+    pub lower: Distance,
+    /// Upper bound: the smallest `2·ecc(root)` over the sweep roots (the
+    /// triangle inequality gives `D ≤ 2·ecc(v)` for every `v`).
+    pub upper: Distance,
+}
+
+impl DiameterEstimate {
+    /// An exact estimate (`lower == upper == d`).
+    pub fn exact(d: Distance) -> Self {
+        DiameterEstimate { lower: d, upper: d }
+    }
+
+    /// `true` when the bounds have closed (the estimate *is* the diameter).
+    pub fn is_exact(&self) -> bool {
+        self.lower == self.upper
+    }
+}
+
+/// Bounds the **weighted** diameter with a few Dijkstra sweeps instead of the
+/// all-pairs `O(n·m·log n)` computation.
+///
+/// Graphs of at most [`EXACT_DIAMETER_THRESHOLD`] nodes are computed exactly
+/// (the estimate [`is_exact`](DiameterEstimate::is_exact)).  Larger graphs
+/// get a constant number of sweeps: from node 0, from the farthest node
+/// found (the classic double sweep, whose eccentricity is a strong lower
+/// bound), from the farthest node of *that* sweep, and from the
+/// maximum-degree node.  Each root contributes `ecc(root)` to the lower
+/// bound and `2·ecc(root)` to the upper bound.
+///
+/// Returns `None` if the graph is disconnected; the empty graph is
+/// `Some(exact(0))`.
+pub fn estimate_diameter(g: &Graph) -> Option<DiameterEstimate> {
+    estimate_diameter_with_threshold(g, EXACT_DIAMETER_THRESHOLD)
+}
+
+/// [`estimate_diameter`] with an explicit exact-fallback threshold
+/// (`threshold = 0` forces the sweep estimator, `threshold = usize::MAX`
+/// forces the exact path).
+pub fn estimate_diameter_with_threshold(g: &Graph, threshold: usize) -> Option<DiameterEstimate> {
+    estimate_with(g, threshold, weighted_diameter, dijkstra)
+}
+
+/// Bounds the **hop** (unweighted) diameter; the BFS analogue of
+/// [`estimate_diameter`], with the same exact fallback below
+/// [`EXACT_DIAMETER_THRESHOLD`] and the same disconnected/empty behavior.
+pub fn estimate_hop_diameter(g: &Graph) -> Option<DiameterEstimate> {
+    estimate_with(g, EXACT_DIAMETER_THRESHOLD, hop_diameter, bfs_hops)
+}
+
+fn estimate_with(
+    g: &Graph,
+    threshold: usize,
+    exact: impl Fn(&Graph) -> Option<Distance>,
+    sweep: impl Fn(&Graph, NodeId) -> Vec<Distance>,
+) -> Option<DiameterEstimate> {
+    let n = g.node_count();
+    if n == 0 {
+        return Some(DiameterEstimate::exact(0));
+    }
+    if n <= threshold {
+        return exact(g).map(DiameterEstimate::exact);
+    }
+    // Sweep 1 from node 0; it both bounds the diameter and picks the next
+    // root (the farthest node, as in the classic double sweep).
+    let (far, ecc0) = sweep_extent(&sweep(g, NodeId::new(0)))?;
+    let mut lower = ecc0;
+    let mut upper = ecc0.saturating_mul(2);
+    let mut next_root = far;
+    // Two more peripheral sweeps (farthest-of-farthest), plus the
+    // maximum-degree node — a hub's eccentricity is often close to `D/2`,
+    // which tightens the upper bound on star-like topologies.
+    let hub = (0..n)
+        .map(NodeId::new)
+        .max_by_key(|&v| g.degree(v))
+        .unwrap_or(NodeId::new(0));
+    let mut visited = vec![NodeId::new(0)];
+    for root in [Some(next_root), None, Some(hub)] {
+        let root = root.unwrap_or(next_root);
+        if visited.contains(&root) {
+            continue;
+        }
+        visited.push(root);
+        let (far, ecc) = sweep_extent(&sweep(g, root))?;
+        lower = lower.max(ecc);
+        upper = upper.min(ecc.saturating_mul(2));
+        next_root = far;
+    }
+    // `min 2·ecc ≥ D ≥ max ecc` always, so the bounds are already ordered.
+    Some(DiameterEstimate { lower, upper })
+}
+
+/// Farthest node and eccentricity of a sweep's distance vector, or `None`
+/// if some node is unreachable.
+fn sweep_extent(dist: &[Distance]) -> Option<(NodeId, Distance)> {
+    let mut far = NodeId::new(0);
+    let mut ecc = 0;
+    for (i, &d) in dist.iter().enumerate() {
+        if d == UNREACHABLE {
+            return None;
+        }
+        if d > ecc {
+            ecc = d;
+            far = NodeId::new(i);
+        }
+    }
+    Some((far, ecc))
 }
 
 /// Exact hop (unweighted) diameter.
@@ -156,22 +289,29 @@ pub struct GraphSummary {
     pub edges: usize,
     /// Maximum degree `Δ`.
     pub max_degree: usize,
-    /// Weighted diameter `D` (None if disconnected).
-    pub weighted_diameter: Option<Distance>,
-    /// Hop diameter (None if disconnected).
-    pub hop_diameter: Option<Distance>,
+    /// Weighted-diameter bounds (exact below [`EXACT_DIAMETER_THRESHOLD`];
+    /// `None` if disconnected).
+    pub weighted_diameter: Option<DiameterEstimate>,
+    /// Hop-diameter bounds (same exactness rules; `None` if disconnected).
+    pub hop_diameter: Option<DiameterEstimate>,
     /// Maximum edge latency `ℓ_max`.
     pub max_latency: Latency,
 }
 
-/// Computes a [`GraphSummary`] (exact diameters; intended for experiment-scale graphs).
+/// Computes a [`GraphSummary`].
+///
+/// Diameters come from the sweep estimators ([`estimate_diameter`] /
+/// [`estimate_hop_diameter`]): exact — and flagged as such — below
+/// [`EXACT_DIAMETER_THRESHOLD`] nodes, constant-sweep bounds above it.
+/// Summarizing a large graph therefore no longer runs the two all-pairs
+/// `O(n·m·log n)` computations the exact diameters used to need.
 pub fn summarize(g: &Graph) -> GraphSummary {
     GraphSummary {
         nodes: g.node_count(),
         edges: g.edge_count(),
         max_degree: g.max_degree(),
-        weighted_diameter: weighted_diameter(g),
-        hop_diameter: hop_diameter(g),
+        weighted_diameter: estimate_diameter(g),
+        hop_diameter: estimate_hop_diameter(g),
         max_latency: g.max_latency(),
     }
 }
@@ -252,8 +392,8 @@ mod tests {
         assert_eq!(s.nodes, 3);
         assert_eq!(s.edges, 3);
         assert_eq!(s.max_degree, 2);
-        assert_eq!(s.weighted_diameter, Some(2));
-        assert_eq!(s.hop_diameter, Some(1));
+        assert_eq!(s.weighted_diameter, Some(DiameterEstimate::exact(2)));
+        assert_eq!(s.hop_diameter, Some(DiameterEstimate::exact(1)));
         assert_eq!(s.max_latency, 10);
     }
 
@@ -262,6 +402,67 @@ mod tests {
         let g = GraphBuilder::new(1).build().unwrap();
         assert_eq!(weighted_diameter(&g), Some(0));
         assert_eq!(hop_diameter(&g), Some(0));
+    }
+
+    #[test]
+    fn empty_and_single_node_behavior_is_consistent() {
+        // A `node_count() == 0` graph is unconstructible (`GraphError::Empty`
+        // from every constructor), so no metric can panic on it — the
+        // `Some(0)` guards in the sweep-based routines are pure defense and
+        // agree with `weighted_diameter`/`hop_diameter`'s empty-loop result.
+        assert_eq!(
+            GraphBuilder::new(0).build().unwrap_err(),
+            crate::GraphError::Empty
+        );
+        // The smallest constructible graph: every diameter notion agrees.
+        let g = GraphBuilder::new(1).build().unwrap();
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(weighted_diameter(&g), Some(0));
+        assert_eq!(hop_diameter(&g), Some(0));
+        assert_eq!(weighted_diameter_double_sweep(&g), Some(0));
+        assert_eq!(estimate_diameter(&g), Some(DiameterEstimate::exact(0)));
+        assert_eq!(estimate_hop_diameter(&g), Some(DiameterEstimate::exact(0)));
+        // And with the sweep path forced (threshold 0), still Some(0).
+        assert_eq!(
+            estimate_diameter_with_threshold(&g, 0),
+            Some(DiameterEstimate::exact(0))
+        );
+    }
+
+    #[test]
+    fn estimate_is_exact_below_the_threshold() {
+        let g = slow_triangle();
+        let est = estimate_diameter(&g).unwrap();
+        assert!(est.is_exact());
+        assert_eq!(est.upper, weighted_diameter(&g).unwrap());
+        let hop = estimate_hop_diameter(&g).unwrap();
+        assert_eq!(hop, DiameterEstimate::exact(1));
+    }
+
+    #[test]
+    fn estimate_brackets_the_diameter_above_the_threshold() {
+        // Long path: the double sweep is exact on trees, so lower == D.
+        let mut b = GraphBuilder::new(40);
+        for i in 0..39 {
+            b.add_edge(i, i + 1, (i as Latency % 3) + 1).unwrap();
+        }
+        let g = b.build().unwrap();
+        let d = weighted_diameter(&g).unwrap();
+        // Force the sweep estimator with threshold 0.
+        let est = estimate_diameter_with_threshold(&g, 0).unwrap();
+        assert!(est.lower <= d && d <= est.upper, "{est:?} vs D={d}");
+        assert_eq!(est.lower, d, "double sweep is exact on paths");
+    }
+
+    #[test]
+    fn estimate_reports_disconnection() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1).unwrap();
+        b.add_edge(2, 3, 1).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(estimate_diameter(&g), None);
+        assert_eq!(estimate_diameter_with_threshold(&g, 0), None);
+        assert_eq!(estimate_hop_diameter(&g), None);
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! Property tests for the diameter-bound oracle
+//! ([`metrics::estimate_diameter`]): across every graph family the sweep
+//! draws from, the bracket must contain the exact diameter, and below the
+//! exact-computation threshold the bracket must *be* the exact diameter.
+
+use gossip_graph::metrics::{
+    self, estimate_diameter, estimate_diameter_with_threshold, estimate_hop_diameter,
+    DiameterEstimate, EXACT_DIAMETER_THRESHOLD,
+};
+use gossip_graph::{generators, latency::LatencyScheme, Graph};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The oracle's contract on a connected graph: `lower ≤ D ≤ upper`, on both
+/// the sweep path (threshold 0) and the defaulted path, for the weighted and
+/// the hop metric.
+fn check_bracket(g: &Graph) {
+    let d = metrics::weighted_diameter(g).expect("test graphs are connected");
+    for threshold in [0, EXACT_DIAMETER_THRESHOLD] {
+        let est = estimate_diameter_with_threshold(g, threshold).unwrap();
+        assert!(
+            est.lower <= d && d <= est.upper,
+            "weighted bracket [{}, {}] misses D={} (threshold {threshold}, n={})",
+            est.lower,
+            est.upper,
+            d,
+            g.node_count()
+        );
+    }
+    let hop = metrics::hop_diameter(g).unwrap();
+    let hop_est = estimate_hop_diameter(g).unwrap();
+    assert!(
+        hop_est.lower <= hop && hop <= hop_est.upper,
+        "hop bracket [{}, {}] misses D={hop}",
+        hop_est.lower,
+        hop_est.upper,
+    );
+    // Every test instance is below the exact-computation threshold, so the
+    // defaulted estimators must pin the exact value.
+    assert!(g.node_count() <= EXACT_DIAMETER_THRESHOLD);
+    assert_eq!(estimate_diameter(g), Some(DiameterEstimate::exact(d)));
+    assert_eq!(estimate_hop_diameter(g), Some(DiameterEstimate::exact(hop)));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn oracle_brackets_deterministic_families(
+        n in 2usize..64,
+        latency in 1u64..20,
+        bridge in 1u64..50,
+    ) {
+        check_bracket(&generators::clique(n, latency).unwrap());
+        check_bracket(&generators::cycle(n.max(3), latency).unwrap());
+        check_bracket(&generators::path(n, latency).unwrap());
+        check_bracket(&generators::star(n.max(3), latency).unwrap());
+        check_bracket(&generators::grid(2 + n % 7, 2 + n % 5, latency).unwrap());
+        check_bracket(&generators::binary_tree(n, latency).unwrap());
+        check_bracket(&generators::dumbbell(n.max(2), bridge).unwrap());
+        check_bracket(&generators::ring_of_cliques(3 + n % 4, n.clamp(2, 9), bridge).unwrap());
+        check_bracket(&generators::barbell(n.clamp(2, 12), 1 + n % 5, bridge).unwrap());
+    }
+
+    #[test]
+    fn oracle_brackets_random_weighted_graphs(
+        n in 2usize..48,
+        p in 0.1f64..0.9,
+        max_latency in 1u64..16,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = generators::erdos_renyi(n, p, 1, &mut rng).unwrap();
+        let g = LatencyScheme::UniformRandom { min: 1, max: max_latency }
+            .apply(&g, &mut rng)
+            .unwrap();
+        check_bracket(&g);
+    }
+
+    /// On trees the first sweep already finds a diametral endpoint, so the
+    /// sweep path's *lower* bound is exact — a sharper pin than the bracket.
+    #[test]
+    fn sweep_lower_bound_is_exact_on_trees(n in 2usize..80, latency in 1u64..20) {
+        let g = generators::binary_tree(n, latency).unwrap();
+        let d = metrics::weighted_diameter(&g).unwrap();
+        let est = estimate_diameter_with_threshold(&g, 0).unwrap();
+        prop_assert_eq!(est.lower, d);
+    }
+}

@@ -17,13 +17,14 @@ fn main() {
     let g = generators::dumbbell(8, 64).expect("valid parameters");
     let summary = metrics::summarize(&g);
     println!("graph: dumbbell of two 8-cliques, bridge latency 64");
+    // Small graph, so the summary's diameter estimates are exact.
     println!(
         "  n = {}, m = {}, max degree = {}, weighted diameter = {:?}, hop diameter = {:?}",
         summary.nodes,
         summary.edges,
         summary.max_degree,
-        summary.weighted_diameter,
-        summary.hop_diameter
+        summary.weighted_diameter.map(|e| e.upper),
+        summary.hop_diameter.map(|e| e.upper)
     );
 
     // Section 2: the weighted-conductance profile of the graph.

@@ -1,0 +1,201 @@
+//! Equivalence pins for the Activity-ported gossip-core protocols.
+//!
+//! PR 6 ported `EllDtg` and `RrBroadcast` to the event-driven scheduler's
+//! [`Activity`](gossip_sim::Activity) contract, reworked ℓ-DTG's exchange
+//! bookkeeping from per-exchange rumor-set snapshots to acquisition-log
+//! replay, and moved the RR-broadcast phase simulation onto the spanner
+//! subgraph.  All three must be pure performance changes:
+//!
+//! * The reference engine never consults `activity()` and never elides an
+//!   `on_round` call, so running the same protocol through [`Simulation`] and
+//!   [`ReferenceSimulation`] and requiring identical
+//!   [`RunReport::semantics`] plus identical final rumor state pins the
+//!   ported protocols to their pre-port behavior — if retiring a node or
+//!   replaying a log prefix ever changed what a node hears (or when), the
+//!   two engines would diverge.
+//! * RR Broadcast only ever targets spanner out-edges, so simulating it over
+//!   the materialised spanner subgraph must produce the same trace as the
+//!   full parent graph.
+
+use gossip_bench::sweep::SweepSpec;
+use gossip_bench::Scale;
+use gossip_core::dtg::EllDtg;
+use gossip_core::rr_broadcast::RrBroadcast;
+use gossip_core::spanner::log_spanner;
+use gossip_graph::{generators, Graph};
+use gossip_sim::reference::ReferenceSimulation;
+use gossip_sim::{ExchangeMode, Protocol, SimConfig, Simulation, Termination};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Runs one protocol under one config on both engines and requires identical
+/// semantics and identical final rumor sets.
+fn assert_engines_agree<P: Protocol, F: Fn() -> P>(
+    g: &Graph,
+    config: &SimConfig,
+    make_protocol: F,
+    label: &str,
+) {
+    let mut new_protocol = make_protocol();
+    let mut new_sim = Simulation::new(g, config.clone());
+    let new_report = new_sim.run(&mut new_protocol);
+
+    let mut ref_protocol = make_protocol();
+    let mut ref_sim = ReferenceSimulation::new(g, config.clone());
+    let ref_report = ref_sim.run(&mut ref_protocol);
+
+    assert_eq!(
+        new_report.semantics(),
+        ref_report.semantics(),
+        "report mismatch: {label}"
+    );
+    assert_eq!(
+        new_sim.into_rumors(),
+        ref_sim.into_rumors(),
+        "rumor-state mismatch: {label}"
+    );
+}
+
+/// ℓ-DTG's driver configuration: quiescence-terminated, generously capped.
+fn dtg_config(seed: u64, mode: ExchangeMode) -> SimConfig {
+    SimConfig::new(seed)
+        .termination(Termination::Quiescent)
+        .mode(mode)
+        .max_rounds(20_000)
+}
+
+/// The acceptance gate: `EllDtg` agrees with the reference engine on every
+/// scenario of the Quick sweep grid, both exchange modes, three seeds.
+#[test]
+fn ell_dtg_matches_reference_on_the_quick_grid() {
+    let spec = SweepSpec::standard(Scale::Quick);
+    for family in &spec.families {
+        for &size in &spec.sizes {
+            for profile in &spec.profiles {
+                for seed in [1u64, 2, 3] {
+                    let mut rng = SmallRng::seed_from_u64(seed ^ 0xD7C);
+                    let base = family.build(size, &mut rng);
+                    let g = profile.apply(&base, &mut rng);
+                    // ℓ = max latency admits every edge; ℓ = 1 exercises the
+                    // latency filter (nodes whose edges are all slow retire
+                    // immediately).
+                    for bound in [1, g.max_latency()] {
+                        for mode in [ExchangeMode::Blocking, ExchangeMode::NonBlocking] {
+                            let label = format!(
+                                "{}/{}/{}/seed{seed}/ell={bound}/{mode:?}",
+                                family.name(),
+                                size,
+                                profile.name(),
+                            );
+                            assert_engines_agree(
+                                &g,
+                                &dtg_config(seed, mode),
+                                || EllDtg::new(&g, bound),
+                                &label,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `RrBroadcast` agrees with the reference engine on every scenario of the
+/// Quick sweep grid (simulated, as in production, over the spanner subgraph).
+#[test]
+fn rr_broadcast_matches_reference_on_the_quick_grid() {
+    let spec = SweepSpec::standard(Scale::Quick);
+    for family in &spec.families {
+        for &size in &spec.sizes {
+            for profile in &spec.profiles {
+                for seed in [1u64, 2, 3] {
+                    let mut rng = SmallRng::seed_from_u64(seed ^ 0x44B);
+                    let base = family.build(size, &mut rng);
+                    let g = profile.apply(&base, &mut rng);
+                    let spanner = log_spanner(&g, seed);
+                    let k = g.max_latency().saturating_mul(8);
+                    let sub = spanner.to_graph(&g).unwrap();
+                    let config = SimConfig::new(seed)
+                        .termination(Termination::AllKnowAll)
+                        .max_rounds(20_000);
+                    let label =
+                        format!("{}/{}/{}/seed{seed}", family.name(), size, profile.name(),);
+                    assert_engines_agree(
+                        &sub,
+                        &config,
+                        || RrBroadcast::new(&g, &spanner, k),
+                        &label,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The spanner-subgraph phase simulation is trace-identical to simulating
+/// over the full parent graph: RR Broadcast can only ever target spanner
+/// out-edges, so shrinking the engine's edge state must not change rounds,
+/// activations, completion, or what any node hears.
+#[test]
+fn rr_broadcast_subgraph_simulation_equals_full_graph_simulation() {
+    for (g, seed) in [
+        (generators::clique(32, 1).unwrap(), 3u64),
+        (generators::dumbbell(8, 12).unwrap(), 5),
+        (generators::ring_of_cliques(4, 5, 6).unwrap(), 7),
+        (generators::grid(6, 6, 2).unwrap(), 9),
+    ] {
+        let spanner = log_spanner(&g, seed);
+        let k = g.max_latency().saturating_mul(8);
+        let sub = spanner.to_graph(&g).unwrap();
+        let config = SimConfig::new(seed)
+            .termination(Termination::AllKnowAll)
+            .max_rounds(20_000);
+
+        let mut full_protocol = RrBroadcast::new(&g, &spanner, k);
+        let mut full_sim = Simulation::new(&g, config.clone());
+        let full_report = full_sim.run(&mut full_protocol);
+
+        let mut sub_protocol = RrBroadcast::new(&g, &spanner, k);
+        let mut sub_sim = Simulation::new(&sub, config);
+        let sub_report = sub_sim.run(&mut sub_protocol);
+
+        assert_eq!(
+            full_report.semantics(),
+            sub_report.semantics(),
+            "trace mismatch on {} nodes",
+            g.node_count()
+        );
+        assert_eq!(full_sim.into_rumors(), sub_sim.into_rumors());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Log-replay ℓ-DTG equals the reference engine on random weighted
+    /// Erdős–Rényi instances, both exchange modes.
+    #[test]
+    fn ell_dtg_matches_reference_on_random_graphs(
+        n in 4usize..40,
+        p in 0.1f64..0.9,
+        max_latency in 1u64..10,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xE11);
+        let g = generators::erdos_renyi(n, p, 1, &mut rng).unwrap();
+        let g = gossip_graph::latency::LatencyScheme::UniformRandom { min: 1, max: max_latency }
+            .apply(&g, &mut rng)
+            .unwrap();
+        let bound = 1 + seed % max_latency;
+        for mode in [ExchangeMode::Blocking, ExchangeMode::NonBlocking] {
+            assert_engines_agree(
+                &g,
+                &dtg_config(seed, mode),
+                || EllDtg::new(&g, bound),
+                &format!("random n={n} ell={bound} {mode:?}"),
+            );
+        }
+    }
+}

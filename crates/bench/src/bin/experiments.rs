@@ -39,6 +39,8 @@
 //! `--time-tolerance` (default +50%, machine-noise-tolerant) — the CI step
 //! that turns the uploaded artifacts into an enforced perf trajectory.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use gossip_bench::experiments;
@@ -213,6 +215,7 @@ fn run_sweep(args: &[String]) -> ExitCode {
         threads,
         spec.base_seed
     );
+    // gossip-lint: allow(wall-clock): the sweep timing sidecar is the one sanctioned non-deterministic artifact; never part of the report
     let started = std::time::Instant::now();
     let report = spec.run();
     let elapsed = started.elapsed();

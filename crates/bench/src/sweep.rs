@@ -17,7 +17,7 @@
 //! spreading experiments; Censor-Hillel et al.'s poorly-connected-world
 //! simulations) summarise bound-shape curves across graph families.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use gossip_core::{flooding, pattern, push_pull, spanner_broadcast, unified};
@@ -597,42 +597,7 @@ impl SweepSpec {
     /// Runs every trial of the sweep in parallel and aggregates per scenario.
     pub fn run(&self) -> SweepReport {
         let scenarios = self.scenarios();
-
-        // Deterministic topologies are pure functions of (family, size):
-        // build each one once, in parallel, and share it across every trial
-        // and latency profile of every cell that uses it.  (Random families
-        // still build per trial from the trial's own seed.)  Graph builds
-        // ignore the RNG for these families, so cached instances are
-        // bit-identical to per-trial builds and reports are unchanged.
-        let mut distinct: HashMap<(String, usize), GraphFamily> = HashMap::new();
-        // Heavy protocols consult the diameter-bound oracle; when the cached
-        // `AsBuilt` topology is the graph they'll actually run on, compute
-        // the bound once alongside the build and share it across trials.
-        // (Other profiles re-weight per trial, so their bound is per-trial.)
-        let mut needs_bound: std::collections::HashSet<(String, usize)> =
-            std::collections::HashSet::new();
-        for s in scenarios.iter().filter(|s| s.family.is_deterministic()) {
-            distinct
-                .entry((s.family.name(), s.size))
-                .or_insert(s.family);
-            if s.protocol.is_heavyweight() && matches!(s.profile, LatencyProfile::AsBuilt) {
-                needs_bound.insert((s.family.name(), s.size));
-            }
-        }
-        let cached: HashMap<(String, usize), (Arc<Graph>, Option<Latency>)> = distinct
-            .into_iter()
-            .collect::<Vec<_>>()
-            .into_par_iter()
-            .map(|(key, family)| {
-                // The RNG is unused for deterministic families; seed fixed.
-                let mut rng = SmallRng::seed_from_u64(0);
-                let graph = Arc::new(family.build(key.1, &mut rng));
-                let bound = needs_bound
-                    .contains(&key)
-                    .then(|| gossip_core::diameter_bound(&graph));
-                (key, (graph, bound))
-            })
-            .collect();
+        let cached = build_topology_cache(&scenarios);
 
         let tasks: Vec<(usize, Scenario, u64)> = scenarios
             .iter()
@@ -671,6 +636,57 @@ impl SweepSpec {
             scenarios: summaries,
         }
     }
+}
+
+/// Shared-topology cache key: `(family name, size)`.
+pub(crate) type TopologyKey = (String, usize);
+
+/// Builds the shared topology cache for a scenario list.
+///
+/// Deterministic topologies are pure functions of (family, size): build each
+/// one once, in parallel, and share it across every trial and latency
+/// profile of every cell that uses it.  (Random families still build per
+/// trial from the trial's own seed.)  Graph builds ignore the RNG for these
+/// families, so cached instances are bit-identical to per-trial builds and
+/// reports are unchanged.
+///
+/// Heavy protocols consult the diameter-bound oracle; when the cached
+/// `AsBuilt` topology is the graph they'll actually run on, the bound is
+/// computed once alongside the build and shared across trials.  (Other
+/// profiles re-weight per trial, so their bound is per-trial.)
+///
+/// `BTreeMap`/`BTreeSet` keep every stage of the build — the distinct-key
+/// walk, the parallel build order, and the resulting map — independent of
+/// insertion order, so the cache (and anything that ever comes to iterate
+/// it) is deterministic for *any* permutation of the scenario list, not
+/// just the sorted one `scenarios()` happens to produce.
+pub(crate) fn build_topology_cache(
+    scenarios: &[Scenario],
+) -> BTreeMap<TopologyKey, (Arc<Graph>, Option<Latency>)> {
+    let mut distinct: BTreeMap<TopologyKey, GraphFamily> = BTreeMap::new();
+    let mut needs_bound: BTreeSet<TopologyKey> = BTreeSet::new();
+    for s in scenarios.iter().filter(|s| s.family.is_deterministic()) {
+        distinct
+            .entry((s.family.name(), s.size))
+            .or_insert(s.family);
+        if s.protocol.is_heavyweight() && matches!(s.profile, LatencyProfile::AsBuilt) {
+            needs_bound.insert((s.family.name(), s.size));
+        }
+    }
+    distinct
+        .into_iter()
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|(key, family)| {
+            // The RNG is unused for deterministic families; seed fixed.
+            let mut rng = SmallRng::seed_from_u64(0);
+            let graph = Arc::new(family.build(key.1, &mut rng));
+            let bound = needs_bound
+                .contains(&key)
+                .then(|| gossip_core::diameter_bound(&graph));
+            (key, (graph, bound))
+        })
+        .collect()
 }
 
 /// One cell of the sweep grid.
@@ -1074,6 +1090,49 @@ mod tests {
         let a = tiny_spec().run().to_json();
         let b = tiny_spec().run().to_json();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn topology_cache_is_identical_across_scenario_permutations() {
+        // Audit pin (PR 7): the cache build iterates the scenario list and
+        // the distinct-key map; with BTreeMap/BTreeSet the result is a pure
+        // function of the scenario *set*, so any permutation of the list —
+        // not just the sorted order `scenarios()` produces — yields a
+        // byte-identical cache (keys, graph edge lists, diameter bounds).
+        let spec = SweepSpec {
+            protocols: vec![
+                ProtocolKind::PushPullAllToAll,
+                ProtocolKind::SpannerBroadcast,
+            ],
+            ..tiny_spec()
+        };
+        let scenarios = spec.scenarios();
+        let mut permuted = scenarios.clone();
+        permuted.reverse();
+        permuted.rotate_left(scenarios.len() / 3);
+        let order = |list: &[Scenario]| {
+            list.iter()
+                .map(|s| (s.family.name(), s.protocol.name(), s.profile.name()))
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(
+            order(&scenarios),
+            order(&permuted),
+            "permutation must actually change the order"
+        );
+
+        let a = build_topology_cache(&scenarios);
+        let b = build_topology_cache(&permuted);
+        assert_eq!(a.keys().collect::<Vec<_>>(), b.keys().collect::<Vec<_>>());
+        for (key, (graph_a, bound_a)) in &a {
+            let (graph_b, bound_b) = &b[key];
+            assert_eq!(bound_a, bound_b, "bound diverged for {key:?}");
+            assert_eq!(
+                Arc::as_ref(graph_a),
+                Arc::as_ref(graph_b),
+                "graph diverged for {key:?}"
+            );
+        }
     }
 
     #[test]

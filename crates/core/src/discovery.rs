@@ -23,6 +23,7 @@ use crate::DisseminationReport;
 struct ProbeAll {
     next: Vec<usize>,
     degrees: Vec<usize>,
+    // gossip-lint: allow(unordered-iter): keyed insert/contains_key per edge only, never iterated
     discovered: Vec<HashMap<EdgeId, Latency>>,
 }
 
@@ -67,6 +68,7 @@ impl Protocol for ProbeAll {
 #[derive(Debug, Clone)]
 pub struct DiscoveryOutcome {
     /// Per-node map from incident edge to discovered latency.
+    // gossip-lint: allow(unordered-iter): consumed via keyed `get` through OracleSource::Map only, never iterated
     pub discovered: Vec<HashMap<EdgeId, Latency>>,
     /// Rounds spent (≈ Δ + bound).
     pub report: DisseminationReport,

@@ -70,11 +70,13 @@ pub struct EllDtg {
     /// Log lengths `(initiator, responder)` at initiation time, keyed by
     /// `(initiator, responder, initiation round)` — the snapshot-free
     /// analogue of the engine's own exchange bookkeeping.
+    // gossip-lint: allow(unordered-iter): keyed insert/remove/entry only, never iterated — completions look up their own (initiator, responder, round) key
     pending: HashMap<(u32, u32, u64), (u32, u32)>,
     /// Directed merge watermarks: `(src, dst) → position`, the prefix of
     /// `src`'s log already replayed into `dst`.  Completions replay only
     /// `[watermark, snapshot)`, so overlapping exchanges on the same pair
     /// never re-scan merged history.
+    // gossip-lint: allow(unordered-iter): keyed watermark lookups only, never iterated — order can't reach any observable
     merged: HashMap<(u32, u32), u32>,
     /// Scratch reused across completions (log segments, newly heard ids).
     scratch_segments: Vec<(RumorId, u32)>,

@@ -27,6 +27,7 @@ use crate::{Graph, GraphError, Latency, NodeId};
 pub struct GraphBuilder {
     node_count: usize,
     edges: Vec<EdgeRecord>,
+    // gossip-lint: allow(unordered-iter): O(1) duplicate-edge membership test on the graph-build hot path, never iterated
     seen: HashSet<(u32, u32)>,
 }
 

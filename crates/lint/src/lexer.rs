@@ -1,0 +1,467 @@
+//! A comment- and string-stripping Rust lexer.
+//!
+//! The lint rules operate on token streams, never on raw text, so that
+//! occurrences of `HashMap` inside a doc comment or a string literal can
+//! never produce a finding.  The lexer is deliberately small: it recognises
+//! identifiers, numeric/string/char literals, lifetimes, and punctuation
+//! (multi-character operators are merged into single tokens), and it collects
+//! `// gossip-lint: allow(<rule>): <reason>` pragmas from the comments it
+//! strips.  It does not attempt to be a full Rust lexer — it only needs to be
+//! faithful enough that the token patterns the rules match cannot be confused
+//! by comments, strings, or operator adjacency.
+
+/// What kind of token was lexed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `for`, `in`, ...).
+    Ident,
+    /// A punctuation token; multi-character operators (`::`, `+=`, `=>`, ...)
+    /// are merged into a single token.
+    Punct,
+    /// A numeric literal.
+    Num,
+    /// A string, byte-string, or char literal (contents discarded).
+    Lit,
+    /// A lifetime (`'a`).
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token text (empty for [`TokKind::Lit`]).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+    /// Token kind.
+    pub kind: TokKind,
+}
+
+/// An inline allowlist pragma: `// gossip-lint: allow(<rule>): <reason>`.
+///
+/// The reason is mandatory; a pragma without one is itself reported as a
+/// finding (the allowlist must stay auditable).
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// The rule name inside `allow(...)`.
+    pub rule: String,
+    /// The free-text justification after the closing `):`.
+    pub reason: String,
+    /// 1-based line the pragma comment starts on.
+    pub line: u32,
+    /// `true` if no code token precedes the pragma on its line (the pragma
+    /// then applies to the next line that carries a token, rather than to
+    /// its own line).
+    pub own_line: bool,
+}
+
+impl Pragma {
+    /// The 1-based line whose findings this pragma suppresses.
+    pub fn target_line(&self, tokens: &[Token]) -> u32 {
+        if !self.own_line {
+            return self.line;
+        }
+        tokens
+            .iter()
+            .map(|t| t.line)
+            .find(|&l| l > self.line)
+            .unwrap_or(self.line)
+    }
+}
+
+/// The result of lexing one file: its token stream plus the pragmas found in
+/// the stripped comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All pragmas in source order (well-formed or not; validation is the
+    /// analyzer's job).
+    pub pragmas: Vec<Pragma>,
+}
+
+/// Multi-character operators merged into single punct tokens, longest first.
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+/// Marker that introduces a pragma inside a `//` comment.
+const PRAGMA_MARKER: &str = "gossip-lint:";
+
+/// Lexes `source`, stripping comments and literals and collecting pragmas.
+pub fn lex(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    // Line number of the most recently emitted token, to classify pragmas as
+    // trailing (code before them on the line) or own-line.
+    let mut last_token_line: u32 = 0;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                let mut end = start;
+                while end < bytes.len() && bytes[end] != b'\n' {
+                    end += 1;
+                }
+                let text = &source[start..end];
+                if let Some(pragma) = parse_pragma(text, line, last_token_line == line) {
+                    out.pragmas.push(pragma);
+                }
+                i = end;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Nested block comments, per Rust.
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                i = skip_string(bytes, i, &mut line);
+                out.tokens.push(Token {
+                    text: String::new(),
+                    line,
+                    kind: TokKind::Lit,
+                });
+                last_token_line = line;
+            }
+            b'r' | b'b' if starts_raw_or_byte_literal(bytes, i) => {
+                let tok_line = line;
+                i = skip_raw_or_byte_literal(bytes, i, &mut line);
+                out.tokens.push(Token {
+                    text: String::new(),
+                    line: tok_line,
+                    kind: TokKind::Lit,
+                });
+                last_token_line = line;
+            }
+            b'\'' => {
+                // Char literal or lifetime.
+                if is_char_literal(bytes, i) {
+                    i = skip_char_literal(bytes, i);
+                    out.tokens.push(Token {
+                        text: String::new(),
+                        line,
+                        kind: TokKind::Lit,
+                    });
+                } else {
+                    // Lifetime: consume the quote plus the identifier.
+                    let start = i + 1;
+                    let mut end = start;
+                    while end < bytes.len() && is_ident_byte(bytes[end]) {
+                        end += 1;
+                    }
+                    out.tokens.push(Token {
+                        text: source[start..end].to_string(),
+                        line,
+                        kind: TokKind::Lifetime,
+                    });
+                    i = end;
+                }
+                last_token_line = line;
+            }
+            _ if is_ident_start(b) => {
+                let start = i;
+                while i < bytes.len() && is_ident_byte(bytes[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    text: source[start..i].to_string(),
+                    line,
+                    kind: TokKind::Ident,
+                });
+                last_token_line = line;
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && (is_ident_byte(bytes[i])) {
+                    i += 1;
+                }
+                // A fractional part only when the dot is followed by a digit
+                // (so `0..n` range syntax is not swallowed).
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                {
+                    i += 1;
+                    while i < bytes.len() && is_ident_byte(bytes[i]) {
+                        i += 1;
+                    }
+                }
+                out.tokens.push(Token {
+                    text: source[start..i].to_string(),
+                    line,
+                    kind: TokKind::Num,
+                });
+                last_token_line = line;
+            }
+            _ => {
+                let rest = &source[i..];
+                let op = OPERATORS.iter().find(|op| rest.starts_with(**op));
+                let text = match op {
+                    Some(op) => op.to_string(),
+                    None => (b as char).to_string(),
+                };
+                i += text.len();
+                out.tokens.push(Token {
+                    text,
+                    line,
+                    kind: TokKind::Punct,
+                });
+                last_token_line = line;
+            }
+        }
+    }
+    out
+}
+
+/// Parses a pragma out of one `//` comment body, if the comment *starts*
+/// with the marker (after whitespace).  Anchoring at the start keeps doc
+/// comments and prose that merely *mention* the pragma syntax (like this
+/// crate's own documentation) from being parsed as pragmas — a doc comment
+/// body starts with `!` or `/`, never with the marker.
+///
+/// Malformed pragmas (missing rule or reason) are still returned, with the
+/// missing parts empty, so the analyzer can report them instead of silently
+/// ignoring a typo that would otherwise disable a suppression.
+fn parse_pragma(comment: &str, line: u32, trailing: bool) -> Option<Pragma> {
+    let rest = comment
+        .trim_start()
+        .strip_prefix(PRAGMA_MARKER)?
+        .trim_start();
+    let (rule, reason) = match rest.strip_prefix("allow(") {
+        Some(after) => match after.find(')') {
+            Some(close) => {
+                let rule = after[..close].trim().to_string();
+                let tail = after[close + 1..].trim_start();
+                let reason = tail.strip_prefix(':').map_or("", |r| r.trim()).to_string();
+                (rule, reason)
+            }
+            None => (String::new(), String::new()),
+        },
+        None => (String::new(), String::new()),
+    };
+    Some(Pragma {
+        rule,
+        reason,
+        line,
+        own_line: !trailing,
+    })
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Skips a `"..."` string starting at `i` (which must point at the quote).
+fn skip_string(bytes: &[u8], i: usize, line: &mut u32) -> usize {
+    let mut j = i + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                *line += 1;
+                j += 1;
+            }
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Does `r`/`b` at `i` introduce a raw string, byte string, or byte char?
+fn starts_raw_or_byte_literal(bytes: &[u8], i: usize) -> bool {
+    match bytes[i] {
+        b'r' => matches!(bytes.get(i + 1), Some(b'"') | Some(b'#')),
+        b'b' => matches!(bytes.get(i + 1), Some(b'"') | Some(b'\'') | Some(b'r')),
+        _ => false,
+    }
+}
+
+/// Skips `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, or `b'x'`.
+fn skip_raw_or_byte_literal(bytes: &[u8], i: usize, line: &mut u32) -> usize {
+    let mut j = i + 1;
+    if bytes[i] == b'b' {
+        match bytes.get(j) {
+            Some(b'\'') => return skip_char_literal(bytes, j),
+            Some(b'"') => return skip_string(bytes, j, line),
+            Some(b'r') => j += 1,
+            _ => return j,
+        }
+    }
+    // Raw string: count `#`s, then scan for `"` followed by that many `#`s.
+    let mut hashes = 0usize;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'"') {
+        return j;
+    }
+    j += 1;
+    while j < bytes.len() {
+        if bytes[j] == b'\n' {
+            *line += 1;
+            j += 1;
+        } else if bytes[j] == b'"' && bytes[j + 1..].iter().take(hashes).all(|&b| b == b'#') {
+            return j + 1 + hashes;
+        } else {
+            j += 1;
+        }
+    }
+    j
+}
+
+/// Is the `'` at `i` a char literal (vs a lifetime)?
+fn is_char_literal(bytes: &[u8], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        Some(b'\\') => true,
+        Some(_) => {
+            // `'x'` is a char; `'a` followed by anything else is a lifetime.
+            // Multi-byte chars: find the next `'` within a few bytes.
+            bytes[i + 1..].iter().take(5).any(|&b| b == b'\'')
+        }
+        None => false,
+    }
+}
+
+/// Skips a `'...'` char literal starting at the opening quote.
+fn skip_char_literal(bytes: &[u8], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'\'' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_stripped() {
+        let src = r##"
+            // HashMap in a line comment
+            /* HashMap in a /* nested */ block */
+            let s = "HashMap in a string";
+            let r = r#"HashMap raw "quoted" text"#;
+            let c = 'H';
+            let real = HashMap::new();
+        "##;
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|t| *t == "HashMap").count(), 1);
+    }
+
+    #[test]
+    fn operators_are_merged() {
+        let toks = lex("a += b == c => d :: e");
+        let puncts: Vec<&str> = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["+=", "==", "=>", "::"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<&str> = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a"]);
+        assert_eq!(
+            toks.tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Lit)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn number_lexing_does_not_swallow_ranges() {
+        let toks = lex("for i in 0..m {}");
+        let texts: Vec<&str> = toks.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&".."));
+        assert!(texts.contains(&"0"));
+        let toks = lex("let x = 0.5;");
+        assert!(toks.tokens.iter().any(|t| t.text == "0.5"));
+    }
+
+    #[test]
+    fn pragmas_are_collected_with_position() {
+        let src = "let a = 1;\n// gossip-lint: allow(wall-clock): timing artifact only\nlet t = Instant::now();\nlet b = 2; // gossip-lint: allow(unordered-iter): keyed access\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.pragmas.len(), 2);
+        let p0 = &lexed.pragmas[0];
+        assert_eq!(p0.rule, "wall-clock");
+        assert_eq!(p0.reason, "timing artifact only");
+        assert!(p0.own_line);
+        assert_eq!(p0.target_line(&lexed.tokens), 3);
+        let p1 = &lexed.pragmas[1];
+        assert_eq!(p1.rule, "unordered-iter");
+        assert!(!p1.own_line);
+        assert_eq!(p1.target_line(&lexed.tokens), 4);
+    }
+
+    #[test]
+    fn malformed_pragmas_are_preserved_for_reporting() {
+        let lexed = lex("// gossip-lint: allow(unordered-iter)\nlet x = 1;\n");
+        assert_eq!(lexed.pragmas.len(), 1);
+        assert!(lexed.pragmas[0].reason.is_empty());
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_literals() {
+        let src = "let s = \"a\nb\nc\";\nlet x = HashMap::new();\n";
+        let lexed = lex(src);
+        let map = lexed.tokens.iter().find(|t| t.text == "HashMap").unwrap();
+        assert_eq!(map.line, 4);
+    }
+}

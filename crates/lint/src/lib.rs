@@ -1,0 +1,48 @@
+//! # gossip-lint
+//!
+//! A hand-rolled static-analysis pass that machine-checks the determinism
+//! conventions every reproducibility claim in this repo rests on:
+//! byte-identical sweep reports across thread counts, `semantics`-identical
+//! engine equivalence, and the committed bench baseline.
+//!
+//! No `syn`, no network: a comment/string-stripping Rust lexer
+//! ([`lexer`]) feeds token-stream pattern rules ([`rules`]) over a
+//! deterministic workspace walk ([`workspace`]), with `file:line`
+//! diagnostics and a `--json` mode reusing `gossip-bench`'s JSON writer
+//! ([`report`]).
+//!
+//! ## Rules
+//!
+//! | rule | fires on |
+//! |------|----------|
+//! | `unordered-iter` | `HashMap`/`HashSet` declaration or iteration in non-test code |
+//! | `wall-clock` | `Instant`/`SystemTime` in non-test code |
+//! | `ambient-rng` | `thread_rng`/`from_entropy`/`OsRng` — all RNG must be seeded |
+//! | `par-order` | parallel iterators chained into order-sensitive sinks |
+//! | `debug-assert-side-effect` | mutation inside `debug_assert!` |
+//! | `forbid-unsafe` | crate roots missing `#![forbid(unsafe_code)]` |
+//!
+//! ## Pragmas
+//!
+//! A finding is suppressed by an inline pragma **with a mandatory reason**:
+//!
+//! ```text
+//! // gossip-lint: allow(unordered-iter): keyed access only, never iterated
+//! ```
+//!
+//! A trailing pragma targets its own line; a pragma on its own line targets
+//! the next line of code.  Malformed pragmas (unknown rule, missing reason)
+//! and pragmas that suppress nothing are themselves findings, so every
+//! pragma in the tree stays load-bearing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod workspace;
+
+pub use report::{Finding, Report};
+pub use rules::{analyze_source, FileAnalysis};
+pub use workspace::{analyze_sources, collect_sources, SourceFile};

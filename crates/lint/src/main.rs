@@ -1,0 +1,80 @@
+//! The `gossip-lint` binary: lints the workspace, prints diagnostics, and
+//! exits non-zero when any finding survives the pragma allowlist.
+//!
+//! ```text
+//! gossip-lint [--root <dir>] [--json] [--out <file>]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut out: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => json = true,
+            "--out" => match args.next() {
+                Some(path) => out = Some(PathBuf::from(path)),
+                None => return usage("--out needs a file path"),
+            },
+            "--help" | "-h" => {
+                println!("usage: gossip-lint [--root <dir>] [--json] [--out <file>]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    let report = match gossip_lint::workspace::run(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("gossip-lint: error walking {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let rendered = if json {
+        let mut s = report.to_json().to_pretty();
+        s.push('\n');
+        s
+    } else {
+        report.render_text()
+    };
+    match &out {
+        Some(path) => {
+            if let Err(err) = std::fs::write(path, &rendered) {
+                eprintln!("gossip-lint: error writing {}: {err}", path.display());
+                return ExitCode::from(2);
+            }
+            // Keep the human summary on stdout even when JSON goes to a file.
+            if json {
+                print!("{}", report.render_text());
+            }
+        }
+        None => print!("{rendered}"),
+    }
+
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("gossip-lint: {msg}");
+    eprintln!("usage: gossip-lint [--root <dir>] [--json] [--out <file>]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,88 @@
+//! Findings and the two output renderings (human text, machine JSON).
+
+use gossip_bench::json::Json;
+
+/// One diagnostic produced by a rule (or by pragma hygiene checking).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// Rule name (`unordered-iter`, ..., or `pragma` for pragma hygiene).
+    pub rule: String,
+    /// Rust module path of the file (`gossip_core::dtg`), best-effort.
+    pub module: String,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+impl Finding {
+    /// Renders the `file:line: [rule] message` diagnostic line.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {} (in {})",
+            self.file, self.line, self.rule, self.message, self.module
+        )
+    }
+
+    /// Serialises one finding as a JSON object with stable key order.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("file", Json::Str(self.file.clone())),
+            ("line", Json::Int(i64::from(self.line))),
+            ("rule", Json::Str(self.rule.clone())),
+            ("module", Json::Str(self.module.clone())),
+            ("message", Json::Str(self.message.clone())),
+        ])
+    }
+}
+
+/// The full result of a workspace run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// All surviving findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Number of well-formed pragmas that suppressed at least one finding.
+    pub pragmas_used: usize,
+}
+
+impl Report {
+    /// `true` when the workspace is clean.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// The human-readable rendering printed to stdout.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for finding in &self.findings {
+            out.push_str(&finding.render());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "gossip-lint: {} finding(s) in {} file(s) scanned ({} pragma(s) in use)\n",
+            self.findings.len(),
+            self.files_scanned,
+            self.pragmas_used
+        ));
+        out
+    }
+
+    /// The `--json` rendering: a versioned object reusing the bench JSON
+    /// writer, byte-identical for identical findings.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("schema", Json::Str("gossip-lint/v1".to_string())),
+            ("files_scanned", Json::Int(self.files_scanned as i64)),
+            ("pragmas_used", Json::Int(self.pragmas_used as i64)),
+            ("clean", Json::Bool(self.clean())),
+            (
+                "findings",
+                Json::Array(self.findings.iter().map(Finding::to_json).collect()),
+            ),
+        ])
+    }
+}

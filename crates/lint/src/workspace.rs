@@ -1,0 +1,294 @@
+//! Deterministic workspace walker: finds every first-party `.rs` file,
+//! classifies it (test code / crate root / module path), and runs the rules.
+//!
+//! The analysis is two-pass: pass one lexes everything and collects
+//! `#[cfg(test)] mod name;` declarations so that *file* modules gated to
+//! tests (e.g. `crates/core/src/spanner_old.rs`) are exempted like inline
+//! `#[cfg(test)]` blocks; pass two classifies and analyses.  File order is
+//! sorted, so the report is byte-identical across runs and platforms.
+//!
+//! Collection ([`collect_sources`]) and analysis ([`analyze_sources`]) are
+//! separate so the test-suite can analyse *modified* in-memory sources —
+//! stripping a pragma or injecting a violation — and assert the workspace
+//! verdict flips, without touching the checkout.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Lexed};
+use crate::report::Report;
+use crate::rules::{analyze_file, test_regions, FileInput};
+
+/// Directories never descended into: build output, vendored third-party
+/// code (not ours to lint), VCS metadata, and the lint crate's own
+/// deliberately-violating test fixtures.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures"];
+
+/// Path components that mark everything beneath them as test code — unless
+/// the component is a crate directory itself (`crates/tests` is the
+/// integration-test *crate*, whose `src/lib.rs` is normal source).
+const TEST_DIRS: &[&str] = &["tests", "benches", "examples"];
+
+/// One source file queued for analysis.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (used in diagnostics and
+    /// for classification).
+    pub rel: String,
+    /// The file contents.
+    pub content: String,
+}
+
+/// Lints every first-party source file under `root` (the workspace root).
+pub fn run(root: &Path) -> io::Result<Report> {
+    Ok(analyze_sources(&collect_sources(root)?))
+}
+
+/// Collects every first-party `.rs` file under `root`, sorted by relative
+/// path.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut paths = Vec::new();
+    collect(root, &mut paths)?;
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|path| {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            Ok(SourceFile {
+                rel,
+                content: fs::read_to_string(&path)?,
+            })
+        })
+        .collect()
+}
+
+/// Runs the rules over an in-memory source set (see module docs).
+pub fn analyze_sources(files: &[SourceFile]) -> Report {
+    // Pass one: lex everything, collect `#[cfg(test)] mod name;` modules.
+    let mut lexed: Vec<Lexed> = Vec::new();
+    let mut test_files: BTreeSet<PathBuf> = BTreeSet::new();
+    for file in files {
+        let lx = lex(&file.content);
+        let (_, test_mods) = test_regions(&lx.tokens);
+        for name in &test_mods {
+            for candidate in test_mod_candidates(Path::new(&file.rel), name) {
+                test_files.insert(candidate);
+            }
+        }
+        lexed.push(lx);
+    }
+
+    // Pass two: classify and analyse.
+    let mut report = Report::default();
+    for (file, lx) in files.iter().zip(&lexed) {
+        let rel = Path::new(&file.rel);
+        let input = FileInput {
+            path: &file.rel,
+            module: &module_path(rel),
+            lexed: lx,
+            whole_file_test: is_test_path(rel) || test_files.contains(rel),
+            crate_root: is_crate_root(rel),
+        };
+        let analysis = analyze_file(&input);
+        report.findings.extend(analysis.findings);
+        report.pragmas_used += analysis.pragmas_used;
+        report.files_scanned += 1;
+    }
+    report.findings.sort();
+    report
+}
+
+/// Recursively collects `.rs` files, skipping [`SKIP_DIRS`] and hidden
+/// entries; sorted later for determinism.
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') {
+            continue;
+        }
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            collect(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Where a `#[cfg(test)] mod name;` declared in `declaring_file` may live.
+fn test_mod_candidates(declaring_file: &Path, name: &str) -> Vec<PathBuf> {
+    let dir = declaring_file.parent().unwrap_or(Path::new(""));
+    let stem = declaring_file
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let base = if matches!(stem.as_str(), "lib" | "main" | "mod") {
+        dir.to_path_buf()
+    } else {
+        dir.join(&stem)
+    };
+    vec![
+        base.join(format!("{name}.rs")),
+        base.join(name).join("mod.rs"),
+    ]
+}
+
+/// `true` when every token in the file is test code by *location*:
+/// integration tests, benches, and examples directories — but not the
+/// `crates/tests` crate directory itself.
+fn is_test_path(rel: &Path) -> bool {
+    let parts: Vec<String> = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    for (i, part) in parts.iter().enumerate() {
+        // The last component is the file name, not a directory.
+        if i + 1 == parts.len() {
+            break;
+        }
+        let under_crates = i > 0 && parts[i - 1] == "crates";
+        if TEST_DIRS.contains(&part.as_str()) && !under_crates {
+            return true;
+        }
+    }
+    false
+}
+
+/// `true` for files that are crate roots and must carry
+/// `#![forbid(unsafe_code)]`: `src/lib.rs`, `src/main.rs`, `src/bin/*.rs`.
+fn is_crate_root(rel: &Path) -> bool {
+    let parts: Vec<String> = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    let n = parts.len();
+    if n >= 2 && parts[n - 2] == "src" && matches!(parts[n - 1].as_str(), "lib.rs" | "main.rs") {
+        return true;
+    }
+    n >= 3 && parts[n - 3] == "src" && parts[n - 2] == "bin"
+}
+
+/// Best-effort Rust module path for diagnostics: `crates/core/src/dtg.rs`
+/// → `gossip_core::dtg`.  Every workspace crate is named `gossip-<dir>`,
+/// so the mapping needs no Cargo.toml parsing.
+fn module_path(rel: &Path) -> String {
+    let parts: Vec<String> = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    let stem = parts
+        .last()
+        .map(|p| p.trim_end_matches(".rs").to_string())
+        .unwrap_or_default();
+    if parts.len() >= 3 && parts[0] == "crates" && parts[2] == "src" {
+        let mut path = format!("gossip_{}", parts[1]);
+        for part in &parts[3..parts.len() - 1] {
+            if part == "bin" {
+                continue;
+            }
+            path.push_str("::");
+            path.push_str(part);
+        }
+        if !matches!(stem.as_str(), "lib" | "main" | "mod") {
+            path.push_str("::");
+            path.push_str(&stem);
+        }
+        return path;
+    }
+    stem
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_path_classification() {
+        assert!(is_test_path(Path::new("tests/determinism.rs")));
+        assert!(is_test_path(Path::new("examples/quickstart.rs")));
+        assert!(is_test_path(Path::new("crates/bench/benches/dtg.rs")));
+        assert!(is_test_path(Path::new("crates/graph/tests/props.rs")));
+        assert!(!is_test_path(Path::new("crates/tests/src/lib.rs")));
+        assert!(!is_test_path(Path::new("crates/core/src/dtg.rs")));
+    }
+
+    #[test]
+    fn crate_root_classification() {
+        assert!(is_crate_root(Path::new("crates/core/src/lib.rs")));
+        assert!(is_crate_root(Path::new(
+            "crates/bench/src/bin/experiments.rs"
+        )));
+        assert!(!is_crate_root(Path::new("crates/core/src/dtg.rs")));
+        assert!(!is_crate_root(Path::new("tests/determinism.rs")));
+    }
+
+    #[test]
+    fn module_paths() {
+        assert_eq!(
+            module_path(Path::new("crates/core/src/dtg.rs")),
+            "gossip_core::dtg"
+        );
+        assert_eq!(
+            module_path(Path::new("crates/core/src/lib.rs")),
+            "gossip_core"
+        );
+        assert_eq!(
+            module_path(Path::new("crates/graph/src/generators/random.rs")),
+            "gossip_graph::generators::random"
+        );
+        assert_eq!(
+            module_path(Path::new("crates/bench/src/bin/experiments.rs")),
+            "gossip_bench::experiments"
+        );
+        assert_eq!(
+            module_path(Path::new("tests/determinism.rs")),
+            "determinism"
+        );
+    }
+
+    #[test]
+    fn test_mod_candidates_resolve_siblings() {
+        let got = test_mod_candidates(Path::new("crates/core/src/lib.rs"), "spanner_old");
+        assert!(got.contains(&PathBuf::from("crates/core/src/spanner_old.rs")));
+    }
+
+    #[test]
+    fn cfg_test_file_module_is_exempt() {
+        let lib = SourceFile {
+            rel: "crates/demo/src/lib.rs".to_string(),
+            content: "//! Demo.\n#![forbid(unsafe_code)]\n#[cfg(test)]\nmod helpers;\n".to_string(),
+        };
+        let helpers = SourceFile {
+            rel: "crates/demo/src/helpers.rs".to_string(),
+            content: "use std::collections::HashMap;\npub fn f(m: &HashMap<u32, u32>) -> usize { m.len() }\n".to_string(),
+        };
+        let report = analyze_sources(&[lib.clone(), helpers.clone()]);
+        assert!(
+            report.clean(),
+            "cfg(test) file module should be exempt: {:?}",
+            report.findings
+        );
+
+        // Without the #[cfg(test)] gate the same module is linted.
+        let lib_ungated = SourceFile {
+            content: lib.content.replace("#[cfg(test)]\n", ""),
+            ..lib
+        };
+        let report = analyze_sources(&[lib_ungated, helpers]);
+        assert!(!report.clean(), "ungated module must be linted");
+    }
+}

@@ -1,0 +1,4 @@
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng(); // gossip-lint: allow(ambient-rng): fixture — interactive demo, output never recorded
+    rng.gen_range(0..6)
+}

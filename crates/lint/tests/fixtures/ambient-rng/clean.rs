@@ -1,0 +1,7 @@
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+pub fn roll(seed: u64) -> u64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    rng.gen_range(0..6)
+}

@@ -1,0 +1,6 @@
+use std::collections::BTreeSet;
+
+pub fn record(set: &mut BTreeSet<u32>, x: u32) {
+    // gossip-lint: allow(debug-assert-side-effect): fixture — scratch set rebuilt from scratch each call, both builds agree
+    debug_assert!(set.insert(x), "duplicate id");
+}

@@ -1,0 +1,7 @@
+use std::collections::BTreeSet;
+
+pub fn record(set: &mut BTreeSet<u32>, x: u32) {
+    let fresh = set.insert(x);
+    debug_assert!(fresh, "duplicate id");
+    debug_assert!(!set.is_empty());
+}

@@ -1,0 +1,5 @@
+use std::collections::BTreeSet;
+
+pub fn record(set: &mut BTreeSet<u32>, x: u32) {
+    debug_assert!(set.insert(x), "duplicate id");
+}

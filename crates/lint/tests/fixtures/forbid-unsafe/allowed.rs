@@ -1,0 +1,7 @@
+//! A crate root that opts out of the forbid with a written reason.
+
+// gossip-lint: allow(forbid-unsafe): fixture — FFI shim crate, unsafe audited separately
+
+pub fn answer() -> u32 {
+    42
+}

@@ -1,0 +1,7 @@
+//! A well-behaved crate root.
+
+#![forbid(unsafe_code)]
+
+pub fn answer() -> u32 {
+    42
+}

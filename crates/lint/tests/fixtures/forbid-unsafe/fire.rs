@@ -1,0 +1,5 @@
+//! A crate root that forgot to forbid unsafe code.
+
+pub fn answer() -> u32 {
+    42
+}

@@ -1,0 +1,5 @@
+use rayon::prelude::*;
+
+pub fn total(items: &[u64]) -> u64 {
+    items.par_iter().map(|x| x + 1).reduce(|| 0, |a, b| a + b) // gossip-lint: allow(par-order): fixture — addition is associative and commutative here
+}

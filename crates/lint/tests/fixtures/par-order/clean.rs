@@ -1,0 +1,12 @@
+use rayon::prelude::*;
+
+pub fn total(items: &[u64]) -> u64 {
+    // Collect in input order, then reduce sequentially: deterministic for
+    // any thread count.  Sequential folds inside the mapped closures are
+    // fine too — only the parallel chain itself is order-sensitive.
+    let mapped: Vec<u64> = items
+        .par_iter()
+        .map(|x| (0..4u64).fold(*x, |a, b| a + b))
+        .collect::<Vec<u64>>();
+    mapped.iter().sum()
+}

@@ -1,0 +1,11 @@
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+
+pub fn total(items: &[u64]) -> u64 {
+    items.par_iter().map(|x| x + 1).reduce(|| 0, |a, b| a + b)
+}
+
+pub fn index(items: &[(u64, u64)]) -> usize {
+    let m = items.par_iter().map(|&(k, v)| (k, v)).collect::<HashMap<u64, u64>>();
+    m.len()
+}

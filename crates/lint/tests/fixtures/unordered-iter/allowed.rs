@@ -1,0 +1,8 @@
+use std::collections::HashMap;
+
+// gossip-lint: allow(unordered-iter): fixture — order is sorted before it escapes
+pub fn observable_order(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut out: Vec<u32> = m.values().copied().collect(); // gossip-lint: allow(unordered-iter): fixture — sorted on the next line
+    out.sort_unstable();
+    out
+}

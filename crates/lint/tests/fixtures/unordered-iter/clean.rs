@@ -1,0 +1,5 @@
+use std::collections::BTreeMap;
+
+pub fn observable_order(m: &BTreeMap<u32, u32>) -> Vec<u32> {
+    m.values().copied().collect()
+}

@@ -1,0 +1,5 @@
+use std::collections::HashMap;
+
+pub fn observable_order(m: &HashMap<u32, u32>) -> Vec<u32> {
+    m.values().copied().collect()
+}

@@ -1,0 +1,4 @@
+pub fn elapsed_ms() -> u128 {
+    let started = std::time::Instant::now(); // gossip-lint: allow(wall-clock): fixture — timing sidecar, never part of a report
+    started.elapsed().as_millis()
+}

@@ -1,0 +1,3 @@
+pub fn elapsed_rounds(start_round: u64, now_round: u64) -> u64 {
+    now_round.saturating_sub(start_round)
+}

@@ -1,0 +1,4 @@
+pub fn elapsed_ms() -> u128 {
+    let started = std::time::Instant::now();
+    started.elapsed().as_millis()
+}

@@ -1,0 +1,155 @@
+//! The ui-fixture suite: per rule, one fixture that fires, one that is
+//! clean, and one whose findings are suppressed by reasoned pragmas — plus
+//! proof that stripping the pragmas makes the findings come back, so every
+//! allowlist entry is load-bearing.
+
+use gossip_lint::analyze_source;
+
+/// (rule name, does the fixture need crate-root classification).
+const RULES: &[(&str, bool)] = &[
+    ("unordered-iter", false),
+    ("wall-clock", false),
+    ("ambient-rng", false),
+    ("par-order", false),
+    ("debug-assert-side-effect", false),
+    ("forbid-unsafe", true),
+];
+
+fn fixture(rule: &str, kind: &str) -> String {
+    let path = format!(
+        "{}/tests/fixtures/{rule}/{kind}.rs",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+}
+
+fn analyze(rule: &str, kind: &str, content: &str, crate_root: bool) -> gossip_lint::FileAnalysis {
+    analyze_source(
+        &format!("fixtures/{rule}/{kind}.rs"),
+        "fixture",
+        content,
+        false,
+        crate_root,
+    )
+}
+
+#[test]
+fn fire_fixtures_fire() {
+    for &(rule, crate_root) in RULES {
+        let analysis = analyze(rule, "fire", &fixture(rule, "fire"), crate_root);
+        assert!(
+            analysis.findings.iter().any(|f| f.rule == rule),
+            "{rule}/fire.rs must produce at least one {rule} finding, got: {:?}",
+            analysis.findings
+        );
+    }
+}
+
+#[test]
+fn clean_fixtures_are_clean() {
+    for &(rule, crate_root) in RULES {
+        let analysis = analyze(rule, "clean", &fixture(rule, "clean"), crate_root);
+        assert!(
+            analysis.findings.is_empty(),
+            "{rule}/clean.rs must be clean, got: {:?}",
+            analysis.findings
+        );
+    }
+}
+
+#[test]
+fn allowed_fixtures_are_suppressed_and_pragmas_are_load_bearing() {
+    for &(rule, crate_root) in RULES {
+        let content = fixture(rule, "allowed");
+        let analysis = analyze(rule, "allowed", &content, crate_root);
+        assert!(
+            analysis.findings.is_empty(),
+            "{rule}/allowed.rs must be fully suppressed, got: {:?}",
+            analysis.findings
+        );
+        assert!(
+            analysis.pragmas_used >= 1,
+            "{rule}/allowed.rs must use at least one pragma"
+        );
+
+        // Strip the pragmas (the marker no longer anchors) and the findings
+        // must come back: every pragma in the fixture is load-bearing.
+        let stripped = content.replace("gossip-lint:", "gossip-lint-stripped:");
+        let analysis = analyze(rule, "allowed", &stripped, crate_root);
+        assert!(
+            analysis.findings.iter().any(|f| f.rule == rule),
+            "stripping pragmas from {rule}/allowed.rs must resurface a {rule} finding, got: {:?}",
+            analysis.findings
+        );
+    }
+}
+
+#[test]
+fn pragma_hygiene_is_enforced() {
+    // Unknown rule.
+    let analysis = analyze_source(
+        "hygiene.rs",
+        "fixture",
+        "// gossip-lint: allow(no-such-rule): reason\npub fn f() {}\n",
+        false,
+        false,
+    );
+    assert!(
+        analysis
+            .findings
+            .iter()
+            .any(|f| f.rule == "pragma" && f.message.contains("unknown rule")),
+        "unknown rule must be reported: {:?}",
+        analysis.findings
+    );
+
+    // Missing reason on a pragma that would otherwise suppress a finding.
+    let analysis = analyze_source(
+        "hygiene.rs",
+        "fixture",
+        "pub fn f() {\n    let t = std::time::Instant::now(); // gossip-lint: allow(wall-clock)\n}\n",
+        false,
+        false,
+    );
+    assert!(
+        analysis
+            .findings
+            .iter()
+            .any(|f| f.rule == "pragma" && f.message.contains("missing its mandatory reason")),
+        "missing reason must be reported: {:?}",
+        analysis.findings
+    );
+    assert!(
+        analysis.findings.iter().any(|f| f.rule == "wall-clock"),
+        "a reasonless pragma must not suppress: {:?}",
+        analysis.findings
+    );
+
+    // A well-formed pragma that suppresses nothing is itself a finding.
+    let analysis = analyze_source(
+        "hygiene.rs",
+        "fixture",
+        "// gossip-lint: allow(wall-clock): but nothing here reads a clock\npub fn f() {}\n",
+        false,
+        false,
+    );
+    assert!(
+        analysis
+            .findings
+            .iter()
+            .any(|f| f.rule == "pragma" && f.message.contains("unused pragma")),
+        "unused pragma must be reported: {:?}",
+        analysis.findings
+    );
+}
+
+#[test]
+fn test_code_is_exempt_from_behavior_rules() {
+    let content = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    #[test]\n    fn t() {\n        let m: HashMap<u32, u32> = HashMap::new();\n        for (k, v) in &m {\n            let _ = (k, v);\n        }\n    }\n}\n";
+    let analysis = analyze_source("exempt.rs", "fixture", content, false, false);
+    assert!(
+        analysis.findings.is_empty(),
+        "cfg(test) items must be exempt, got: {:?}",
+        analysis.findings
+    );
+}

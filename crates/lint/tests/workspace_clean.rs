@@ -1,0 +1,119 @@
+//! The meta-tests behind the CI gate: the workspace is lint-clean, every
+//! pragma in the tree suppresses a real finding (deleting any one flips the
+//! verdict), and injecting any fire-fixture violation flips it too.
+
+use std::path::Path;
+
+use gossip_lint::{analyze_sources, collect_sources, SourceFile};
+
+fn workspace_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let files = collect_sources(workspace_root()).expect("walking the workspace");
+    assert!(
+        files.len() > 50,
+        "suspiciously few files collected ({}) — walker broke?",
+        files.len()
+    );
+    let report = analyze_sources(&files);
+    assert!(
+        report.clean(),
+        "workspace must be lint-clean:\n{}",
+        report.render_text()
+    );
+    assert!(
+        report.pragmas_used > 0,
+        "the audit pragmas must be visible to the walker"
+    );
+}
+
+#[test]
+fn every_workspace_pragma_is_load_bearing() {
+    let files = collect_sources(workspace_root()).expect("walking the workspace");
+    let marker = "gossip-lint:";
+
+    // Mirror the lexer's anchoring: a pragma is a `//` comment whose body
+    // starts with the marker.  Doc comments that merely *mention* the
+    // syntax (their body starts with `!` or `/`) are not pragmas.
+    // Only the *first* `//` starts a comment; a second `//` inside the
+    // comment text (as in the lexer's own docs) is just prose, and a `//`
+    // preceded by an odd number of quotes is inside a string literal (as in
+    // the lexer's own unit tests).
+    let is_pragma_line = |line: &str| {
+        line.find("//").is_some_and(|at| {
+            line[..at].matches('"').count().is_multiple_of(2)
+                && line[at + 2..].trim_start().starts_with(marker)
+        })
+    };
+    let mut pragma_sites = Vec::new();
+    for (fi, file) in files.iter().enumerate() {
+        for (li, line) in file.content.lines().enumerate() {
+            if is_pragma_line(line) {
+                pragma_sites.push((fi, li));
+            }
+        }
+    }
+    assert!(
+        !pragma_sites.is_empty(),
+        "expected audit pragmas in the workspace"
+    );
+
+    for &(fi, li) in &pragma_sites {
+        let mut mutated: Vec<SourceFile> = files.clone();
+        let stripped: String = mutated[fi]
+            .content
+            .lines()
+            .enumerate()
+            .map(|(i, line)| {
+                if i == li {
+                    line.replace(marker, "gossip-lint-stripped:")
+                } else {
+                    line.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        mutated[fi].content = stripped;
+        let report = analyze_sources(&mutated);
+        assert!(
+            !report.clean(),
+            "deleting the pragma at {}:{} must make the workspace fail the lint",
+            files[fi].rel,
+            li + 1
+        );
+    }
+}
+
+#[test]
+fn injecting_any_fire_fixture_fails_the_workspace() {
+    let files = collect_sources(workspace_root()).expect("walking the workspace");
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut injected_any = false;
+    for rule in [
+        "unordered-iter",
+        "wall-clock",
+        "ambient-rng",
+        "par-order",
+        "debug-assert-side-effect",
+        "forbid-unsafe",
+    ] {
+        let content = std::fs::read_to_string(fixtures.join(rule).join("fire.rs"))
+            .expect("reading fire fixture");
+        let mut mutated = files.clone();
+        mutated.push(SourceFile {
+            // A crate-root path, so forbid-unsafe applies to its fixture too.
+            rel: format!("crates/injected/src/{}.rs", "main"),
+            content,
+        });
+        let report = analyze_sources(&mutated);
+        assert!(
+            !report.clean(),
+            "injecting {rule}/fire.rs must make the workspace fail the lint"
+        );
+        injected_any = true;
+    }
+    assert!(injected_any);
+}

@@ -1,7 +1,7 @@
 //! The guessing-game gadgets and worst-case networks of Section 3
 //! (Figures 1 and 2 of the paper).
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use gossip_graph::{Graph, GraphBuilder, GraphError, Latency, NodeId};
 use rand::Rng;
@@ -21,7 +21,7 @@ pub struct GadgetNetwork {
     /// Node ids of the right side `R` (index `j` ↔ game element `b_j`).
     pub right: Vec<NodeId>,
     /// The hidden target set: the cross pairs whose edge is *fast* (latency `lo`).
-    pub target: HashSet<Pair>,
+    pub target: BTreeSet<Pair>,
     /// Latency of fast cross edges.
     pub lo: Latency,
     /// Latency of slow cross edges.
@@ -91,7 +91,7 @@ pub fn gadget_with_target(
     m: usize,
     lo: Latency,
     hi: Latency,
-    target: HashSet<Pair>,
+    target: BTreeSet<Pair>,
     symmetric: bool,
 ) -> Result<GadgetNetwork, GraphError> {
     if m < 2 {
@@ -116,7 +116,7 @@ fn build_gadget(
     m: usize,
     lo: Latency,
     hi: Latency,
-    target: HashSet<Pair>,
+    target: BTreeSet<Pair>,
     symmetric: bool,
 ) -> Result<GadgetNetwork, GraphError> {
     let mut b = GraphBuilder::new(2 * m);
@@ -402,7 +402,7 @@ mod tests {
 
     #[test]
     fn cross_pair_mapping_is_symmetric() {
-        let target: HashSet<Pair> = [(1, 2)].into_iter().collect();
+        let target: BTreeSet<Pair> = [(1, 2)].into_iter().collect();
         let g = gadget_with_target(4, 1, 9, target, false).unwrap();
         assert_eq!(
             g.cross_pair(NodeId::new(1), NodeId::new(4 + 2)),

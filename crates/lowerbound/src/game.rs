@@ -1,6 +1,6 @@
 //! The guessing game `Guessing(2m, P)` (Section 3.1 of the paper).
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use rand::Rng;
 
@@ -18,7 +18,7 @@ pub type Pair = (usize, usize);
 #[derive(Debug, Clone)]
 pub struct GuessingGame {
     m: usize,
-    target: HashSet<Pair>,
+    target: BTreeSet<Pair>,
     initial_target_size: usize,
     rounds: u64,
     guesses: u64,
@@ -43,7 +43,7 @@ impl GuessingGame {
     /// # Panics
     ///
     /// Panics if any pair is out of range.
-    pub fn with_target(m: usize, target: HashSet<Pair>) -> Self {
+    pub fn with_target(m: usize, target: BTreeSet<Pair>) -> Self {
         for &(a, b) in &target {
             assert!(
                 a < m && b < m,
@@ -121,7 +121,7 @@ impl GuessingGame {
             .filter(|p| self.target.contains(p))
             .collect();
         if !hits.is_empty() {
-            let hit_b: HashSet<usize> = hits.iter().map(|&(_, b)| b).collect();
+            let hit_b: BTreeSet<usize> = hits.iter().map(|&(_, b)| b).collect();
             self.target.retain(|&(_, b)| !hit_b.contains(&b));
         }
         hits
@@ -136,7 +136,7 @@ mod tests {
 
     #[test]
     fn explicit_target_and_basic_flow() {
-        let target: HashSet<Pair> = [(0, 1), (2, 1), (3, 4)].into_iter().collect();
+        let target: BTreeSet<Pair> = [(0, 1), (2, 1), (3, 4)].into_iter().collect();
         let mut game = GuessingGame::with_target(8, target);
         assert_eq!(game.initial_target_size(), 3);
         assert!(!game.is_solved());
@@ -160,7 +160,7 @@ mod tests {
 
     #[test]
     fn removal_rule_only_applies_to_hit_b_components() {
-        let target: HashSet<Pair> = [(0, 0), (1, 1)].into_iter().collect();
+        let target: BTreeSet<Pair> = [(0, 0), (1, 1)].into_iter().collect();
         let mut game = GuessingGame::with_target(4, target);
         game.submit(&[(0, 0)]);
         assert_eq!(game.remaining_target_size(), 1);
@@ -191,7 +191,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at most 2m")]
     fn too_many_guesses_rejected() {
-        let mut game = GuessingGame::with_target(2, HashSet::new());
+        let mut game = GuessingGame::with_target(2, BTreeSet::new());
         let guesses: Vec<Pair> = (0..5).map(|i| (i % 2, i % 2)).collect();
         game.submit(&guesses);
     }
@@ -199,7 +199,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn out_of_range_guess_rejected() {
-        let mut game = GuessingGame::with_target(2, HashSet::new());
+        let mut game = GuessingGame::with_target(2, BTreeSet::new());
         game.submit(&[(0, 7)]);
     }
 

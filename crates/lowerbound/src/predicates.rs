@@ -1,6 +1,6 @@
 //! Target-set predicates for the guessing game.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use rand::Rng;
 
@@ -26,7 +26,7 @@ impl TargetPredicate {
     /// # Panics
     ///
     /// Panics if `m == 0` or, for [`TargetPredicate::Random`], if `p` is not in `[0, 1]`.
-    pub fn sample<R: Rng + ?Sized>(&self, m: usize, rng: &mut R) -> HashSet<Pair> {
+    pub fn sample<R: Rng + ?Sized>(&self, m: usize, rng: &mut R) -> BTreeSet<Pair> {
         assert!(m > 0, "the guessing game needs m >= 1");
         match *self {
             TargetPredicate::Singleton => {
@@ -36,7 +36,7 @@ impl TargetPredicate {
             }
             TargetPredicate::Random { p } => {
                 assert!((0.0..=1.0).contains(&p), "probability p must lie in [0, 1]");
-                let mut set = HashSet::new();
+                let mut set = BTreeSet::new();
                 for a in 0..m {
                     for b in 0..m {
                         if rng.gen_bool(p) {

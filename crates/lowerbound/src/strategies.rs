@@ -1,6 +1,6 @@
 //! Alice strategies for the guessing game and a driver that plays them.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use rand::Rng;
 
@@ -53,8 +53,8 @@ impl AliceStrategy for RandomGuessing {
 /// `Random_p` targets — a `log m` factor better than random guessing.
 #[derive(Debug, Clone, Default)]
 pub struct FreshGreedy {
-    covered_b: HashSet<usize>,
-    tried: HashSet<Pair>,
+    covered_b: BTreeSet<usize>,
+    tried: BTreeSet<Pair>,
 }
 
 impl AliceStrategy for FreshGreedy {

@@ -250,6 +250,7 @@ pub(crate) enum OracleSource<'a> {
         node: NodeId,
         discovered: &'a DiscoveredLatencies,
     },
+    // gossip-lint: allow(unordered-iter): read via `map.get(&edge)` per query only, never iterated
     Map(&'a HashMap<EdgeId, Latency>),
 }
 

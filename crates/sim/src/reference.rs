@@ -96,6 +96,7 @@ impl<'g> ReferenceSimulation<'g> {
         let n = self.graph.node_count();
         let mut rng = SmallRng::seed_from_u64(self.config.seed);
         let mut in_flight: Vec<InFlight> = Vec::new();
+        // gossip-lint: allow(unordered-iter): frozen reference engine; keyed inserts and `get` only, never iterated
         let mut discovered: Vec<HashMap<EdgeId, Latency>> = vec![HashMap::new(); n];
         let mut pending_own = vec![0usize; n];
         let mut activations: u64 = 0;

@@ -1,0 +1,120 @@
+//! Regression pins for the gossip-lint determinism audit (PR 7).
+//!
+//! The audit converted the lower-bound machinery's `HashSet`s to `BTreeSet`
+//! (target sets are iterated when wiring gadget cross edges and when
+//! checking game progress) and the sweep topology cache to ordered
+//! containers.  No *live* observable-ordering bug existed at audit time —
+//! PR 1 fixed the known spanner one — but the hash types made that an
+//! accident of the current call sites.  These tests pin the invariant the
+//! conversion guarantees: results are byte-identical for **any permutation
+//! of insertion order**, so a future call site that feeds these structures
+//! in a different order cannot re-introduce the PR 1 bug class.
+
+use std::collections::BTreeSet;
+
+use gossip_lowerbound::gadgets::gadget_with_target;
+use gossip_lowerbound::game::{GuessingGame, Pair};
+use gossip_lowerbound::reduction::push_pull_reduction;
+
+/// The target pairs used throughout, in a fixed canonical order.
+fn target_pairs() -> Vec<Pair> {
+    vec![
+        (0, 3),
+        (1, 1),
+        (2, 0),
+        (3, 2),
+        (4, 4),
+        (5, 0),
+        (6, 6),
+        (7, 5),
+    ]
+}
+
+/// A deterministic permutation of `pairs` (reversed, then rotated) — a
+/// different *insertion order* for the same set.
+fn permuted(pairs: &[Pair]) -> Vec<Pair> {
+    let mut p: Vec<Pair> = pairs.iter().rev().copied().collect();
+    p.rotate_left(3);
+    p
+}
+
+#[test]
+fn gadget_is_identical_across_target_insertion_orders() {
+    let canonical = target_pairs();
+    let shuffled = permuted(&canonical);
+    assert_ne!(canonical, shuffled, "permutation must differ");
+
+    let a = gadget_with_target(8, 1, 100, canonical.into_iter().collect(), false)
+        .expect("canonical gadget");
+    let b = gadget_with_target(8, 1, 100, shuffled.into_iter().collect(), false)
+        .expect("permuted gadget");
+
+    // The graph (node count, edge list *in order*, latencies) must be
+    // byte-identical, not merely isomorphic: the edge list order feeds the
+    // simulation schedule.
+    assert_eq!(a.graph, b.graph);
+    assert_eq!(a.target, b.target);
+
+    let edges_a: Vec<_> = a.graph.edges().collect();
+    let edges_b: Vec<_> = b.graph.edges().collect();
+    assert_eq!(edges_a, edges_b);
+}
+
+#[test]
+fn reduction_transcript_is_identical_across_target_insertion_orders() {
+    let canonical = target_pairs();
+    let shuffled = permuted(&canonical);
+
+    let a = gadget_with_target(8, 1, 100, canonical.into_iter().collect(), false)
+        .expect("canonical gadget");
+    let b = gadget_with_target(8, 1, 100, shuffled.into_iter().collect(), false)
+        .expect("permuted gadget");
+
+    for seed in [1u64, 7, 42] {
+        let out_a = push_pull_reduction(&a, seed);
+        let out_b = push_pull_reduction(&b, seed);
+        assert_eq!(
+            out_a, out_b,
+            "reduction outcome diverged across insertion orders at seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn guessing_game_progress_is_identical_across_target_insertion_orders() {
+    let canonical = target_pairs();
+    let shuffled = permuted(&canonical);
+
+    let mut game_a = GuessingGame::with_target(8, canonical.iter().copied().collect());
+    let mut game_b = GuessingGame::with_target(8, shuffled.iter().copied().collect());
+
+    // Submit the same guess batches; the per-round hit bookkeeping iterates
+    // the target set, so its order must not depend on insertion order.
+    let batches: Vec<Vec<Pair>> = vec![
+        vec![(0, 3), (7, 7)],
+        vec![(1, 1), (2, 0), (2, 1)],
+        vec![(3, 2), (4, 4), (5, 0)],
+        vec![(6, 6), (7, 5)],
+    ];
+    for batch in &batches {
+        let hits_a = game_a.submit(batch);
+        let hits_b = game_b.submit(batch);
+        assert_eq!(hits_a, hits_b, "per-round hit lists must be identical");
+        assert_eq!(game_a.is_solved(), game_b.is_solved());
+        assert_eq!(
+            game_a.remaining_target_size(),
+            game_b.remaining_target_size()
+        );
+    }
+    assert!(game_a.is_solved(), "all target pairs were guessed");
+}
+
+#[test]
+fn btreeset_target_iteration_order_is_sorted() {
+    // The property the audit's type conversion rests on, stated directly.
+    let set: BTreeSet<Pair> = permuted(&target_pairs()).into_iter().collect();
+    let iterated: Vec<Pair> = set.iter().copied().collect();
+    let mut sorted = target_pairs();
+    sorted.sort_unstable();
+    assert_eq!(iterated, sorted);
+}

@@ -56,6 +56,7 @@ impl Protocol for RrBroadcast {
         "rr-broadcast"
     }
 
+    // gossip-lint: allow(panic-path): cursor wraps modulo the nonzero degree; deg == 0 returns before any index
     fn on_round(&mut self, view: &NodeView<'_>, _rng: &mut SmallRng) -> Option<NodeId> {
         let i = view.node.index();
         if self.out[i].is_empty() {
@@ -66,6 +67,7 @@ impl Protocol for RrBroadcast {
         Some(self.out[i][pick])
     }
 
+    // gossip-audit: contract(pure)
     fn activity(&self, view: &NodeView<'_>) -> Activity {
         // The out-list is fixed at construction, so a node without spanner
         // out-edges of latency ≤ k never initiates: retire it outright.  (It

@@ -61,6 +61,7 @@ impl Cut {
 
     /// Returns `true` if node `v` is on the `U` side of the cut.
     #[inline]
+    // gossip-lint: allow(panic-path): membership bitmap is sized n at construction; node ids are dense
     pub fn contains(&self, v: NodeId) -> bool {
         self.membership[v.index()]
     }

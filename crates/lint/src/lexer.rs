@@ -69,8 +69,37 @@ impl Pragma {
     }
 }
 
-/// The result of lexing one file: its token stream plus the pragmas found in
-/// the stripped comments.
+/// A contract annotation: `// gossip-audit: contract(<kind>)`.
+///
+/// Contracts declare a property the interprocedural rules must *verify*
+/// (currently only `pure`), as opposed to pragmas, which *suppress*.
+#[derive(Debug, Clone)]
+pub struct Contract {
+    /// The kind inside `contract(...)` (empty when malformed).
+    pub kind: String,
+    /// 1-based line the contract comment starts on.
+    pub line: u32,
+    /// `true` if no code token precedes the contract on its line.
+    pub own_line: bool,
+}
+
+impl Contract {
+    /// The 1-based line of the item this contract annotates (the next line
+    /// carrying a token for an own-line contract, its own line otherwise).
+    pub fn target_line(&self, tokens: &[Token]) -> u32 {
+        if !self.own_line {
+            return self.line;
+        }
+        tokens
+            .iter()
+            .map(|t| t.line)
+            .find(|&l| l > self.line)
+            .unwrap_or(self.line)
+    }
+}
+
+/// The result of lexing one file: its token stream plus the pragmas and
+/// contract annotations found in the stripped comments.
 #[derive(Debug, Default)]
 pub struct Lexed {
     /// All tokens in source order.
@@ -78,6 +107,8 @@ pub struct Lexed {
     /// All pragmas in source order (well-formed or not; validation is the
     /// analyzer's job).
     pub pragmas: Vec<Pragma>,
+    /// All contract annotations in source order (well-formed or not).
+    pub contracts: Vec<Contract>,
 }
 
 /// Multi-character operators merged into single punct tokens, longest first.
@@ -89,7 +120,11 @@ const OPERATORS: &[&str] = &[
 /// Marker that introduces a pragma inside a `//` comment.
 const PRAGMA_MARKER: &str = "gossip-lint:";
 
-/// Lexes `source`, stripping comments and literals and collecting pragmas.
+/// Marker that introduces a contract annotation inside a `//` comment.
+const CONTRACT_MARKER: &str = "gossip-audit:";
+
+/// Lexes `source`, stripping comments and literals and collecting pragmas
+/// and contract annotations.
 pub fn lex(source: &str) -> Lexed {
     let bytes = source.as_bytes();
     let mut out = Lexed::default();
@@ -98,6 +133,14 @@ pub fn lex(source: &str) -> Lexed {
     // Line number of the most recently emitted token, to classify pragmas as
     // trailing (code before them on the line) or own-line.
     let mut last_token_line: u32 = 0;
+
+    // A shebang (`#!/usr/bin/env ...`) is only special on the very first
+    // line, and only when it is not the start of an inner attribute `#![`.
+    if bytes.starts_with(b"#!") && bytes.get(2) != Some(&b'[') {
+        while i < bytes.len() && bytes[i] != b'\n' {
+            i += 1;
+        }
+    }
 
     while i < bytes.len() {
         let b = bytes[i];
@@ -116,6 +159,9 @@ pub fn lex(source: &str) -> Lexed {
                 let text = &source[start..end];
                 if let Some(pragma) = parse_pragma(text, line, last_token_line == line) {
                     out.pragmas.push(pragma);
+                }
+                if let Some(contract) = parse_contract(text, line, last_token_line == line) {
+                    out.contracts.push(contract);
                 }
                 i = end;
             }
@@ -146,6 +192,24 @@ pub fn lex(source: &str) -> Lexed {
                     kind: TokKind::Lit,
                 });
                 last_token_line = line;
+            }
+            // `r#type` is a raw *identifier*, not a raw string: exactly one
+            // `#` followed by an identifier start (a raw string needs `"`).
+            b'r' if bytes.get(i + 1) == Some(&b'#')
+                && bytes.get(i + 2).is_some_and(|&b| is_ident_start(b)) =>
+            {
+                let start = i + 2;
+                let mut end = start;
+                while end < bytes.len() && is_ident_byte(bytes[end]) {
+                    end += 1;
+                }
+                out.tokens.push(Token {
+                    text: source[start..end].to_string(),
+                    line,
+                    kind: TokKind::Ident,
+                });
+                last_token_line = line;
+                i = end;
             }
             b'r' | b'b' if starts_raw_or_byte_literal(bytes, i) => {
                 let tok_line = line;
@@ -272,6 +336,28 @@ fn parse_pragma(comment: &str, line: u32, trailing: bool) -> Option<Pragma> {
     })
 }
 
+/// Parses a contract annotation out of one `//` comment body, if the
+/// comment starts with the [`CONTRACT_MARKER`].  Malformed contracts
+/// (anything other than `contract(<kind>)`) are returned with an empty
+/// kind so the analyzer reports them instead of silently dropping a typo
+/// that would otherwise disable a verification.
+fn parse_contract(comment: &str, line: u32, trailing: bool) -> Option<Contract> {
+    let rest = comment
+        .trim_start()
+        .strip_prefix(CONTRACT_MARKER)?
+        .trim_start();
+    let kind = rest
+        .strip_prefix("contract(")
+        .and_then(|after| after.find(')').map(|close| after[..close].trim()))
+        .unwrap_or("")
+        .to_string();
+    Some(Contract {
+        kind,
+        line,
+        own_line: !trailing,
+    })
+}
+
 fn is_ident_start(b: u8) -> bool {
     b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
 }
@@ -285,7 +371,14 @@ fn skip_string(bytes: &[u8], i: usize, line: &mut u32) -> usize {
     let mut j = i + 1;
     while j < bytes.len() {
         match bytes[j] {
-            b'\\' => j += 2,
+            b'\\' => {
+                // The escaped byte may itself be a newline (a line
+                // continuation) — it still advances the line counter.
+                if bytes.get(j + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                j += 2;
+            }
             b'\n' => {
                 *line += 1;
                 j += 1;
@@ -341,13 +434,24 @@ fn skip_raw_or_byte_literal(bytes: &[u8], i: usize, line: &mut u32) -> usize {
 }
 
 /// Is the `'` at `i` a char literal (vs a lifetime)?
+///
+/// A char literal is the quote, exactly one character (one to four UTF-8
+/// bytes, or an escape), and a closing quote.  Anything else — including
+/// `'a` in `<'a, 'b>`, where a closing quote merely appears *nearby* — is a
+/// lifetime.
 fn is_char_literal(bytes: &[u8], i: usize) -> bool {
     match bytes.get(i + 1) {
         Some(b'\\') => true,
-        Some(_) => {
-            // `'x'` is a char; `'a` followed by anything else is a lifetime.
-            // Multi-byte chars: find the next `'` within a few bytes.
-            bytes[i + 1..].iter().take(5).any(|&b| b == b'\'')
+        Some(&first) => {
+            // One UTF-8 character: its byte length is determined by the
+            // leading byte.
+            let len = match first {
+                0x00..=0x7f => 1,
+                0xc0..=0xdf => 2,
+                0xe0..=0xef => 3,
+                _ => 4,
+            };
+            bytes.get(i + 1 + len) == Some(&b'\'')
         }
         None => false,
     }
@@ -458,8 +562,86 @@ mod tests {
     }
 
     #[test]
+    fn raw_identifiers_lex_as_identifiers() {
+        let toks = lex("let r#type = r#match + 1;");
+        let ids = idents("let r#type = r#match + 1;");
+        assert_eq!(ids, vec!["let", "type", "match"]);
+        assert!(toks.tokens.iter().all(|t| t.kind != TokKind::Lit));
+        // A raw *string* still lexes as a literal.
+        let toks = lex(r##"let s = r#"text"#;"##);
+        assert_eq!(
+            toks.tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Lit)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars_are_literals() {
+        let toks = lex(r##"let a = b"bytes"; let c = b'x'; let r = br#"raw"#;"##);
+        assert_eq!(
+            toks.tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Lit)
+                .count(),
+            3
+        );
+        // `b` and `r` as ordinary identifiers are unaffected.
+        assert_eq!(idents("let b = r + 1;"), vec!["let", "b", "r"]);
+    }
+
+    #[test]
+    fn shebang_is_skipped_but_inner_attribute_is_not() {
+        let lexed = lex("#!/usr/bin/env run-cargo-script\nfn main() {}\n");
+        assert_eq!(lexed.tokens[0].text, "fn");
+        assert_eq!(lexed.tokens[0].line, 2);
+        let lexed = lex("#![forbid(unsafe_code)]\n");
+        assert_eq!(lexed.tokens[0].text, "#");
+    }
+
+    #[test]
+    fn adjacent_lifetimes_are_not_a_char_literal() {
+        let toks = lex("fn f<'a, 'b>(x: &'a u32, y: &'b u32) {}");
+        let lifetimes: Vec<&str> = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "b", "a", "b"]);
+        assert!(toks.tokens.iter().all(|t| t.kind != TokKind::Lit));
+    }
+
+    #[test]
+    fn contracts_are_collected_with_position() {
+        let src =
+            "// gossip-audit: contract(pure)\nfn activity() {}\n// gossip-audit: contract(???)\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.contracts.len(), 2);
+        assert_eq!(lexed.contracts[0].kind, "pure");
+        assert!(lexed.contracts[0].own_line);
+        assert_eq!(lexed.contracts[0].target_line(&lexed.tokens), 2);
+        assert_eq!(lexed.contracts[1].kind, "???");
+        // Doc prose mentioning the syntax is not a contract.
+        let lexed = lex("/// the `// gossip-audit: contract(pure)` syntax\nfn f() {}\n");
+        assert!(lexed.contracts.is_empty());
+    }
+
+    #[test]
     fn line_numbers_survive_multiline_literals() {
         let src = "let s = \"a\nb\nc\";\nlet x = HashMap::new();\n";
+        let lexed = lex(src);
+        let map = lexed.tokens.iter().find(|t| t.text == "HashMap").unwrap();
+        assert_eq!(map.line, 4);
+    }
+
+    #[test]
+    fn line_numbers_survive_string_continuations() {
+        // A `\` immediately before the newline escapes it (a line
+        // continuation) — the newline must still count toward line numbers.
+        let src = "let s = \"a \\\n  b \\\n  c\";\nlet x = HashMap::new();\n";
         let lexed = lex(src);
         let map = lexed.tokens.iter().find(|t| t.text == "HashMap").unwrap();
         assert_eq!(map.line, 4);

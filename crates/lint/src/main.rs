@@ -2,19 +2,27 @@
 //! exits non-zero when any finding survives the pragma allowlist.
 //!
 //! ```text
-//! gossip-lint [--root <dir>] [--json] [--out <file>]
+//! gossip-lint [--root <dir>] [--json] [--out <file>] [--suppressions]
 //! ```
 //!
-//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+//! `--suppressions` prints the pragma/contract inventory instead of the
+//! findings and fails when any suppression is unused or dangling — the CI
+//! gate that keeps every allowlist entry load-bearing.
+//!
+//! Exit codes: `0` clean, `1` findings (or unused suppressions), `2` usage
+//! or I/O error.
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+const USAGE: &str = "usage: gossip-lint [--root <dir>] [--json] [--out <file>] [--suppressions]";
+
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut json = false;
+    let mut suppressions = false;
     let mut out: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
@@ -25,12 +33,13 @@ fn main() -> ExitCode {
                 None => return usage("--root needs a directory"),
             },
             "--json" => json = true,
+            "--suppressions" => suppressions = true,
             "--out" => match args.next() {
                 Some(path) => out = Some(PathBuf::from(path)),
                 None => return usage("--out needs a file path"),
             },
             "--help" | "-h" => {
-                println!("usage: gossip-lint [--root <dir>] [--json] [--out <file>]");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument '{other}'")),
@@ -44,6 +53,15 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if suppressions {
+        print!("{}", report.render_suppressions());
+        return if report.suppressions_clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
 
     let rendered = if json {
         let mut s = report.to_json().to_pretty();
@@ -75,6 +93,6 @@ fn main() -> ExitCode {
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("gossip-lint: {msg}");
-    eprintln!("usage: gossip-lint [--root <dir>] [--json] [--out <file>]");
+    eprintln!("{USAGE}");
     ExitCode::from(2)
 }

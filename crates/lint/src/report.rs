@@ -1,40 +1,145 @@
 //! Findings and the two output renderings (human text, machine JSON).
+//!
+//! The JSON schema is `gossip-lint/v2`: findings carry a *stable id* —
+//! an FNV-1a hash of `rule:file:enclosing-item:snippet` — instead of line
+//! numbers, so the CI artifact diffs cleanly across pure line-shift
+//! changes.  Line numbers stay in the human rendering, where a developer
+//! actually navigates to them.
+
+use std::collections::BTreeMap;
 
 use gossip_bench::json::Json;
 
-/// One diagnostic produced by a rule (or by pragma hygiene checking).
+/// One diagnostic produced by a rule (or by pragma/contract hygiene).
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Finding {
     /// Workspace-relative path of the offending file.
     pub file: String,
-    /// 1-based line of the offending token.
+    /// 1-based line of the offending token (human output only; the JSON
+    /// identity is the stable [`id`](Self::id)).
     pub line: u32,
-    /// Rule name (`unordered-iter`, ..., or `pragma` for pragma hygiene).
+    /// Rule name (`unordered-iter`, ..., or `pragma`/`contract` for
+    /// suppression hygiene).
     pub rule: String,
     /// Rust module path of the file (`gossip_core::dtg`), best-effort.
     pub module: String,
     /// Human-readable explanation with the suggested fix.
     pub message: String,
+    /// Qualified name of the enclosing `fn` item, when one exists.
+    pub item: String,
+    /// The token texts of the anchor line, joined — the line-number-free
+    /// content component of the stable id.
+    pub snippet: String,
+    /// Optional human-only elaboration (e.g. per-site line numbers of an
+    /// aggregated panic-path finding); never serialised to JSON.
+    pub detail: String,
+}
+
+/// 64-bit FNV-1a over `\0`-separated parts.
+fn fnv1a64(parts: &[&str]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for (i, part) in parts.iter().enumerate() {
+        if i > 0 {
+            h ^= 0;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        for b in part.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
 }
 
 impl Finding {
-    /// Renders the `file:line: [rule] message` diagnostic line.
-    pub fn render(&self) -> String {
+    /// Builds a finding with empty enrichment fields (`item`, `snippet`,
+    /// `detail`); the workspace driver fills them before reporting.
+    pub fn new(rule: &str, file: &str, line: u32, module: &str, message: String) -> Self {
+        Finding {
+            file: file.to_string(),
+            line,
+            rule: rule.to_string(),
+            module: module.to_string(),
+            message,
+            item: String::new(),
+            snippet: String::new(),
+            detail: String::new(),
+        }
+    }
+
+    /// The stable finding id: `fnv1a64(rule, file, item, snippet)` in hex.
+    /// Independent of line numbers, so inserting code above a finding does
+    /// not change its identity in the JSON artifact.
+    pub fn id(&self) -> String {
         format!(
-            "{}:{}: [{}] {} (in {})",
-            self.file, self.line, self.rule, self.message, self.module
+            "{:016x}",
+            fnv1a64(&[&self.rule, &self.file, &self.item, &self.snippet])
         )
     }
 
+    /// Renders the `file:line: [rule] message` diagnostic line(s).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{}:{}: [{}] {} (in {})",
+            self.file, self.line, self.rule, self.message, self.module
+        );
+        if !self.detail.is_empty() {
+            out.push_str("\n    ");
+            out.push_str(&self.detail);
+        }
+        out
+    }
+
     /// Serialises one finding as a JSON object with stable key order.
-    pub fn to_json(&self) -> Json {
+    /// `id` must be the (collision-disambiguated) stable id.
+    fn to_json(&self, id: &str) -> Json {
         Json::object(vec![
+            ("id", Json::Str(id.to_string())),
             ("file", Json::Str(self.file.clone())),
-            ("line", Json::Int(i64::from(self.line))),
             ("rule", Json::Str(self.rule.clone())),
+            ("item", Json::Str(self.item.clone())),
             ("module", Json::Str(self.module.clone())),
             ("message", Json::Str(self.message.clone())),
         ])
+    }
+}
+
+/// One suppression (pragma or contract) in the tree, for the
+/// `--suppressions` inventory and the zero-dead-suppressions CI gate.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Suppression {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// `pragma` or `contract`.
+    pub kind: String,
+    /// The allowlisted rule (pragmas) or contract kind (contracts).
+    pub name: String,
+    /// The mandatory reason (pragmas; empty for contracts).
+    pub reason: String,
+    /// `true` when the suppression is load-bearing: a pragma that
+    /// suppressed at least one finding, or a contract attached to a fn.
+    pub used: bool,
+}
+
+impl Suppression {
+    /// Renders one inventory line.
+    pub fn render(&self) -> String {
+        let status = if self.used { "used" } else { "UNUSED" };
+        let what = match self.kind.as_str() {
+            "pragma" => format!("allow({})", self.name),
+            _ => format!("contract({})", self.name),
+        };
+        let reason = if self.reason.is_empty() {
+            String::new()
+        } else {
+            format!(" — {}", self.reason)
+        };
+        format!(
+            "{}:{}: {} {} [{}]{}",
+            self.file, self.line, self.kind, what, status, reason
+        )
     }
 }
 
@@ -47,6 +152,10 @@ pub struct Report {
     pub files_scanned: usize,
     /// Number of well-formed pragmas that suppressed at least one finding.
     pub pragmas_used: usize,
+    /// Suppressed-finding counts per rule (pragma hits).
+    pub suppressed_by_rule: BTreeMap<String, usize>,
+    /// Every pragma and contract in the tree, with usage status.
+    pub suppressions: Vec<Suppression>,
 }
 
 impl Report {
@@ -55,12 +164,58 @@ impl Report {
         self.findings.is_empty()
     }
 
+    /// `true` when every suppression in the tree is load-bearing.
+    pub fn suppressions_clean(&self) -> bool {
+        self.suppressions.iter().all(|s| s.used)
+    }
+
+    /// Stable finding ids, disambiguated: a repeated hash (identical rule,
+    /// file, item, and line content) gets a `-2`, `-3`, ... suffix in
+    /// sorted finding order.
+    fn ids(&self) -> Vec<String> {
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        self.findings
+            .iter()
+            .map(|f| {
+                let id = f.id();
+                let n = counts.entry(id.clone()).or_insert(0);
+                *n += 1;
+                if *n == 1 {
+                    id
+                } else {
+                    format!("{id}-{n}")
+                }
+            })
+            .collect()
+    }
+
+    /// The per-rule summary: `(rule, surviving findings, suppressed)` for
+    /// every rule that has either, sorted by rule name.
+    pub fn summary(&self) -> Vec<(String, usize, usize)> {
+        let mut per_rule: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+        for finding in &self.findings {
+            per_rule.entry(&finding.rule).or_default().0 += 1;
+        }
+        for (rule, suppressed) in &self.suppressed_by_rule {
+            per_rule.entry(rule).or_default().1 += suppressed;
+        }
+        per_rule
+            .into_iter()
+            .map(|(rule, (findings, suppressed))| (rule.to_string(), findings, suppressed))
+            .collect()
+    }
+
     /// The human-readable rendering printed to stdout.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         for finding in &self.findings {
             out.push_str(&finding.render());
             out.push('\n');
+        }
+        for (rule, findings, suppressed) in self.summary() {
+            out.push_str(&format!(
+                "gossip-lint: rule {rule}: {findings} finding(s), {suppressed} suppressed\n"
+            ));
         }
         out.push_str(&format!(
             "gossip-lint: {} finding(s) in {} file(s) scanned ({} pragma(s) in use)\n",
@@ -71,18 +226,112 @@ impl Report {
         out
     }
 
-    /// The `--json` rendering: a versioned object reusing the bench JSON
-    /// writer, byte-identical for identical findings.
+    /// The suppression inventory rendering (`--suppressions`).
+    pub fn render_suppressions(&self) -> String {
+        let mut out = String::new();
+        for s in &self.suppressions {
+            out.push_str(&s.render());
+            out.push('\n');
+        }
+        let unused = self.suppressions.iter().filter(|s| !s.used).count();
+        out.push_str(&format!(
+            "gossip-lint: {} suppression(s) in the tree, {} unused\n",
+            self.suppressions.len(),
+            unused
+        ));
+        out
+    }
+
+    /// The `--json` rendering: the versioned `gossip-lint/v2` object,
+    /// byte-identical for identical findings and line-shift-stable (no
+    /// per-finding line numbers).
     pub fn to_json(&self) -> Json {
+        let ids = self.ids();
         Json::object(vec![
-            ("schema", Json::Str("gossip-lint/v1".to_string())),
+            ("schema", Json::Str("gossip-lint/v2".to_string())),
             ("files_scanned", Json::Int(self.files_scanned as i64)),
             ("pragmas_used", Json::Int(self.pragmas_used as i64)),
             ("clean", Json::Bool(self.clean())),
             (
+                "summary",
+                Json::Array(
+                    self.summary()
+                        .into_iter()
+                        .map(|(rule, findings, suppressed)| {
+                            Json::object(vec![
+                                ("rule", Json::Str(rule)),
+                                ("findings", Json::Int(findings as i64)),
+                                ("suppressed", Json::Int(suppressed as i64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
                 "findings",
-                Json::Array(self.findings.iter().map(Finding::to_json).collect()),
+                Json::Array(
+                    self.findings
+                        .iter()
+                        .zip(&ids)
+                        .map(|(f, id)| f.to_json(id))
+                        .collect(),
+                ),
             ),
         ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(line: u32, message: &str) -> Finding {
+        Finding {
+            file: "crates/demo/src/lib.rs".to_string(),
+            line,
+            rule: "wall-clock".to_string(),
+            module: "gossip_demo".to_string(),
+            message: message.to_string(),
+            item: "gossip_demo::f".to_string(),
+            snippet: "let t = Instant :: now ( ) ;".to_string(),
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn ids_are_line_shift_stable_and_content_sensitive() {
+        let a = finding(10, "m");
+        let shifted = finding(99, "m");
+        assert_eq!(a.id(), shifted.id());
+        let mut other = finding(10, "m");
+        other.snippet = "different".to_string();
+        assert_ne!(a.id(), other.id());
+    }
+
+    #[test]
+    fn duplicate_ids_are_disambiguated_in_json() {
+        let report = Report {
+            findings: vec![finding(10, "m"), finding(11, "m")],
+            ..Report::default()
+        };
+        let ids = report.ids();
+        assert_ne!(ids[0], ids[1]);
+        assert!(ids[1].ends_with("-2"));
+    }
+
+    #[test]
+    fn json_is_v2_without_finding_lines() {
+        let report = Report {
+            findings: vec![finding(10, "m")],
+            files_scanned: 1,
+            ..Report::default()
+        };
+        let json = report.to_json().to_pretty();
+        assert!(json.contains("gossip-lint/v2"));
+        assert!(json.contains("\"summary\""));
+        assert!(json.contains("\"id\""));
+        assert!(!json.contains("\"line\""));
+        // The human rendering keeps file:line.
+        assert!(report.render_text().contains("crates/demo/src/lib.rs:10:"));
     }
 }

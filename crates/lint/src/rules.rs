@@ -8,12 +8,14 @@
 //! tests, benches, examples, `#[cfg(test)]` items) is exempt from every rule
 //! except [`forbid-unsafe`](check_crate_root), which inspects crate roots.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::lexer::{Lexed, TokKind, Token};
 use crate::report::Finding;
 
-/// The rule names a pragma may allowlist.
+/// The rule names a pragma may allowlist: the six per-file rules plus the
+/// three workspace-level audit rules (`panic-path`, `idle-purity`,
+/// `shared-state`) driven by [`workspace`](crate::workspace).
 pub const RULES: &[&str] = &[
     "unordered-iter",
     "wall-clock",
@@ -21,6 +23,9 @@ pub const RULES: &[&str] = &[
     "par-order",
     "debug-assert-side-effect",
     "forbid-unsafe",
+    "panic-path",
+    "idle-purity",
+    "shared-state",
 ];
 
 /// Iteration methods whose visit order on a hash container is unordered.
@@ -337,9 +342,12 @@ pub struct FileAnalysis {
     pub pragmas_used: usize,
 }
 
-/// Runs every rule on one file and applies its pragmas; returns the
-/// surviving findings (including pragma-hygiene findings).
-pub fn analyze_file(input: &FileInput<'_>) -> FileAnalysis {
+/// Runs every *per-file* rule on one file; returns the raw findings,
+/// before pragma application.  The workspace driver appends the
+/// interprocedural audit findings to this list and only then applies the
+/// file's pragmas — a `panic-path` pragma must be able to suppress a
+/// finding produced by the workspace-level call-graph walk.
+pub fn file_findings(input: &FileInput<'_>) -> Vec<Finding> {
     let tokens = &input.lexed.tokens;
     let (mut test_mask, _) = test_regions(tokens);
     if input.whole_file_test {
@@ -348,13 +356,7 @@ pub fn analyze_file(input: &FileInput<'_>) -> FileAnalysis {
 
     let mut raw: Vec<Finding> = Vec::new();
     let mut push = |rule: &'static str, line: u32, message: String| {
-        raw.push(Finding {
-            rule: rule.to_string(),
-            file: input.path.to_string(),
-            line,
-            module: input.module.to_string(),
-            message,
-        });
+        raw.push(Finding::new(rule, input.path, line, input.module, message));
     };
 
     rule_unordered_iter(tokens, &test_mask, &mut push);
@@ -365,16 +367,39 @@ pub fn analyze_file(input: &FileInput<'_>) -> FileAnalysis {
     if input.crate_root {
         rule_forbid_unsafe(tokens, &mut push);
     }
+    raw
+}
 
-    apply_pragmas(input, raw)
+/// Runs every per-file rule on one file and applies its pragmas; returns
+/// the surviving findings (including pragma-hygiene findings).  Audit rules
+/// do *not* run here — use the workspace driver for those.
+pub fn analyze_file(input: &FileInput<'_>) -> FileAnalysis {
+    let outcome = apply_pragmas(input, file_findings(input));
+    FileAnalysis {
+        findings: outcome.findings,
+        pragmas_used: outcome.pragmas_used,
+    }
+}
+
+/// The result of applying one file's pragmas to its findings.
+pub struct PragmaOutcome {
+    /// Surviving findings plus pragma-hygiene findings, sorted.
+    pub findings: Vec<Finding>,
+    /// Number of pragmas that suppressed at least one finding.
+    pub pragmas_used: usize,
+    /// Suppressed-finding counts per rule.
+    pub suppressed_by_rule: BTreeMap<String, usize>,
+    /// Per-pragma used flags, parallel to `input.lexed.pragmas`.
+    pub pragma_used: Vec<bool>,
 }
 
 /// Suppresses findings covered by well-formed pragmas and reports pragma
 /// hygiene problems (unknown rule, missing reason, unused pragma).
-fn apply_pragmas(input: &FileInput<'_>, raw: Vec<Finding>) -> FileAnalysis {
+pub fn apply_pragmas(input: &FileInput<'_>, raw: Vec<Finding>) -> PragmaOutcome {
     let tokens = &input.lexed.tokens;
     let pragmas = &input.lexed.pragmas;
     let mut used = vec![false; pragmas.len()];
+    let mut suppressed_by_rule: BTreeMap<String, usize> = BTreeMap::new();
     let mut out = Vec::new();
 
     'findings: for finding in raw {
@@ -391,6 +416,7 @@ fn apply_pragmas(input: &FileInput<'_>, raw: Vec<Finding>) -> FileAnalysis {
             };
             if hit {
                 used[pi] = true;
+                *suppressed_by_rule.entry(finding.rule).or_default() += 1;
                 continue 'findings;
             }
         }
@@ -418,19 +444,21 @@ fn apply_pragmas(input: &FileInput<'_>, raw: Vec<Finding>) -> FileAnalysis {
             ));
         }
         if let Some(message) = problem {
-            out.push(Finding {
-                rule: "pragma".to_string(),
-                file: input.path.to_string(),
-                line: pragma.line,
-                module: input.module.to_string(),
+            out.push(Finding::new(
+                "pragma",
+                input.path,
+                pragma.line,
+                input.module,
                 message,
-            });
+            ));
         }
     }
     out.sort();
-    FileAnalysis {
+    PragmaOutcome {
         findings: out,
         pragmas_used: used.iter().filter(|&&u| u).count(),
+        suppressed_by_rule,
+        pragma_used: used,
     }
 }
 

@@ -1,0 +1,17 @@
+//! Allowlisted fixture: an `activity` that bumps a `Cell` counter — impure
+//! by the letter of the contract, suppressed with a reasoned pragma.
+
+use std::cell::Cell;
+
+pub struct Proto {
+    count: Cell<u64>,
+}
+
+impl Proto {
+    // gossip-audit: contract(pure)
+    // gossip-lint: allow(idle-purity): the Cell counter is observability-only and never read by the schedule
+    pub fn activity(&self) -> u64 {
+        self.count.set(self.count.get() + 1);
+        self.count.get()
+    }
+}

@@ -1,0 +1,17 @@
+//! Clean fixture: a genuinely pure `activity` — reads the receiver, mutates
+//! only a local accumulator.
+
+pub struct Proto {
+    window: Vec<u64>,
+}
+
+impl Proto {
+    // gossip-audit: contract(pure)
+    pub fn activity(&self) -> u64 {
+        let mut acc = 0;
+        for w in &self.window {
+            acc += w;
+        }
+        acc
+    }
+}

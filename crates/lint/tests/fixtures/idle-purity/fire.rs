@@ -1,0 +1,14 @@
+//! Fire fixture: an `activity` fn declared pure but mutating its receiver —
+//! both the `&mut self` signature and the field mutation are violations.
+
+pub struct Proto {
+    count: u64,
+}
+
+impl Proto {
+    // gossip-audit: contract(pure)
+    pub fn activity(&mut self) -> u64 {
+        self.count += 1;
+        self.count
+    }
+}

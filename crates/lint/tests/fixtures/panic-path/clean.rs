@@ -1,0 +1,17 @@
+//! Clean fixture: the same call shape with every panic site designed out —
+//! total accessors instead of unwrap/indexing.
+
+pub struct Simulation {
+    steps: Vec<u64>,
+}
+
+impl Simulation {
+    pub fn run(&self) -> u64 {
+        helper(&self.steps, 1)
+    }
+}
+
+fn helper(xs: &[u64], i: usize) -> u64 {
+    let head = xs.first().copied().unwrap_or_default();
+    head + xs.get(i).copied().unwrap_or(0)
+}

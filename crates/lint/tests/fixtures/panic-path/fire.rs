@@ -1,0 +1,17 @@
+//! Fire fixture: `helper` is reachable from the `Simulation::run` delivery
+//! root and contains an unwrap and a slice index.
+
+pub struct Simulation {
+    steps: Vec<u64>,
+}
+
+impl Simulation {
+    pub fn run(&self) -> u64 {
+        helper(&self.steps, 1)
+    }
+}
+
+fn helper(xs: &[u64], i: usize) -> u64 {
+    let head = xs.first().unwrap();
+    head + xs[i]
+}

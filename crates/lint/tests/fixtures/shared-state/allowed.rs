@@ -1,0 +1,12 @@
+//! Allowlisted fixture: a deliberately-shared startup flag, with every line
+//! that touches the atomic carrying a reasoned pragma.
+
+use std::sync::atomic;
+
+// gossip-lint: allow(shared-state): write-once startup flag, read-only after init
+static READY: atomic::AtomicBool = atomic::AtomicBool::new(false);
+
+pub fn ready() -> bool {
+    // gossip-lint: allow(shared-state): reads the write-once startup flag
+    READY.load(atomic::Ordering::SeqCst)
+}

@@ -1,0 +1,8 @@
+//! Clean fixture: `cmp::Ordering` is a comparison result, not a memory
+//! ordering — the rule must not confuse the two.
+
+use std::cmp::Ordering;
+
+pub fn compare(a: u64, b: u64) -> Ordering {
+    a.cmp(&b)
+}

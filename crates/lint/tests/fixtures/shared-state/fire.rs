@@ -1,0 +1,10 @@
+//! Fire fixture: lock-free shared state in an audited engine crate — the
+//! atomic type and the memory ordering are both findings.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DELIVERED: AtomicU64 = AtomicU64::new(0);
+
+pub fn record(n: u64) {
+    DELIVERED.fetch_add(n, Ordering::Relaxed);
+}

@@ -1,0 +1,109 @@
+//! Property tests for the lexer: `lex` must never panic on arbitrary input
+//! (including unterminated literals, raw identifiers, shebangs, and byte
+//! strings), and comment/string stripping must be idempotent — re-lexing a
+//! rendered token stream yields the same stream.
+//!
+//! The vendored `proptest` subset only samples numeric ranges, so each case
+//! draws a seed and expands it into a string with a locally seeded
+//! [`SmallRng`] — same determinism, richer inputs.
+
+use gossip_lint::lexer::{lex, Lexed, TokKind};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Renders a lexed token stream back to lexable source.  Literal contents
+/// are discarded by the lexer, so every `Lit` becomes `""`; lifetimes store
+/// only the identifier after the quote, so the quote is re-prepended (`'_`
+/// when the name was empty, as in a stray `'` at end of input).
+fn render(lexed: &Lexed) -> String {
+    lexed
+        .tokens
+        .iter()
+        .map(|t| match t.kind {
+            TokKind::Lit => "\"\"".to_string(),
+            TokKind::Lifetime if t.text.is_empty() => "'_".to_string(),
+            TokKind::Lifetime => format!("'{}", t.text),
+            _ => t.text.clone(),
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Fragments biased toward the lexer's tricky paths: pragmas, contracts,
+/// raw identifiers/strings, byte literals, lifetimes, shebangs, and
+/// unterminated literals and block comments.
+const FRAGMENTS: &[&str] = &[
+    "fn f() {}",
+    "// gossip-lint: allow(wall-clock): fixture reason",
+    "// gossip-audit: contract(pure)",
+    "let r#type = r#\"raw \" quote\"#;",
+    "let b = b'\\n';",
+    "let bs = br#\"bytes\"#;",
+    "fn g<'a, 'b>(x: &'a str) -> &'a str { x }",
+    "#!/usr/bin/env cargo",
+    "#![forbid(unsafe_code)]",
+    "\"unterminated",
+    "/* unterminated block",
+    "let n = 0x1f_u64; let r = 1..10; let f = 1.5e3;",
+    "'",
+    "b\"",
+    "r##\"half-raw",
+];
+
+/// Punctuation soup biased toward the characters the lexer special-cases.
+const ALPHABET: &[u8] = b"abr_09:;{}()[]<>.,&*'\"#!/%=+-\\ \t";
+
+/// Rust-shaped input: random fragments glued with random soup so fragments
+/// interact across line boundaries.
+fn rusty_soup(seed: u64) -> String {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = rng.gen_range(0usize..24);
+    let mut parts = Vec::with_capacity(n);
+    for _ in 0..n {
+        if rng.gen_range(0u64..4) == 0 {
+            let len = rng.gen_range(0usize..16);
+            parts.push(
+                (0..len)
+                    .map(|_| ALPHABET[rng.gen_range(0usize..ALPHABET.len())] as char)
+                    .collect::<String>(),
+            );
+        } else {
+            parts.push(FRAGMENTS[rng.gen_range(0usize..FRAGMENTS.len())].to_string());
+        }
+    }
+    parts.join("\n")
+}
+
+/// Fully arbitrary input: random bytes, lossily decoded (covers invalid
+/// UTF-8 boundaries collapsing to replacement chars, NULs, controls).
+fn byte_soup(seed: u64) -> String {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let len = rng.gen_range(0usize..256);
+    let bytes: Vec<u8> = (0..len).map(|_| rng.gen_range(0u64..256) as u8).collect();
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn lexing_never_panics_on_arbitrary_input(seed in 0u64..u64::MAX) {
+        let _ = lex(&byte_soup(seed));
+    }
+
+    #[test]
+    fn lexing_never_panics_on_rust_shaped_input(seed in 0u64..u64::MAX) {
+        let _ = lex(&rusty_soup(seed));
+    }
+
+    /// Stripping is a projection: once comments and literal contents are
+    /// gone, lexing the rendered stream must reproduce it exactly.
+    #[test]
+    fn stripping_is_idempotent(seed in 0u64..u64::MAX) {
+        let src = rusty_soup(seed);
+        let once = render(&lex(&src));
+        let twice = render(&lex(&once));
+        prop_assert_eq!(&once, &twice, "source was:\n{}", &src);
+    }
+}

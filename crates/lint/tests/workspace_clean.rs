@@ -30,38 +30,39 @@ fn workspace_is_lint_clean() {
     );
 }
 
-#[test]
-fn every_workspace_pragma_is_load_bearing() {
-    let files = collect_sources(workspace_root()).expect("walking the workspace");
-    let marker = "gossip-lint:";
-
-    // Mirror the lexer's anchoring: a pragma is a `//` comment whose body
-    // starts with the marker.  Doc comments that merely *mention* the
-    // syntax (their body starts with `!` or `/`) are not pragmas.
-    // Only the *first* `//` starts a comment; a second `//` inside the
-    // comment text (as in the lexer's own docs) is just prose, and a `//`
-    // preceded by an odd number of quotes is inside a string literal (as in
-    // the lexer's own unit tests).
-    let is_pragma_line = |line: &str| {
-        line.find("//").is_some_and(|at| {
-            line[..at].matches('"').count().is_multiple_of(2)
-                && line[at + 2..].trim_start().starts_with(marker)
-        })
-    };
-    let mut pragma_sites = Vec::new();
+/// Finds every line carrying a real `marker` annotation, using the lexer
+/// itself as ground truth so doc comments that merely *mention* the syntax
+/// and marker text buried inside string literals (as in the lint crate's
+/// own unit tests) are never mistaken for sites.
+fn marker_sites(files: &[SourceFile], marker: &str) -> Vec<(usize, usize)> {
+    let mut sites = Vec::new();
     for (fi, file) in files.iter().enumerate() {
-        for (li, line) in file.content.lines().enumerate() {
-            if is_pragma_line(line) {
-                pragma_sites.push((fi, li));
-            }
+        let lexed = gossip_lint::lexer::lex(&file.content);
+        let lines: Vec<u32> = if marker == "gossip-lint:" {
+            lexed.pragmas.iter().map(|p| p.line).collect()
+        } else {
+            lexed.contracts.iter().map(|c| c.line).collect()
+        };
+        for line in lines {
+            sites.push((fi, line as usize - 1));
         }
     }
+    sites
+}
+
+/// Every suppression and contract in the tree is load-bearing: deleting any
+/// one `gossip-lint: allow(..)` pragma (the finding comes back) or any one
+/// `gossip-audit: contract(..)` annotation (the coverage rule fires) flips
+/// the workspace verdict.
+fn deleting_any_marker_flips_the_verdict(marker: &str) {
+    let files = collect_sources(workspace_root()).expect("walking the workspace");
+    let sites = marker_sites(&files, marker);
     assert!(
-        !pragma_sites.is_empty(),
-        "expected audit pragmas in the workspace"
+        !sites.is_empty(),
+        "expected `{marker}` annotations in the workspace"
     );
 
-    for &(fi, li) in &pragma_sites {
+    for &(fi, li) in &sites {
         let mut mutated: Vec<SourceFile> = files.clone();
         let stripped: String = mutated[fi]
             .content
@@ -69,7 +70,7 @@ fn every_workspace_pragma_is_load_bearing() {
             .enumerate()
             .map(|(i, line)| {
                 if i == li {
-                    line.replace(marker, "gossip-lint-stripped:")
+                    line.replace(marker, "gossip-stripped:")
                 } else {
                     line.to_string()
                 }
@@ -80,7 +81,7 @@ fn every_workspace_pragma_is_load_bearing() {
         let report = analyze_sources(&mutated);
         assert!(
             !report.clean(),
-            "deleting the pragma at {}:{} must make the workspace fail the lint",
+            "deleting the `{marker}` annotation at {}:{} must make the workspace fail the lint",
             files[fi].rel,
             li + 1
         );
@@ -88,30 +89,49 @@ fn every_workspace_pragma_is_load_bearing() {
 }
 
 #[test]
+fn every_workspace_pragma_is_load_bearing() {
+    deleting_any_marker_flips_the_verdict("gossip-lint:");
+}
+
+#[test]
+fn every_workspace_contract_is_load_bearing() {
+    deleting_any_marker_flips_the_verdict("gossip-audit:");
+}
+
+#[test]
 fn injecting_any_fire_fixture_fails_the_workspace() {
     let files = collect_sources(workspace_root()).expect("walking the workspace");
     let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
     let mut injected_any = false;
-    for rule in [
-        "unordered-iter",
-        "wall-clock",
-        "ambient-rng",
-        "par-order",
-        "debug-assert-side-effect",
-        "forbid-unsafe",
+    for (rule, inject_at) in [
+        // A crate-root path, so forbid-unsafe applies to its fixture too.
+        ("unordered-iter", "crates/injected/src/main.rs"),
+        ("wall-clock", "crates/injected/src/main.rs"),
+        ("ambient-rng", "crates/injected/src/main.rs"),
+        ("par-order", "crates/injected/src/main.rs"),
+        ("debug-assert-side-effect", "crates/injected/src/main.rs"),
+        ("forbid-unsafe", "crates/injected/src/main.rs"),
+        // The audit rules only fire inside the audited engine paths.
+        ("panic-path", "crates/sim/src/injected.rs"),
+        ("idle-purity", "crates/sim/src/injected.rs"),
+        ("shared-state", "crates/sim/src/injected.rs"),
     ] {
         let content = std::fs::read_to_string(fixtures.join(rule).join("fire.rs"))
             .expect("reading fire fixture");
         let mut mutated = files.clone();
         mutated.push(SourceFile {
-            // A crate-root path, so forbid-unsafe applies to its fixture too.
-            rel: format!("crates/injected/src/{}.rs", "main"),
+            rel: inject_at.to_string(),
             content,
         });
         let report = analyze_sources(&mutated);
         assert!(
             !report.clean(),
             "injecting {rule}/fire.rs must make the workspace fail the lint"
+        );
+        assert!(
+            report.findings.iter().any(|f| f.rule == rule),
+            "injecting {rule}/fire.rs must fire `{rule}` specifically:\n{}",
+            report.render_text()
         );
         injected_any = true;
     }

@@ -205,6 +205,7 @@ impl DiscoveredLatencies {
         }
     }
 
+    // gossip-lint: allow(panic-path): discovery bitmaps are sized 2 * edge_count at construction
     fn mark(&mut self, edge: EdgeId, second_endpoint: bool) {
         let i = edge.index() * 2 + second_endpoint as usize;
         self.bits[i / 64] |= 1 << (i % 64);
@@ -404,6 +405,7 @@ pub trait Protocol {
     /// the run from the reference semantics (and from the same protocol run
     /// under [`crate::reference::ReferenceSimulation`], which still asks
     /// every node every round).
+    // gossip-audit: contract(pure)
     fn activity(&self, view: &NodeView<'_>) -> Activity {
         let _ = view;
         Activity::Active
@@ -442,6 +444,7 @@ enum NodeState {
 /// `t ≡ b (mod ring_len)` — including the wraparound case `b == round %
 /// ring_len`, which (being already drained for the current round) can only
 /// mean `t = round + ring_len`.
+// gossip-lint: allow(panic-path): ring_len >= 1 always (max latency + 1), so the modulus is never zero
 fn next_event_round(
     round: u64,
     ring_len: usize,
@@ -546,6 +549,7 @@ struct Progress<'g> {
 }
 
 impl<'g> Progress<'g> {
+    // gossip-lint: allow(panic-path): initial rumor vec length is asserted to equal n
     fn new(graph: &'g Graph, config: &SimConfig, rumors: &[RumorSet]) -> Self {
         let source_rumor = match config.termination {
             Termination::AllKnowRumorOf(source) => Some(RumorId::of_node(source)),
@@ -626,6 +630,7 @@ impl<'g> Progress<'g> {
     /// landed — so every observable (rumor sets, reports, future snapshot
     /// prefixes *as sets*) is identical.  The `engine_equivalence` suite pins
     /// this.
+    // gossip-lint: allow(panic-path): calendar buckets and node indices are bounded by the ring/CSR invariants
     fn merge_prefix(
         &mut self,
         rumors: &mut [RumorSet],
@@ -726,6 +731,7 @@ impl<'g> Progress<'g> {
     /// from it short-circuit.  While a saturated node waits for that lap,
     /// ordinary advances are skipped (no point materialising a shadow the
     /// collapse is about to free).
+    // gossip-lint: allow(panic-path): shadow ring buckets and node indices are bounded by the ring/CSR invariants
     fn advance_shadow(
         &mut self,
         rumors: &[RumorSet],
@@ -775,6 +781,7 @@ impl<'g> Progress<'g> {
     /// lap after saturation, or at initialisation when nothing is in
     /// flight).  Its rumor set needs no action: [`RumorSet`] collapsed it to
     /// the canonical page-free full representation the moment it saturated.
+    // gossip-lint: allow(panic-path): per-node vecs are sized n at construction; node ids are dense
     fn collapse_node(&mut self, node: usize) {
         debug_assert!(!self.collapsed[node]);
         let freed = self.logs[node].truncate_all() as u64;
@@ -878,6 +885,7 @@ impl<'g> Simulation<'g> {
     ///
     /// Protocol state is owned by the caller and is *not* reset; reuse the
     /// same protocol value to continue its program, or pass a fresh one.
+    // gossip-lint: allow(panic-path): node/edge indices come from the graph's own CSR bounds; ring_len >= 1
     pub fn run<P: Protocol>(&mut self, protocol: &mut P) -> RunReport {
         let n = self.graph.node_count();
         let mut rng = SmallRng::seed_from_u64(self.config.seed);

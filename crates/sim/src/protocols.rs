@@ -50,6 +50,7 @@ impl Protocol for RandomPushPull {
         "push-pull"
     }
 
+    // gossip-lint: allow(panic-path): gen_range draws within the nonempty neighbor slice
     fn on_round(&mut self, view: &NodeView<'_>, rng: &mut SmallRng) -> Option<NodeId> {
         let deg = view.neighbors.len();
         // The saturation check comes before the RNG draw: a quiescent node
@@ -61,6 +62,7 @@ impl Protocol for RandomPushPull {
         Some(view.neighbors[pick].0)
     }
 
+    // gossip-audit: contract(pure)
     fn activity(&self, view: &NodeView<'_>) -> Activity {
         // A full rumor set never shrinks and an isolated node never gains a
         // neighbor: both silences are permanent.
@@ -138,6 +140,7 @@ impl Protocol for RoundRobinFlood {
         "round-robin-flood"
     }
 
+    // gossip-lint: allow(panic-path): cursor wraps modulo the nonzero degree; deg == 0 returns before any index
     fn on_round(&mut self, view: &NodeView<'_>, _rng: &mut SmallRng) -> Option<NodeId> {
         let deg = view.neighbors.len();
         if deg == 0 || !view.can_initiate {
@@ -169,6 +172,7 @@ impl Protocol for RoundRobinFlood {
         Some(view.neighbors[pick].0)
     }
 
+    // gossip-audit: contract(pure)
     fn activity(&self, view: &NodeView<'_>) -> Activity {
         let deg = view.neighbors.len();
         if deg == 0 {
@@ -211,6 +215,7 @@ impl Protocol for Silent {
         true
     }
 
+    // gossip-audit: contract(pure)
     fn activity(&self, _view: &NodeView<'_>) -> Activity {
         Activity::Quiescent
     }

@@ -239,6 +239,7 @@ impl<'g> ReferenceSimulation<'g> {
         )
     }
 
+    // gossip-lint: allow(panic-path): rumor vec is sized n at construction; node ids are dense
     fn is_done<P: Protocol>(
         &self,
         termination: &Termination,

@@ -48,6 +48,7 @@ impl RumorId {
 }
 
 impl From<usize> for RumorId {
+    // gossip-lint: allow(panic-path): documented precondition; universe sizes are far below u32::MAX
     fn from(i: usize) -> Self {
         RumorId(u32::try_from(i).expect("rumor index exceeds u32::MAX"))
     }
@@ -209,6 +210,7 @@ impl RumorSet {
     /// # Panics
     ///
     /// Panics if the rumor is outside the universe.
+    // gossip-lint: allow(panic-path): page/word indices derive from the rumor < universe assertion
     pub fn insert(&mut self, rumor: RumorId) -> bool {
         let i = rumor.index();
         assert!(
@@ -264,6 +266,7 @@ impl RumorSet {
     }
 
     /// Returns `true` if the set contains `rumor`.
+    // gossip-lint: allow(panic-path): page/word indices derive from the rumor < universe bound
     pub fn contains(&self, rumor: RumorId) -> bool {
         let i = rumor.index();
         if i >= self.universe {
@@ -305,6 +308,7 @@ impl RumorSet {
     /// # Panics
     ///
     /// Panics if the two sets have different universes.
+    // gossip-lint: allow(panic-path): page counts match by the asserted universe equality
     pub fn union_with(&mut self, other: &RumorSet) -> bool {
         assert_eq!(
             self.universe, other.universe,
@@ -437,6 +441,7 @@ impl RumorSet {
     /// # Panics
     ///
     /// Panics if the run extends past the universe.
+    // gossip-lint: allow(panic-path): run bounds are asserted against the universe on entry
     pub(crate) fn insert_run(&mut self, first: RumorId, len: u32, out_new: &mut Vec<RumorRun>) {
         if len == 0 {
             return;
@@ -530,6 +535,7 @@ impl RumorSet {
     /// Unions a raw dense word slice (universe layout, as used by the
     /// engine's delayed shadows) into the set, pushing every maximal run of
     /// newly inserted rumors onto `out_new` in increasing id order.
+    // gossip-lint: allow(panic-path): word indices are bounded by the page capacity invariant
     pub(crate) fn union_words_collect_new_runs(
         &mut self,
         words: &[u64],
@@ -604,6 +610,7 @@ impl RumorSet {
     /// This is the engine's `O(pages)` "peer is saturated" merge: unioning a
     /// saturation-collapsed peer needs no shadow words and no log replay —
     /// the complement of what `self` already knows *is* the delta.
+    // gossip-lint: allow(panic-path): word indices are bounded by the page capacity invariant
     pub(crate) fn insert_all(&mut self, out_new: &mut Vec<RumorRun>) {
         if self.len == self.universe {
             return;
@@ -661,6 +668,7 @@ fn for_each_word_mask(lo: usize, len: usize, mut f: impl FnMut(usize, u64)) {
 
 /// Sets the bits `lo..lo+len` in a raw bitset word slice (the engine uses
 /// this to replay consecutive log runs into a delayed shadow).
+// gossip-lint: allow(panic-path): callers pass lo..lo+len ranges within the word slice
 pub(crate) fn set_words_range(words: &mut [u64], lo: usize, len: usize) {
     for_each_word_mask(lo, len, |w, mask| words[w] |= mask);
 }
@@ -746,6 +754,7 @@ impl AcquisitionLog {
     }
 
     /// End position of the retained run at `runs` index `i`.
+    // gossip-lint: allow(panic-path): callers iterate i < runs.len()
     fn run_end(&self, i: usize) -> u32 {
         if i + 1 < self.runs.len() {
             self.runs[i + 1].start
@@ -764,6 +773,7 @@ impl AcquisitionLog {
     /// Appends `len` consecutive entries `first, first+1, …` as one batch.
     /// Returns `true` if the batch started a new run (`false` when it
     /// extended the last run).  `len == 0` is a no-op returning `false`.
+    // gossip-lint: allow(panic-path): the last-run index exists once the non-empty check passed
     pub fn push_run(&mut self, first: RumorId, len: u32) -> bool {
         if len == 0 {
             return false;
@@ -785,6 +795,7 @@ impl AcquisitionLog {
 
     /// Number of retained runs that lie entirely below `pos` — exactly what
     /// [`truncate_below`](Self::truncate_below) would reclaim.
+    // gossip-lint: allow(panic-path): run indices stay below the partition point, which is <= runs.len()
     pub fn runs_entirely_below(&self, pos: u32) -> usize {
         let live = &self.runs[self.head..];
         let k = live.partition_point(|r| r.start < pos);
@@ -803,6 +814,7 @@ impl AcquisitionLog {
     /// Drops every run lying entirely below `pos` and returns how many were
     /// reclaimed.  A run straddling `pos` is kept whole, so positions
     /// `>= pos` always stay readable.
+    // gossip-lint: allow(panic-path): run indices stay below the partition point, which is <= runs.len()
     pub fn truncate_below(&mut self, pos: u32) -> usize {
         let mut dropped = 0usize;
         while self.head < self.runs.len() && self.run_end(self.head) <= pos {
@@ -846,6 +858,7 @@ impl AcquisitionLog {
     ///
     /// Panics in debug builds if `from` lies below the truncation frontier or
     /// `to` past the end.
+    // gossip-lint: allow(panic-path): run indices come from partition_point over the live runs
     pub fn for_each_segment(&self, from: u32, to: u32, mut f: impl FnMut(RumorId, u32)) {
         if from >= to {
             return;
@@ -878,6 +891,7 @@ impl AcquisitionLog {
     /// # Panics
     ///
     /// Panics if `pos` is truncated or out of range.
+    // gossip-lint: allow(panic-path): pos is asserted in range on entry
     pub fn get(&self, pos: u32) -> RumorId {
         assert!(pos >= self.front && pos < self.len, "position out of range");
         let live = &self.runs[self.head..];

@@ -6,7 +6,7 @@
 //! ```text
 //! experiments [EXPERIMENT-ID ...] [--quick] [--json] [--markdown]
 //! experiments sweep [--quick|--full|--large|--huge] [--seed N] [--trials N] [--max-size N]
-//!                   [--out PATH] [--timing-out PATH] [--mem-stats] [--json] [--markdown]
+//!                   [--faults] [--out PATH] [--timing-out PATH] [--mem-stats] [--json] [--markdown]
 //! experiments bench-check --baseline PATH --current PATH
 //!                         [--mem-tolerance F] [--time-tolerance F]
 //! ```
@@ -26,7 +26,14 @@
 //! all-to-all — for the cheap protocols); `--huge` adds the 65536/131072-node
 //! star tier and a 16384-node Erdős–Rényi broadcast; `--max-size` drops grid
 //! cells above a node budget without changing the seeds of the remaining
-//! cells.  Alongside the report, every sweep writes a `BENCH_sweep.json`
+//! cells.  `--faults` appends the fault-injection tier (schema
+//! `gossip-sweep/v5`): lightweight-protocol cells rerun under seed-derived
+//! crash-stop churn, link cuts and message loss, and their report rows carry
+//! the graceful-degradation aggregates (residual components, stranded
+//! rumors, re-dissemination latency) instead of all-clean completions.
+//! Fault cells hash their churn spec into the trial seeds, so adding the
+//! tier never perturbs the fault-free cells.  Alongside the report, every
+//! sweep writes a `BENCH_sweep.json`
 //! wall-clock timing artifact (schema `gossip-bench-timing/v2`,
 //! `--timing-out` to relocate) that CI uploads to track the perf trajectory;
 //! `--mem-stats` additionally folds the sweep's peak-memory aggregates (from
@@ -103,6 +110,7 @@ struct SweepOptions {
     seed: Option<u64>,
     trials: Option<u64>,
     max_size: Option<usize>,
+    faults: bool,
     out: String,
     timing_out: String,
     mem_stats: bool,
@@ -116,6 +124,7 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepOptions, String> {
         seed: None,
         trials: None,
         max_size: None,
+        faults: false,
         out: "sweep_report.json".to_string(),
         timing_out: "BENCH_sweep.json".to_string(),
         mem_stats: false,
@@ -134,6 +143,7 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepOptions, String> {
             "--full" => options.scale = Scale::Full,
             "--large" => options.scale = Scale::Large,
             "--huge" => options.scale = Scale::Huge,
+            "--faults" => options.faults = true,
             "--mem-stats" => options.mem_stats = true,
             "--json" => options.json = true,
             "--markdown" => options.markdown = true,
@@ -169,7 +179,7 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepOptions, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: experiments sweep [--quick|--full|--large|--huge] [--seed N] \
-                     [--trials N] [--max-size N] [--out PATH] [--timing-out PATH] \
+                     [--trials N] [--max-size N] [--faults] [--out PATH] [--timing-out PATH] \
                      [--mem-stats] [--json] [--markdown]"
                         .to_string(),
                 )
@@ -189,6 +199,11 @@ fn run_sweep(args: &[String]) -> ExitCode {
         }
     };
     let mut spec = SweepSpec::standard(options.scale);
+    if options.faults {
+        // Appended before --max-size so the budget cap applies to fault
+        // cells too.
+        spec.extra.extend(SweepSpec::fault_tier(options.scale));
+    }
     if let Some(seed) = options.seed {
         spec.base_seed = seed;
     }
@@ -280,6 +295,13 @@ fn run_sweep(args: &[String]) -> ExitCode {
         (
             "mem_stats",
             gossip_bench::json::Json::Bool(options.mem_stats),
+        ),
+        // Fault-injection tier size (0 without --faults).  `bench-check`
+        // parses artifacts unknown-field-tolerantly, so baselines predating
+        // the fault tier keep working.
+        (
+            "fault_cells",
+            gossip_bench::json::Json::Int(spec.fault_cell_count() as i64),
         ),
         // Event-driven scheduler aggregates (deterministic engine counters):
         // total rounds walked vs fast-forwarded across all scenarios.

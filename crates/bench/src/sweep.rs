@@ -16,6 +16,15 @@
 //! mean, which is how related empirical gossip studies (Haeupler's rumor
 //! spreading experiments; Censor-Hillel et al.'s poorly-connected-world
 //! simulations) summarise bound-shape curves across graph families.
+//!
+//! The opt-in [fault tier](SweepSpec::fault_tier) reruns the lightweight
+//! protocols under seed-derived churn ([`ChurnSpec`] → [`FaultPlan`]): those
+//! cells may legitimately not complete, and their report rows carry the
+//! engine's graceful-degradation aggregates (crashes absorbed, residual
+//! components, stranded rumors, re-dissemination latency) instead of
+//! all-clean completions.  A fault cell hashes its churn spec into the trial
+//! seeds, so adding the tier leaves every fault-free cell's results — and
+//! the committed baseline — byte-identical.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -23,6 +32,8 @@ use std::sync::Arc;
 use gossip_core::{flooding, pattern, push_pull, spanner_broadcast, unified};
 use gossip_graph::latency::LatencyScheme;
 use gossip_graph::{generators, Graph, Latency, NodeId};
+use gossip_sim::protocols::{RandomPushPull, RoundRobinFlood};
+use gossip_sim::{ChurnSpec, FaultPlan, FaultReport, RumorId, SimConfig, Simulation, Termination};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -268,6 +279,9 @@ pub struct TrialMeasurement {
     /// [`gossip_sim::MemStats::peak_engine_bytes`]), paged-set and
     /// saturation-collapse aggregates in the report.
     pub mem: Option<gossip_sim::MemStats>,
+    /// Graceful-degradation accounting; present exactly for trials run with
+    /// a [`ChurnSpec`] attached to the scenario.
+    pub faults: Option<FaultReport>,
 }
 
 impl ProtocolKind {
@@ -294,9 +308,71 @@ impl ProtocolKind {
         )
     }
 
+    /// `true` for the protocols a fault-injected sweep cell may use: the
+    /// single-phase engine protocols whose semantics under churn the
+    /// `fault_equivalence` suite pins byte-identical across engines.  The
+    /// multi-phase algorithms assume a static topology between phases, so
+    /// the sweep never pairs them with a [`ChurnSpec`].
+    pub fn supports_faults(&self) -> bool {
+        matches!(
+            self,
+            ProtocolKind::PushPull
+                | ProtocolKind::Flooding
+                | ProtocolKind::PushPullAllToAll
+                | ProtocolKind::FloodingAllToAll
+        )
+    }
+
     /// Runs one trial of this protocol (broadcasts start at node 0).
     pub fn run(&self, g: &Graph, seed: u64) -> TrialMeasurement {
         self.run_with_diameter_bound(g, None, seed)
+    }
+
+    /// Runs one fault-injected trial: derives a [`FaultPlan`] from the trial
+    /// seed via [`FaultPlan::random_churn`] and drives the engine directly
+    /// with the plan attached, so the measurement carries the engine's
+    /// graceful-degradation section.  Faulted runs may legitimately *not*
+    /// complete (the source can crash, rumors can strand on dead nodes);
+    /// the round cap mirrors the plain protocol wrappers' generous budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a protocol that does not
+    /// [support faults](Self::supports_faults) — the sweep grid never
+    /// constructs such a cell.
+    pub fn run_faulted(&self, g: &Graph, spec: &ChurnSpec, seed: u64) -> TrialMeasurement {
+        let plan = FaultPlan::random_churn(g, seed ^ 0x04, spec);
+        let cap = (g.node_count() as u64)
+            .saturating_mul(g.max_latency().max(1))
+            .saturating_mul(4)
+            .max(10_000);
+        let source = NodeId::new(0);
+        let config = SimConfig::new(seed ^ 0x03).max_rounds(cap).faults(plan);
+        let config = match self {
+            ProtocolKind::PushPull | ProtocolKind::Flooding => config
+                .termination(Termination::AllKnowRumorOf(source))
+                .track_rumor(RumorId::of_node(source)),
+            ProtocolKind::PushPullAllToAll | ProtocolKind::FloodingAllToAll => {
+                config.termination(Termination::AllKnowAll)
+            }
+            _ => panic!(
+                "fault injection supports the single-phase protocols only, not {}",
+                self.name()
+            ),
+        };
+        let report = match self {
+            ProtocolKind::PushPull | ProtocolKind::PushPullAllToAll => {
+                Simulation::new(g, config).run(&mut RandomPushPull::new(g))
+            }
+            _ => Simulation::new(g, config).run(&mut RoundRobinFlood::new(g)),
+        };
+        TrialMeasurement {
+            rounds: report.rounds,
+            activations: report.activations,
+            completed: report.completed,
+            mem: report.mem,
+            faults: report.faults,
+        }
     }
 
     /// [`run`](Self::run) with the diameter bound the heavy protocols' "known
@@ -316,6 +392,7 @@ impl ProtocolKind {
             activations: r.activations,
             completed: r.completed,
             mem: r.mem,
+            faults: None,
         };
         let bound = || d.unwrap_or_else(|| gossip_core::diameter_bound(g));
         match self {
@@ -336,6 +413,7 @@ impl ProtocolKind {
                     activations: r.push_pull.activations + r.spanner_route.activations,
                     completed: r.completed,
                     mem: None,
+                    faults: None,
                 }
             }
         }
@@ -445,6 +523,7 @@ impl SweepSpec {
                     size: 32768,
                     profile: LatencyProfile::AsBuilt,
                     protocol,
+                    faults: None,
                 })
                 .collect();
                 // Heavy-protocol cells past the old 1024 wall: the
@@ -465,6 +544,7 @@ impl SweepSpec {
                         size: 8192,
                         profile: LatencyProfile::AsBuilt,
                         protocol,
+                        faults: None,
                     }),
                 );
                 extra.extend(
@@ -477,12 +557,14 @@ impl SweepSpec {
                                     size: 16384,
                                     profile: LatencyProfile::AsBuilt,
                                     protocol,
+                                    faults: None,
                                 },
                                 Scenario {
                                     family: GraphFamily::Grid,
                                     size: 8192,
                                     profile: LatencyProfile::AsBuilt,
                                     protocol,
+                                    faults: None,
                                 },
                             ]
                         }),
@@ -505,6 +587,7 @@ impl SweepSpec {
                                 size,
                                 profile: LatencyProfile::AsBuilt,
                                 protocol,
+                                faults: None,
                             })
                         }),
                     );
@@ -516,6 +599,7 @@ impl SweepSpec {
                                 size: 131072,
                                 profile: LatencyProfile::AsBuilt,
                                 protocol,
+                                faults: None,
                             }),
                     );
                     extra.extend(
@@ -526,6 +610,7 @@ impl SweepSpec {
                                 size: 16384,
                                 profile: LatencyProfile::AsBuilt,
                                 protocol,
+                                faults: None,
                             }),
                     );
                 }
@@ -559,6 +644,81 @@ impl SweepSpec {
         self.scenario_count() as u64 * self.trials
     }
 
+    /// Number of fault-injected cells in the grid (including extras).
+    pub fn fault_cell_count(&self) -> usize {
+        self.scenarios()
+            .iter()
+            .filter(|s| s.faults.is_some())
+            .count()
+    }
+
+    /// The opt-in fault-injection tier: cells that rerun the lightweight
+    /// protocols under seed-derived churn and report graceful degradation
+    /// instead of clean dissemination.  Appended to
+    /// [`extra`](Self::extra) by `experiments sweep --faults`; never part
+    /// of the default grid, so the committed Large baseline (and every
+    /// fault-free cell's trial seeds) are untouched.
+    ///
+    /// Two regimes per family, on the two topology extremes the fault model
+    /// stresses most — the star (hub crash strands every leaf) and a sparse
+    /// Erdős–Rényi instance (cuts fragment the residual graph):
+    ///
+    /// * **churn**: 10% of nodes crash and rejoin amnesiac 24 rounds later,
+    ///   2% of edges cut, 5% message loss — the run should usually still
+    ///   complete, and the report carries re-dissemination latency.
+    /// * **blackout**: 20% of nodes crash for good, 5% of edges cut — the
+    ///   run degrades; the report carries residual components and stranded
+    ///   rumors.
+    pub fn fault_tier(scale: Scale) -> Vec<Scenario> {
+        let size = match scale {
+            Scale::Quick => 24,
+            Scale::Full => 48,
+            Scale::Large | Scale::Huge => 1024,
+        };
+        let window = (1, (size as u64 / 2).clamp(16, 96));
+        let churn = ChurnSpec {
+            crash_permille: 100,
+            rejoin_after: Some(24),
+            cut_permille: 20,
+            loss_ppm: 50_000,
+            window,
+        };
+        let blackout = ChurnSpec {
+            crash_permille: 200,
+            rejoin_after: None,
+            cut_permille: 50,
+            loss_ppm: 0,
+            window,
+        };
+        // Sparse at 1024 nodes (≈ 5 · n edges), denser for the tiny tiers so
+        // the instance stays connected.
+        let p = if size >= 1024 { 0.01 } else { 0.3 };
+        let mut out = Vec::new();
+        for family in [GraphFamily::Star, GraphFamily::ErdosRenyi { p }] {
+            for faults in [churn, blackout] {
+                for protocol in [ProtocolKind::PushPull, ProtocolKind::Flooding] {
+                    out.push(Scenario {
+                        family,
+                        size,
+                        profile: LatencyProfile::AsBuilt,
+                        protocol,
+                        faults: Some(faults),
+                    });
+                }
+            }
+        }
+        // Knowledge saturation under churn: all-to-all on the star, where
+        // every hub outage suspends the whole exchange fabric.
+        out.push(Scenario {
+            family: GraphFamily::Star,
+            size,
+            profile: LatencyProfile::AsBuilt,
+            protocol: ProtocolKind::PushPullAllToAll,
+            faults: Some(churn),
+        });
+        out
+    }
+
     /// Expands the grid in deterministic (family, size, profile, protocol)
     /// nested order, skipping cells excluded by the size caps, then appends
     /// the [`extra`](Self::extra) cells.
@@ -585,6 +745,7 @@ impl SweepSpec {
                             size,
                             profile,
                             protocol,
+                            faults: None,
                         });
                     }
                 }
@@ -700,6 +861,23 @@ pub struct Scenario {
     pub profile: LatencyProfile,
     /// Protocol of the cell.
     pub protocol: ProtocolKind,
+    /// Seed-derived churn to inject (`None` = the fault-free cell every
+    /// sweep ran before the fault tier existed; such cells keep their exact
+    /// pre-fault trial seeds).  Only [fault-capable
+    /// protocols](ProtocolKind::supports_faults) may carry `Some`.
+    pub faults: Option<ChurnSpec>,
+}
+
+/// Stable identifier of a churn spec, used in reports and trial-seed
+/// derivation (`pm` = permille, `ppm` = parts per million).
+pub fn churn_label(spec: &ChurnSpec) -> String {
+    let rejoin = spec
+        .rejoin_after
+        .map_or("never".to_string(), |d| format!("+{d}"));
+    format!(
+        "churn(crash={}pm,rejoin={},cut={}pm,loss={}ppm,rounds={}..={})",
+        spec.crash_permille, rejoin, spec.cut_permille, spec.loss_ppm, spec.window.0, spec.window.1
+    )
 }
 
 /// The measured outcome of a single trial.
@@ -712,24 +890,31 @@ struct TrialOutcome {
     nodes: usize,
     edges: usize,
     mem: Option<gossip_sim::MemStats>,
+    faults: Option<FaultReport>,
 }
 
 /// Stable mix of the sweep seed with a trial's coordinates: FNV-1a over the
-/// scenario's *content* (family, size, profile, protocol), finished with a
-/// SplitMix64 avalanche.
+/// scenario's *content* (family, size, profile, protocol, and — for fault
+/// cells only — the churn label), finished with a SplitMix64 avalanche.
 ///
 /// Hashing the scenario's identity rather than its position in the grid means
 /// inserting, removing or reordering other scenarios leaves this scenario's
 /// trial seeds — and therefore its results — unchanged, so reports stay
-/// comparable as the grid evolves.
+/// comparable as the grid evolves.  Fault-free cells hash exactly the
+/// pre-fault-tier content string, so their seeds (and the whole committed
+/// baseline) survived the `faults` field unchanged.
 fn trial_seed(base: u64, scenario: &Scenario, trial: u64) -> u64 {
-    let key = format!(
+    let mut key = format!(
         "{}|{}|{}|{}",
         scenario.family.name(),
         scenario.size,
         scenario.profile.name(),
         scenario.protocol.name()
     );
+    if let Some(spec) = &scenario.faults {
+        key.push_str("|faults=");
+        key.push_str(&churn_label(spec));
+    }
     let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
     for byte in key.bytes() {
         hash ^= byte as u64;
@@ -777,9 +962,12 @@ fn run_trial(
             (&reweighted, None)
         }
     };
-    let measured = scenario
-        .protocol
-        .run_with_diameter_bound(g, bound, seed ^ 0x03);
+    let measured = match &scenario.faults {
+        Some(spec) => scenario.protocol.run_faulted(g, spec, seed),
+        None => scenario
+            .protocol
+            .run_with_diameter_bound(g, bound, seed ^ 0x03),
+    };
     TrialOutcome {
         scenario_index,
         rounds: measured.rounds,
@@ -788,6 +976,7 @@ fn run_trial(
         nodes: g.node_count(),
         edges: g.edge_count(),
         mem: measured.mem,
+        faults: measured.faults,
     }
 }
 
@@ -842,6 +1031,30 @@ pub struct ScenarioSummary {
     /// Rounds the scheduler fast-forwarded over (empty active worklist, the
     /// clock jumped to the next calendar event), summed over the trials.
     pub rounds_skipped: u64,
+    /// [`churn_label`] of the cell's fault spec; `"none"` for fault-free
+    /// cells (every field below is then 0).
+    pub fault_profile: String,
+    /// Crash-stop failures injected, summed over the trials.
+    pub crashes: u64,
+    /// Amnesiac rejoins injected, summed over the trials.
+    pub rejoins: u64,
+    /// Fail-stop link cuts injected, summed over the trials.
+    pub links_cut: u64,
+    /// In-flight exchanges cancelled by a crash of an endpoint, summed over
+    /// the trials.
+    pub exchanges_cancelled: u64,
+    /// Exchanges lost in transit, summed over the trials.
+    pub exchanges_lost: u64,
+    /// Fewest alive nodes at end of run over the trials (worst case).
+    pub alive_nodes_min: u64,
+    /// Smallest largest-residual-component over the trials (worst
+    /// fragmentation of the alive topology).
+    pub largest_component_min: u64,
+    /// Most rumors stranded on dead nodes over the trials (worst case).
+    pub stranded_rumors_max: u64,
+    /// Worst re-dissemination latency over trials in which a rejoined node
+    /// recovered the tracked rumor (0 when none did).
+    pub recovery_latency_max: u64,
 }
 
 impl ScenarioSummary {
@@ -895,8 +1108,45 @@ impl ScenarioSummary {
                 .iter()
                 .filter_map(|t| t.mem.map(|m| m.rounds_skipped))
                 .sum(),
+            fault_profile: scenario
+                .faults
+                .as_ref()
+                .map_or("none".to_string(), churn_label),
+            crashes: fault_sum(trials, |f| f.crashes),
+            rejoins: fault_sum(trials, |f| f.rejoins),
+            links_cut: fault_sum(trials, |f| f.links_cut),
+            exchanges_cancelled: fault_sum(trials, |f| f.exchanges_cancelled),
+            exchanges_lost: fault_sum(trials, |f| f.exchanges_lost),
+            alive_nodes_min: trials
+                .iter()
+                .filter_map(|t| t.faults.map(|f| f.alive_nodes))
+                .min()
+                .unwrap_or(0),
+            largest_component_min: trials
+                .iter()
+                .filter_map(|t| t.faults.map(|f| f.largest_component))
+                .min()
+                .unwrap_or(0),
+            stranded_rumors_max: trials
+                .iter()
+                .filter_map(|t| t.faults.map(|f| f.stranded_rumors))
+                .max()
+                .unwrap_or(0),
+            recovery_latency_max: trials
+                .iter()
+                .filter_map(|t| t.faults.and_then(|f| f.recovery_latency))
+                .max()
+                .unwrap_or(0),
         }
     }
+}
+
+/// Sum of one [`FaultReport`] counter over a scenario's faulted trials.
+fn fault_sum(trials: &[TrialOutcome], field: impl Fn(&FaultReport) -> u64) -> u64 {
+    trials
+        .iter()
+        .filter_map(|t| t.faults.as_ref().map(&field))
+        .sum()
 }
 
 /// Nearest-rank percentile of an ascending-sorted slice (lower median for 50).
@@ -927,7 +1177,7 @@ impl SweepReport {
     /// the grid order, and the writer formats numbers deterministically.
     pub fn to_json(&self) -> String {
         Json::object(vec![
-            ("schema", Json::Str("gossip-sweep/v4".to_string())),
+            ("schema", Json::Str("gossip-sweep/v5".to_string())),
             ("trials_per_scenario", Json::Int(self.trials as i64)),
             // A string, not an i64: u64 seeds above i64::MAX must survive
             // the round trip through the report.
@@ -959,6 +1209,32 @@ impl SweepReport {
                                 ("collapsed_nodes", Json::Int(s.collapsed_nodes as i64)),
                                 ("rounds_simulated", Json::Int(s.rounds_simulated as i64)),
                                 ("rounds_skipped", Json::Int(s.rounds_skipped as i64)),
+                                // v5: the graceful-degradation section.  All
+                                // zeros (profile "none") for fault-free cells,
+                                // so fault-aware consumers need no schema
+                                // branching.
+                                ("fault_profile", Json::Str(s.fault_profile.clone())),
+                                ("crashes", Json::Int(s.crashes as i64)),
+                                ("rejoins", Json::Int(s.rejoins as i64)),
+                                ("links_cut", Json::Int(s.links_cut as i64)),
+                                (
+                                    "exchanges_cancelled",
+                                    Json::Int(s.exchanges_cancelled as i64),
+                                ),
+                                ("exchanges_lost", Json::Int(s.exchanges_lost as i64)),
+                                ("alive_nodes_min", Json::Int(s.alive_nodes_min as i64)),
+                                (
+                                    "largest_component_min",
+                                    Json::Int(s.largest_component_min as i64),
+                                ),
+                                (
+                                    "stranded_rumors_max",
+                                    Json::Int(s.stranded_rumors_max as i64),
+                                ),
+                                (
+                                    "recovery_latency_max",
+                                    Json::Int(s.recovery_latency_max as i64),
+                                ),
                             ])
                         })
                         .collect(),
@@ -1197,6 +1473,7 @@ mod tests {
             size,
             profile: LatencyProfile::AsBuilt,
             protocol: ProtocolKind::PushPull,
+            faults: None,
         };
         // The same scenario yields the same seed wherever it sits in a grid;
         // a different scenario yields a different one.
@@ -1207,6 +1484,160 @@ mod tests {
         assert_ne!(
             trial_seed(7, &scenario(16), 3),
             trial_seed(7, &scenario(24), 3)
+        );
+    }
+
+    fn tiny_churn() -> ChurnSpec {
+        ChurnSpec {
+            crash_permille: 200,
+            rejoin_after: Some(8),
+            cut_permille: 50,
+            loss_ppm: 40_000,
+            window: (1, 12),
+        }
+    }
+
+    #[test]
+    fn fault_cells_hash_their_churn_spec_into_the_trial_seed() {
+        let cell = |faults: Option<ChurnSpec>| Scenario {
+            family: GraphFamily::Star,
+            size: 16,
+            profile: LatencyProfile::AsBuilt,
+            protocol: ProtocolKind::PushPull,
+            faults,
+        };
+        let plain = trial_seed(7, &cell(None), 0);
+        let churned = trial_seed(7, &cell(Some(tiny_churn())), 0);
+        assert_ne!(plain, churned, "fault cells must draw fresh seeds");
+        let mut heavier = tiny_churn();
+        heavier.crash_permille = 300;
+        assert_ne!(
+            churned,
+            trial_seed(7, &cell(Some(heavier)), 0),
+            "different specs are different scenario content"
+        );
+        assert_eq!(churned, trial_seed(7, &cell(Some(tiny_churn())), 0));
+    }
+
+    #[test]
+    fn fault_tier_cells_are_fault_capable_at_every_scale() {
+        for scale in [Scale::Quick, Scale::Full, Scale::Large, Scale::Huge] {
+            let tier = SweepSpec::fault_tier(scale);
+            assert!(!tier.is_empty());
+            for cell in &tier {
+                assert!(cell.protocol.supports_faults(), "{}", cell.protocol.name());
+                assert!(cell.faults.is_some());
+            }
+        }
+        // And the tier is what `fault_cell_count` counts.
+        let mut spec = tiny_spec();
+        assert_eq!(spec.fault_cell_count(), 0);
+        spec.extra.extend(SweepSpec::fault_tier(Scale::Quick));
+        assert_eq!(
+            spec.fault_cell_count(),
+            SweepSpec::fault_tier(Scale::Quick).len()
+        );
+    }
+
+    #[test]
+    fn faulted_cells_report_graceful_degradation_and_leave_other_cells_alone() {
+        let mut spec = SweepSpec {
+            families: vec![GraphFamily::Star],
+            sizes: vec![24],
+            profiles: vec![LatencyProfile::AsBuilt],
+            protocols: vec![ProtocolKind::PushPull],
+            trials: 3,
+            base_seed: 99,
+            dense_size_cap: None,
+            heavy_size_cap: None,
+            extra: Vec::new(),
+        };
+        let baseline = spec.run();
+        assert_eq!(baseline.scenarios[0].fault_profile, "none");
+        assert_eq!(baseline.scenarios[0].crashes, 0);
+        assert_eq!(baseline.scenarios[0].alive_nodes_min, 0);
+
+        // Blackout cell: permanent crashes with the star's hub in play.
+        let blackout = ChurnSpec {
+            rejoin_after: None,
+            loss_ppm: 0,
+            ..tiny_churn()
+        };
+        spec.extra.push(Scenario {
+            family: GraphFamily::Star,
+            size: 24,
+            profile: LatencyProfile::AsBuilt,
+            protocol: ProtocolKind::PushPull,
+            faults: Some(blackout),
+        });
+        let faulted = spec.run();
+
+        // The fault-free cell is byte-identical to its pre-tier self: fault
+        // cells draw their own seeds.
+        let strip = |report: &SweepReport| report.to_json();
+        let a = strip(&baseline);
+        let b = strip(&faulted);
+        let cell_a = Json::parse(&a).unwrap();
+        let cell_b = Json::parse(&b).unwrap();
+        assert_eq!(
+            cell_a.get("scenarios").and_then(Json::as_array).unwrap()[0],
+            cell_b.get("scenarios").and_then(Json::as_array).unwrap()[0],
+            "adding the fault tier must not perturb fault-free cells"
+        );
+
+        let cell = &faulted.scenarios[1];
+        assert_eq!(cell.fault_profile, churn_label(&blackout));
+        // 200‰ of 24 nodes (4 per trial) are *scheduled* to crash; a trial
+        // that completes before the window elapses absorbs only a prefix of
+        // the schedule, so the sum over 3 trials is bounded, not exact.
+        assert!(cell.crashes > 0, "blackout must crash someone");
+        assert!(cell.crashes <= 3 * 4);
+        assert_eq!(cell.rejoins, 0, "blackout crashes are permanent");
+        assert_eq!(cell.exchanges_lost, 0, "blackout runs are loss-free");
+        assert!(cell.alive_nodes_min >= 20, "at most 4 crashes per trial");
+        assert!(cell.alive_nodes_min < 24, "someone actually crashed");
+        assert!(cell.largest_component_min <= 23);
+        // Determinism: the faulted grid serialises identically on a rerun.
+        assert_eq!(faulted.to_json(), spec.run().to_json());
+    }
+
+    #[test]
+    fn churn_with_rejoin_reports_recovery_latency() {
+        // A clique under rejoin churn: the rumor always survives somewhere,
+        // rejoined nodes re-learn it, and the report carries the worst
+        // re-dissemination latency.
+        let spec = SweepSpec {
+            families: vec![GraphFamily::Clique],
+            sizes: vec![16],
+            profiles: vec![LatencyProfile::AsBuilt],
+            protocols: vec![],
+            trials: 4,
+            base_seed: 31,
+            dense_size_cap: None,
+            heavy_size_cap: None,
+            extra: vec![Scenario {
+                family: GraphFamily::Clique,
+                size: 16,
+                profile: LatencyProfile::AsBuilt,
+                protocol: ProtocolKind::PushPullAllToAll,
+                faults: Some(tiny_churn()),
+            }],
+        };
+        let report = spec.run();
+        let cell = &report.scenarios[0];
+        // 200‰ of 16 nodes = 3 crash events scheduled per trial; trials
+        // absorb the prefix that lands before they complete.
+        assert!(cell.crashes > 0);
+        assert!(cell.crashes <= 4 * 3);
+        assert!(cell.rejoins <= cell.crashes);
+        assert!(cell.alive_nodes_min >= 13, "at most 3 crashes per trial");
+        assert!(
+            cell.recovery_latency_max > 0,
+            "a rejoined clique node must re-learn the universe in some trial"
+        );
+        assert_eq!(
+            cell.completed, cell.trials,
+            "rejoin churn on a clique still disseminates"
         );
     }
 
@@ -1258,6 +1689,7 @@ mod tests {
             size: 1 << 15,
             profile: LatencyProfile::AsBuilt,
             protocol: ProtocolKind::Flooding,
+            faults: None,
         });
         // Extras bypass the caps.
         assert_eq!(spec.scenario_count(), uncapped - 4 - 2 + 1);

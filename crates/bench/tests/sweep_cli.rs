@@ -41,7 +41,7 @@ fn sweep_subcommand_writes_reproducible_reports_and_timing_artifact() {
     let parsed = Json::parse(std::str::from_utf8(&first).unwrap().trim()).unwrap();
     assert_eq!(
         parsed.get("schema").and_then(Json::as_str),
-        Some("gossip-sweep/v4")
+        Some("gossip-sweep/v5")
     );
     let scenarios = parsed.get("scenarios").and_then(Json::as_array).unwrap();
     assert!(scenarios.len() >= 4, "sweep must cover the standard grid");
@@ -109,6 +109,74 @@ fn large_sweep_json_is_byte_identical_across_thread_counts() {
     // 7 families x 1 size x 2 profiles x 4 protocols (the 32768-star extras
     // are above the budget cap).
     assert_eq!(scenarios.len(), 7 * 2 * 4);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn faults_flag_appends_the_fault_tier_and_stays_thread_deterministic() {
+    // `--faults` appends the churn/blackout cells to the grid.  The faulted
+    // report must be byte-identical across worker-thread counts, the fault
+    // cells must carry a non-"none" profile, and the fault-free cells must
+    // be untouched relative to a run without the flag.
+    let experiments = env!("CARGO_BIN_EXE_experiments");
+    let dir = std::env::temp_dir().join(format!("gossip-sweep-faults-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let run = |faults: bool, threads: &str, out: &std::path::Path| {
+        let mut args = vec!["sweep", "--quick", "--trials", "2", "--seed", "7"];
+        if faults {
+            args.push("--faults");
+        }
+        let output = std::process::Command::new(experiments)
+            .args(&args)
+            .arg("--out")
+            .arg(out)
+            .arg("--timing-out")
+            .arg(dir.join(format!("timing-{faults}-{threads}.json")))
+            .env("RAYON_NUM_THREADS", threads)
+            .output()
+            .expect("experiments sweep runs");
+        assert!(
+            output.status.success(),
+            "experiments sweep --faults failed:\n{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        std::fs::read(out).expect("report file written")
+    };
+    let single = run(true, "1", &dir.join("f1.json"));
+    let parallel = run(true, "4", &dir.join("f4.json"));
+    assert_eq!(
+        single, parallel,
+        "thread count must not leak into the faulted sweep report"
+    );
+    let plain = run(false, "1", &dir.join("p1.json"));
+
+    let faulted = Json::parse(std::str::from_utf8(&single).unwrap().trim()).unwrap();
+    let plain = Json::parse(std::str::from_utf8(&plain).unwrap().trim()).unwrap();
+    let faulted_cells = faulted.get("scenarios").and_then(Json::as_array).unwrap();
+    let plain_cells = plain.get("scenarios").and_then(Json::as_array).unwrap();
+    assert!(
+        faulted_cells.len() > plain_cells.len(),
+        "--faults must append cells to the grid"
+    );
+    // The shared prefix (the fault-free grid) is unchanged by the flag.
+    for (with, without) in faulted_cells.iter().zip(plain_cells.iter()) {
+        assert_eq!(
+            with, without,
+            "fault tier must not perturb fault-free cells"
+        );
+    }
+    let profiles: Vec<&str> = faulted_cells
+        .iter()
+        .filter_map(|s| s.get("fault_profile").and_then(Json::as_str))
+        .collect();
+    assert_eq!(profiles.len(), faulted_cells.len());
+    assert!(profiles.iter().any(|p| p.starts_with("churn(")));
+    assert!(profiles[..plain_cells.len()].iter().all(|p| *p == "none"));
+    let crashed: i64 = faulted_cells
+        .iter()
+        .filter_map(|s| s.get("crashes").and_then(Json::as_i64))
+        .sum();
+    assert!(crashed > 0, "fault tier must actually crash nodes");
     std::fs::remove_dir_all(&dir).ok();
 }
 

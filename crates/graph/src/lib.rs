@@ -10,6 +10,8 @@
 //!
 //! * [`Graph`] — an undirected graph with integer edge latencies and stable
 //!   [`NodeId`] / [`EdgeId`] handles,
+//! * [`AliveView`] — crash/cut liveness overlays on an immutable graph
+//!   (filtered adjacency for fault injection),
 //! * [`GraphBuilder`] — incremental, validated construction,
 //! * [`generators`] — the graph families used throughout the paper's proofs
 //!   and the evaluation harness (cliques, expanders, rings of cliques,
@@ -45,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod alive;
 mod builder;
 mod error;
 mod graph;
@@ -56,6 +59,7 @@ pub mod latency;
 pub mod metrics;
 pub mod spanner;
 
+pub use alive::AliveView;
 pub use builder::GraphBuilder;
 pub use error::GraphError;
 pub use graph::{EdgeRecord, Graph, NeighborIter};

@@ -103,6 +103,18 @@ impl Default for AuditConfig {
             "EllDtg::on_round",
             "EllDtg::on_exchange",
             "RrBroadcast::on_round",
+            // Fault-injection entry points.  Plan construction runs before
+            // `Simulation::run` (from bench/test harnesses), and the
+            // graceful-degradation accounting walks liveness bitsets — both
+            // must be panic-free on every seed, so they are roots of their
+            // own in addition to being reachable from the engine driver.
+            "FaultPlan::random_churn",
+            "Progress::crash_node",
+            "Progress::rejoin_node",
+            "AliveView::kill_node",
+            "AliveView::revive_node",
+            "AliveView::residual_components",
+            "stranded_rumors",
         ];
         Self {
             panic_roots: panic_roots.iter().map(|s| s.to_string()).collect(),

@@ -81,11 +81,12 @@
 
 use std::collections::HashMap;
 
-use gossip_graph::{EdgeId, Graph, Latency, NodeId};
+use gossip_graph::{AliveView, EdgeId, Graph, Latency, NodeId};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::report::{MemStats, RunReport};
+use crate::fault::{self, FaultEvent, FaultPlan};
+use crate::report::{FaultReport, MemStats, RunReport};
 use crate::rumor::{self, AcquisitionLog, RumorId, RumorRun, RumorSet};
 
 /// Whether a node may start a new exchange while one it initiated is still in flight.
@@ -125,6 +126,7 @@ pub struct SimConfig {
     pub(crate) latencies_known: bool,
     pub(crate) tracked_rumor: Option<RumorId>,
     pub(crate) shadow_min_truncate_runs: usize,
+    pub(crate) faults: Option<FaultPlan>,
 }
 
 impl SimConfig {
@@ -139,6 +141,7 @@ impl SimConfig {
             latencies_known: false,
             tracked_rumor: None,
             shadow_min_truncate_runs: 64,
+            faults: None,
         }
     }
 
@@ -189,6 +192,16 @@ impl SimConfig {
         self.shadow_min_truncate_runs = min_truncate_runs;
         self
     }
+
+    /// Attaches a deterministic fault schedule (crash-stop churn, link
+    /// cuts, message loss — see [`FaultPlan`]) to the run.  The report then
+    /// carries a [`FaultReport`](crate::FaultReport) with the
+    /// graceful-degradation accounting, and termination conditions quantify
+    /// over *alive* nodes only.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
 }
 
 /// Which endpoints have discovered which edge latencies: two bits per edge,
@@ -214,6 +227,14 @@ impl DiscoveredLatencies {
     fn known(&self, edge: EdgeId, second_endpoint: bool) -> bool {
         let i = edge.index() * 2 + second_endpoint as usize;
         self.bits[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Forgets one endpoint's discovery of an edge latency (amnesiac
+    /// rejoin: the rejoining node must re-learn its incident latencies).
+    // gossip-lint: allow(panic-path): discovery bitmaps are sized 2 * edge_count at construction
+    fn unmark(&mut self, edge: EdgeId, second_endpoint: bool) {
+        let i = edge.index() * 2 + second_endpoint as usize;
+        self.bits[i / 64] &= !(1 << (i % 64));
     }
 }
 
@@ -319,13 +340,27 @@ pub enum Activity {
     ///   can change;
     /// * `v`'s saturation-collapse lap finishes (an engine-internal event,
     ///   included so a protocol may key idleness off `view.rumors` becoming
-    ///   full without tracking the collapse calendar itself).
+    ///   full without tracking the collapse calendar itself);
+    /// * an exchange `v` initiated is cancelled by a fault or times out lost
+    ///   (its `pending_own` / Blocking-mode `can_initiate` state changed);
+    /// * a fault event from a [`FaultPlan`](crate::FaultPlan) touches `v`'s
+    ///   neighborhood: a neighbor crashes or rejoins, or an incident edge is
+    ///   cut.
     IdleUntilWoken,
     /// The same promise, unconditionally and forever: no event can make this
     /// node act again.  The engine retires the node permanently — it is
     /// *not* re-activated by wake events — so this is only sound when the
     /// silence derives from irreversible state (a full rumor set, an
     /// isolated node, a finished program).
+    ///
+    /// **Fault events are outside this promise.**  A topology change from a
+    /// [`FaultPlan`](crate::FaultPlan) (a neighbor crashing or rejoining, an
+    /// incident edge cut) re-activates even quiescent survivors, because the
+    /// irreversible state the promise derived from may no longer hold — an
+    /// isolated node can gain its neighbor back through a rejoin.  A node
+    /// whose quiescence really is irreversible (a full rumor set cannot
+    /// shrink) simply returns `None` + `Quiescent` once more and is retired
+    /// again.
     Quiescent,
 }
 
@@ -422,6 +457,10 @@ struct Flight {
     initiator_known: u32,
     /// Responder's log length at initiation time.
     responder_known: u32,
+    /// Lost in transit ([`FaultPlan::message_loss`]): occupies the
+    /// initiator's slot until the completion round, then times out silently
+    /// — no merge, no discovery, no `on_exchange`.
+    lost: bool,
 }
 
 /// Scheduler-side view of one node, maintained by the engine (the protocol's
@@ -434,6 +473,19 @@ enum NodeState {
     Idle,
     /// Retired permanently; never consulted or woken again.
     Quiescent,
+}
+
+/// Force-wakes a node on a fault event: unlike ordinary wake events (which
+/// only re-activate [`NodeState::Idle`] nodes), fault events re-activate even
+/// [`NodeState::Quiescent`] nodes — see [`Activity::Quiescent`], whose
+/// retirement promise excludes topology changes.  Re-waking an already-woken
+/// node is a no-op (it is already `Active` and queued).
+// gossip-lint: allow(panic-path): node_state is sized n at construction; node ids are dense
+fn force_wake(node_state: &mut [NodeState], woken: &mut Vec<u32>, i: usize) {
+    if node_state[i] != NodeState::Active {
+        node_state[i] = NodeState::Active;
+        woken.push(i as u32);
+    }
 }
 
 /// The next round strictly after `round` at which any calendar bucket fires:
@@ -449,7 +501,7 @@ fn next_event_round(
     round: u64,
     ring_len: usize,
     calendar: &[Vec<Flight>],
-    shadow_ring: &[Vec<(u32, u32)>],
+    shadow_ring: &[Vec<(u32, u32, u32)>],
 ) -> Option<u64> {
     let cur = (round % ring_len as u64) as usize;
     let mut best: Option<u64> = None;
@@ -545,7 +597,27 @@ struct Progress<'g> {
     /// inserts (run-granular so a saturating merge is `O(runs)`, not
     /// `O(rumors)`).
     scratch: Vec<RumorRun>,
+    /// Rejoined nodes still re-disseminating: `(node, rejoin round)` pairs,
+    /// removed once the node recovers (or crashes again).  Only ever
+    /// non-empty under a fault plan with rejoins, and holds at most the
+    /// currently-unrecovered rejoiners — scanning it per changing merge is
+    /// effectively free.
+    pending_recovery: Vec<(u32, u64)>,
+    /// Worst observed re-dissemination latency over recovered rejoiners
+    /// ([`FaultReport::recovery_latency`]).
+    recovery_latency: Option<u64>,
     mem: MemCounters,
+}
+
+/// Counters of applied fault events (the injection half of
+/// [`FaultReport`]; the degradation half is computed from final state).
+#[derive(Default)]
+struct FaultTally {
+    crashes: u64,
+    rejoins: u64,
+    links_cut: u64,
+    cancelled: u64,
+    lost: u64,
 }
 
 impl<'g> Progress<'g> {
@@ -599,6 +671,8 @@ impl<'g> Progress<'g> {
                 None => Vec::new(),
             },
             scratch: Vec::new(),
+            pending_recovery: Vec::new(),
+            recovery_latency: None,
             mem: MemCounters {
                 live_runs,
                 peak_runs: live_runs,
@@ -630,6 +704,7 @@ impl<'g> Progress<'g> {
     /// landed — so every observable (rumor sets, reports, future snapshot
     /// prefixes *as sets*) is identical.  The `engine_equivalence` suite pins
     /// this.
+    #[allow(clippy::too_many_arguments)]
     // gossip-lint: allow(panic-path): calendar buckets and node indices are bounded by the ring/CSR invariants
     fn merge_prefix(
         &mut self,
@@ -639,6 +714,7 @@ impl<'g> Progress<'g> {
         upto: u32,
         watermark: &mut u32,
         round: u64,
+        alive: Option<&AliveView>,
     ) -> bool {
         let (di, si) = (dst.index(), src.index());
         let start = (*watermark).min(upto);
@@ -704,12 +780,21 @@ impl<'g> Progress<'g> {
                 let node_count = self.graph.node_count();
                 for j in first.index()..(first.index() + len as usize).min(node_count) {
                     if let Ok(pos) = nbrs.binary_search_by_key(&NodeId::new(j), |&(w, _)| w) {
-                        if self.graph.latency(nbrs[pos].1) <= bound {
+                        let (w, e) = nbrs[pos];
+                        // A `(dst, w)` pair is only outstanding — and was only
+                        // counted — while `w` is alive and the edge un-cut
+                        // (crash/cut events retire such pairs eagerly).
+                        if self.graph.latency(e) <= bound
+                            && alive.is_none_or(|a| a.is_node_alive(w) && a.is_edge_alive(e))
+                        {
                             self.lb_deficit -= 1;
                         }
                     }
                 }
             }
+        }
+        if !self.pending_recovery.is_empty() {
+            self.check_recovery(rumors, di, round);
         }
         self.scratch = new_runs;
         true
@@ -794,21 +879,215 @@ impl<'g> Progress<'g> {
         self.mem.collapsed_nodes += 1;
     }
 
+    /// Retires a crashing node from every termination counter, freezes its
+    /// rumor state, and frees its log/shadow storage (a dead node is never
+    /// merged from again: every flight touching it is cancelled and no new
+    /// ones form).  Must be called with the *post-kill* alive view, exactly
+    /// once per effective crash.
+    // gossip-lint: allow(panic-path): per-node vecs are sized n at construction; node ids are dense
+    fn crash_node(&mut self, rumors: &[RumorSet], node: NodeId, alive: &AliveView) {
+        let i = node.index();
+        if self.counts[i] >= rumors[i].universe() {
+            self.full_nodes -= 1;
+        }
+        if let Some(r) = self.source_rumor {
+            if rumors[i].contains(r) {
+                self.source_known_by -= 1;
+            }
+        }
+        if let Some(bound) = self.lb_bound {
+            // Pairs incident to the dead node leave the local-broadcast
+            // obligation.  Only pairs whose *other* endpoint is alive over an
+            // un-cut edge were still counted.
+            for (w, e) in self.graph.neighbors(node) {
+                if self.graph.latency(e) <= bound
+                    && alive.is_node_alive(w)
+                    && alive.is_edge_alive(e)
+                {
+                    if !rumors[i].contains(RumorId::of_node(w)) {
+                        self.lb_deficit -= 1;
+                    }
+                    if !rumors[w.index()].contains(RumorId::of_node(node)) {
+                        self.lb_deficit -= 1;
+                    }
+                }
+            }
+        }
+        if !self.collapsed[i] {
+            let freed = self.logs[i].truncate_all() as u64;
+            self.mem.live_runs -= freed;
+            self.mem.truncated_runs += freed;
+            let shadow = std::mem::take(&mut self.shadows[i]);
+            self.mem.shadow_words_live -= shadow.len() as u64;
+            self.shadow_len[i] = self.logs[i].len();
+        }
+        if let Some(pos) = self
+            .pending_recovery
+            .iter()
+            .position(|&(v, _)| v as usize == i)
+        {
+            // Crashed again before recovering: it never recovers from *this*
+            // rejoin (a future rejoin starts a fresh recovery clock).
+            self.pending_recovery.swap_remove(pos);
+        }
+    }
+
+    /// Amnesiac rejoin: resets the node to a fresh singleton rumor state
+    /// (fresh log, no shadow, not collapsed), re-enters it into every
+    /// termination counter, and starts its re-dissemination recovery clock.
+    /// Must be called with the *post-revive* alive view.
+    // gossip-lint: allow(panic-path): per-node vecs are sized n at construction; node ids are dense
+    fn rejoin_node(
+        &mut self,
+        rumors: &mut [RumorSet],
+        node: NodeId,
+        round: u64,
+        alive: &AliveView,
+    ) {
+        let i = node.index();
+        let universe = rumors[i].universe();
+        let pages_before = rumors[i].live_pages();
+        rumors[i] = RumorSet::singleton(universe, RumorId::of_node(node));
+        self.mem
+            .record_page_delta(pages_before, rumors[i].live_pages());
+        if !self.collapsed[i] {
+            let freed = self.logs[i].truncate_all() as u64;
+            self.mem.live_runs -= freed;
+            self.mem.truncated_runs += freed;
+            let shadow = std::mem::take(&mut self.shadows[i]);
+            self.mem.shadow_words_live -= shadow.len() as u64;
+        }
+        self.logs[i] = AcquisitionLog::from_set(&rumors[i]);
+        self.mem.live_runs += self.logs[i].retained_runs() as u64;
+        self.mem.peak_runs = self.mem.peak_runs.max(self.mem.live_runs);
+        self.shadow_len[i] = 0;
+        self.collapsed[i] = false;
+        self.counts[i] = rumors[i].len();
+        if self.counts[i] >= universe {
+            self.full_nodes += 1;
+        }
+        if let Some(r) = self.source_rumor {
+            if rumors[i].contains(r) {
+                self.source_known_by += 1;
+            }
+        }
+        if let Some(r) = self.tracked {
+            if rumors[i].contains(r) && self.informed_times[i].is_none() {
+                self.informed_times[i] = Some(round);
+            }
+        }
+        if let Some(bound) = self.lb_bound {
+            // The rejoined node re-enters the local-broadcast obligation in
+            // both directions of every usable incident edge: it forgot its
+            // neighbors' rumors, and its neighbors still hold its (identical)
+            // rumor or not — re-count from the actual sets.
+            for (w, e) in self.graph.neighbors(node) {
+                if self.graph.latency(e) <= bound
+                    && alive.is_node_alive(w)
+                    && alive.is_edge_alive(e)
+                {
+                    if !rumors[i].contains(RumorId::of_node(w)) {
+                        self.lb_deficit += 1;
+                    }
+                    if !rumors[w.index()].contains(RumorId::of_node(node)) {
+                        self.lb_deficit += 1;
+                    }
+                }
+            }
+        }
+        let recovered = match self.recovery_target() {
+            Some(r) => rumors[i].contains(r),
+            None => rumors[i].is_full(),
+        };
+        if recovered {
+            self.note_recovery(0);
+        } else {
+            self.pending_recovery.push((i as u32, round));
+        }
+    }
+
+    /// Retires the local-broadcast pairs of a freshly cut edge (both
+    /// directions, if both endpoints are alive — dead-endpoint pairs were
+    /// already retired by the crash).  Must be called with the *post-cut*
+    /// alive view.
+    // gossip-lint: allow(panic-path): per-node vecs are sized n at construction; node ids are dense
+    fn cut_edge_pairs(&mut self, rumors: &[RumorSet], edge: EdgeId, alive: &AliveView) {
+        let Some(bound) = self.lb_bound else {
+            return;
+        };
+        if self.graph.latency(edge) > bound {
+            return;
+        }
+        let rec = self.graph.edge(edge);
+        if !alive.is_node_alive(rec.u) || !alive.is_node_alive(rec.v) {
+            return;
+        }
+        if !rumors[rec.u.index()].contains(RumorId::of_node(rec.v)) {
+            self.lb_deficit -= 1;
+        }
+        if !rumors[rec.v.index()].contains(RumorId::of_node(rec.u)) {
+            self.lb_deficit -= 1;
+        }
+    }
+
+    /// The rumor a rejoined node must re-learn to count as *recovered*: the
+    /// tracked rumor if any, else the `AllKnowRumorOf` source rumor, else
+    /// (`None`) its whole set.
+    fn recovery_target(&self) -> Option<RumorId> {
+        self.tracked.or(self.source_rumor)
+    }
+
+    /// If `node` is awaiting recovery and now holds its target, records the
+    /// re-dissemination latency and stops tracking it.
+    // gossip-lint: allow(panic-path): pending_recovery rounds never exceed the current round
+    fn check_recovery(&mut self, rumors: &[RumorSet], node: usize, round: u64) {
+        let Some(pos) = self
+            .pending_recovery
+            .iter()
+            .position(|&(v, _)| v as usize == node)
+        else {
+            return;
+        };
+        let recovered = match self.recovery_target() {
+            Some(r) => rumors[node].contains(r),
+            None => rumors[node].is_full(),
+        };
+        if recovered {
+            let (_, since) = self.pending_recovery.swap_remove(pos);
+            self.note_recovery(round - since);
+        }
+    }
+
+    /// Folds one recovered rejoiner's latency into the worst-case aggregate.
+    fn note_recovery(&mut self, latency: u64) {
+        self.recovery_latency = Some(
+            self.recovery_latency
+                .map_or(latency, |cur| cur.max(latency)),
+        );
+    }
+
     fn is_done<P: Protocol>(
         &self,
         termination: &Termination,
         round: u64,
         protocol: &P,
         in_flight_count: usize,
+        alive: Option<&AliveView>,
     ) -> bool {
-        let n = self.counts.len();
+        // Under faults, dissemination conditions quantify over *alive* nodes
+        // only (counters never count dead nodes); with no node alive they
+        // hold vacuously.
+        let n_alive = alive.map_or(self.counts.len(), AliveView::alive_count);
         match *termination {
-            Termination::AllKnowRumorOf(_) => self.source_known_by == n,
-            Termination::AllKnowAll => self.full_nodes == n,
+            Termination::AllKnowRumorOf(_) => self.source_known_by == n_alive,
+            Termination::AllKnowAll => self.full_nodes == n_alive,
             Termination::LocalBroadcast(_) => self.lb_deficit == 0,
             Termination::FixedRounds(target) => round >= target,
             Termination::Quiescent => {
-                in_flight_count == 0 && self.graph.nodes().all(|v| protocol.is_idle(v))
+                in_flight_count == 0
+                    && self.graph.nodes().all(|v| {
+                        alive.is_some_and(|a| !a.is_node_alive(v)) || protocol.is_idle(v)
+                    })
             }
         }
     }
@@ -890,6 +1169,26 @@ impl<'g> Simulation<'g> {
         let n = self.graph.node_count();
         let mut rng = SmallRng::seed_from_u64(self.config.seed);
 
+        // Fault machinery — all empty/`None` without a plan, so fault-free
+        // runs pay nothing beyond a few predictable branches.
+        let fault_plan = self.config.faults.clone();
+        let fault_events: &[(u64, FaultEvent)] = match &fault_plan {
+            Some(plan) => plan.events(),
+            None => &[],
+        };
+        let mut fault_cursor = 0usize;
+        let mut fault_tally = FaultTally::default();
+        let mut loss = fault_plan.as_ref().and_then(FaultPlan::loss_stream);
+        let mut alive: Option<AliveView> = fault_plan.as_ref().map(|_| AliveView::new(self.graph));
+        // Per-node fault epoch: queued shadow-ring entries carry the epoch at
+        // queue time, and a crash or rejoin bumps it — stale entries (whose
+        // log positions refer to a freed or reset log) are dropped on pop.
+        let mut epoch: Vec<u32> = if fault_plan.is_some() {
+            vec![0; n]
+        } else {
+            Vec::new()
+        };
+
         let mut progress = Progress::new(self.graph, &self.config, &self.rumors);
         // Nodes that start fully saturated (trivial universes, pre-seeded
         // states) have no outstanding snapshots at all: collapse immediately.
@@ -916,7 +1215,8 @@ impl<'g> Simulation<'g> {
         // round `r` is queued with its end-of-round count, and popped
         // `ring_len` rounds later — by then every snapshot still in flight
         // was taken *after* round `r`, so the frontier may move there.
-        let mut shadow_ring: Vec<Vec<(u32, u32)>> = (0..ring_len).map(|_| Vec::new()).collect();
+        let mut shadow_ring: Vec<Vec<(u32, u32, u32)>> =
+            (0..ring_len).map(|_| Vec::new()).collect();
         let mut changed_mark: Vec<u64> = vec![u64::MAX; n];
         let mut changed_this_round: Vec<u32> = Vec::new();
         let min_truncate_runs = self.config.shadow_min_truncate_runs;
@@ -938,19 +1238,131 @@ impl<'g> Simulation<'g> {
         let mut active_peak: u64 = worklist.len() as u64;
 
         let mut round: u64 = 0;
-        let mut completed =
-            progress.is_done(&self.config.termination, 0, protocol, in_flight_count);
+        let mut completed = progress.is_done(
+            &self.config.termination,
+            0,
+            protocol,
+            in_flight_count,
+            alive.as_ref(),
+        );
         if !completed {
             while round < self.config.max_rounds {
                 rounds_simulated += 1;
                 let bucket = round as usize % ring_len;
+
+                // 0a. Apply fault events scheduled for this round — *before*
+                //     shadow advances and deliveries, so an exchange
+                //     completing this very round but incident to a node that
+                //     crashes now (or riding an edge cut now) is cancelled,
+                //     never delivered; the crash therefore can never
+                //     double-adjust a counter a delivery already touched.
+                while fault_events
+                    .get(fault_cursor)
+                    .is_some_and(|&(r, _)| r <= round)
+                {
+                    let (_, event) = fault_events[fault_cursor];
+                    fault_cursor += 1;
+                    let av = alive.as_mut().expect("fault events imply an alive view");
+                    match event {
+                        FaultEvent::Crash(v) => {
+                            if !av.kill_node(self.graph, v) {
+                                continue; // already dead: uncounted no-op
+                            }
+                            fault_tally.crashes += 1;
+                            // Cancel every in-flight exchange touching v; a
+                            // surviving initiator gets its slot back (a wake
+                            // event).
+                            for bucket_flights in calendar.iter_mut() {
+                                bucket_flights.retain(|fl| {
+                                    if fl.initiator != v && fl.responder != v {
+                                        return true;
+                                    }
+                                    fault_tally.cancelled += 1;
+                                    in_flight_count -= 1;
+                                    if fl.initiator != v {
+                                        let ii = fl.initiator.index();
+                                        pending_own[ii] = pending_own[ii].saturating_sub(1);
+                                        force_wake(&mut node_state, &mut woken, ii);
+                                    }
+                                    false
+                                });
+                            }
+                            pending_own[v.index()] = 0;
+                            progress.crash_node(&self.rumors, v, av);
+                            epoch[v.index()] = epoch[v.index()].wrapping_add(1);
+                            node_state[v.index()] = NodeState::Quiescent;
+                            // Topology changed under the survivors.
+                            for (w, _) in self.graph.neighbors(v) {
+                                if av.is_node_alive(w) {
+                                    force_wake(&mut node_state, &mut woken, w.index());
+                                }
+                            }
+                        }
+                        FaultEvent::Rejoin(v) => {
+                            if !av.revive_node(self.graph, v) {
+                                continue; // already alive: uncounted no-op
+                            }
+                            fault_tally.rejoins += 1;
+                            // Amnesiac restart: zero *both* directions of
+                            // every incident watermark (the peer's stale
+                            // high-water mark would otherwise skip the fresh
+                            // log's prefix, and v must re-merge everything),
+                            // and v forgets its discovered latencies.
+                            for (_, e) in self.graph.neighbors(v) {
+                                watermarks[e.index()] = [0, 0];
+                                discovered.unmark(e, self.graph.edge(e).v == v);
+                            }
+                            progress.rejoin_node(&mut self.rumors, v, round, av);
+                            epoch[v.index()] = epoch[v.index()].wrapping_add(1);
+                            changed_mark[v.index()] = u64::MAX;
+                            force_wake(&mut node_state, &mut woken, v.index());
+                            for (w, _) in self.graph.neighbors(v) {
+                                if av.is_node_alive(w) {
+                                    force_wake(&mut node_state, &mut woken, w.index());
+                                }
+                            }
+                        }
+                        FaultEvent::CutLink(e) => {
+                            if !av.cut_edge(self.graph, e) {
+                                continue; // already cut: uncounted no-op
+                            }
+                            fault_tally.links_cut += 1;
+                            for bucket_flights in calendar.iter_mut() {
+                                bucket_flights.retain(|fl| {
+                                    if fl.edge != e {
+                                        return true;
+                                    }
+                                    fault_tally.cancelled += 1;
+                                    in_flight_count -= 1;
+                                    let ii = fl.initiator.index();
+                                    pending_own[ii] = pending_own[ii].saturating_sub(1);
+                                    force_wake(&mut node_state, &mut woken, ii);
+                                    false
+                                });
+                            }
+                            progress.cut_edge_pairs(&self.rumors, e, av);
+                            let rec = self.graph.edge(e);
+                            for w in [rec.u, rec.v] {
+                                if av.is_node_alive(w) {
+                                    force_wake(&mut node_state, &mut woken, w.index());
+                                }
+                            }
+                        }
+                    }
+                }
+
                 // 0. Advance shadow frontiers queued `ring_len` rounds ago and
                 //    truncate the logs behind them.  A finished
                 //    saturation-collapse lap is a wake event (see
                 //    [`Activity::IdleUntilWoken`]).
                 let mut advances = std::mem::take(&mut shadow_ring[bucket]);
-                for (node, target) in advances.drain(..) {
+                for (node, target, entry_epoch) in advances.drain(..) {
                     let i = node as usize;
+                    if epoch.get(i).copied().unwrap_or(0) != entry_epoch {
+                        // The node crashed or rejoined since this advance was
+                        // queued: the target refers to a freed or reset log.
+                        continue;
+                    }
                     let was_collapsed = progress.collapsed[i];
                     progress.advance_shadow(&self.rumors, i, target, min_truncate_runs);
                     if !was_collapsed && progress.collapsed[i] && node_state[i] == NodeState::Idle {
@@ -968,6 +1380,14 @@ impl<'g> Simulation<'g> {
                     let latency = rec.latency;
                     pending_own[fl.initiator.index()] =
                         pending_own[fl.initiator.index()].saturating_sub(1);
+                    if fl.lost {
+                        // Timed out in transit: the initiator's slot frees up
+                        // (a wake event) but nothing is delivered — no merge,
+                        // no latency discovery, no `on_exchange`.
+                        fault_tally.lost += 1;
+                        force_wake(&mut node_state, &mut woken, fl.initiator.index());
+                        continue;
+                    }
                     // Both endpoints merge the peer's log prefix as of initiation.
                     let [toward_u, toward_v] = &mut watermarks[fl.edge.index()];
                     let (toward_initiator, toward_responder) = if fl.initiator == rec.u {
@@ -989,8 +1409,15 @@ impl<'g> Simulation<'g> {
                             toward_responder,
                         ),
                     ] {
-                        let changed =
-                            progress.merge_prefix(&mut self.rumors, dst, src, upto, mark, round);
+                        let changed = progress.merge_prefix(
+                            &mut self.rumors,
+                            dst,
+                            src,
+                            upto,
+                            mark,
+                            round,
+                            alive.as_ref(),
+                        );
                         if changed && changed_mark[dst.index()] != round {
                             changed_mark[dst.index()] = round;
                             changed_this_round.push(dst.index() as u32);
@@ -1025,11 +1452,21 @@ impl<'g> Simulation<'g> {
                 // Queue this round's growth for shadow advancement one ring
                 // revolution from now.
                 for node in changed_this_round.drain(..) {
-                    shadow_ring[bucket].push((node, progress.counts[node as usize] as u32));
+                    shadow_ring[bucket].push((
+                        node,
+                        progress.counts[node as usize] as u32,
+                        epoch.get(node as usize).copied().unwrap_or(0),
+                    ));
                 }
 
                 // 2. Check termination (conditions are evaluated on round boundaries).
-                if progress.is_done(&self.config.termination, round, protocol, in_flight_count) {
+                if progress.is_done(
+                    &self.config.termination,
+                    round,
+                    protocol,
+                    in_flight_count,
+                    alive.as_ref(),
+                ) {
                     completed = true;
                     break;
                 }
@@ -1045,12 +1482,25 @@ impl<'g> Simulation<'g> {
                     merge_buf.reserve(worklist.len() + woken.len());
                     let (mut a, mut b) = (0, 0);
                     while a < worklist.len() && b < woken.len() {
-                        if worklist[a] < woken[b] {
-                            merge_buf.push(worklist[a]);
-                            a += 1;
-                        } else {
-                            merge_buf.push(woken[b]);
-                            b += 1;
+                        // The `Equal` arm matters under faults: a node that
+                        // crashed and rejoined in the same round is still in
+                        // the stale worklist *and* in `woken` — emitting it
+                        // twice would double its `on_round` call and
+                        // desynchronise the RNG.
+                        match worklist[a].cmp(&woken[b]) {
+                            std::cmp::Ordering::Less => {
+                                merge_buf.push(worklist[a]);
+                                a += 1;
+                            }
+                            std::cmp::Ordering::Greater => {
+                                merge_buf.push(woken[b]);
+                                b += 1;
+                            }
+                            std::cmp::Ordering::Equal => {
+                                merge_buf.push(worklist[a]);
+                                a += 1;
+                                b += 1;
+                            }
                         }
                     }
                     merge_buf.extend_from_slice(&worklist[a..]);
@@ -1067,6 +1517,14 @@ impl<'g> Simulation<'g> {
                 for k in 0..worklist.len() {
                     let i = worklist[k] as usize;
                     let node = NodeId::new(i);
+                    if let Some(av) = &alive {
+                        if !av.is_node_alive(node) {
+                            // Crashed while queued: drop from the worklist
+                            // (its state is already `Quiescent`; a rejoin
+                            // force-wake re-admits it).
+                            continue;
+                        }
+                    }
                     let can_initiate = match self.config.mode {
                         ExchangeMode::NonBlocking => true,
                         ExchangeMode::Blocking => pending_own[i] == 0,
@@ -1075,7 +1533,10 @@ impl<'g> Simulation<'g> {
                         node,
                         round,
                         rumors: &self.rumors[i],
-                        neighbors: self.graph.neighbor_slice(node),
+                        neighbors: match &alive {
+                            Some(av) => av.neighbor_slice(self.graph, node),
+                            None => self.graph.neighbor_slice(node),
+                        },
                         can_initiate,
                         pending_own: pending_own[i],
                         latency_oracle: LatencyOracle {
@@ -1109,6 +1570,16 @@ impl<'g> Simulation<'g> {
                         protocol.on_rejected(node, target, round);
                         continue;
                     };
+                    if let Some(av) = &alive {
+                        // A dead peer or cut edge rejects like a non-neighbor
+                        // (the filtered view means a well-behaved protocol
+                        // never picks one).
+                        if !av.is_edge_alive(edge) || !av.is_node_alive(target) {
+                            rejections += 1;
+                            protocol.on_rejected(node, target, round);
+                            continue;
+                        }
+                    }
                     let latency = self.graph.latency(edge);
                     activations += 1;
                     pending_own[i] += 1;
@@ -1118,6 +1589,9 @@ impl<'g> Simulation<'g> {
                         edge,
                         initiator_known: progress.counts[i] as u32,
                         responder_known: progress.counts[target.index()] as u32,
+                        // Drawn exactly once per *accepted* initiation, from
+                        // the dedicated loss stream (never the protocol RNG).
+                        lost: fault::draw_loss(&mut loss),
                     });
                     in_flight_count += 1;
                 }
@@ -1149,11 +1623,20 @@ impl<'g> Simulation<'g> {
                         // `target > round`, else step 2 would have completed.
                         next = next.min(target);
                     }
+                    // A pending fault event is a hard stop for the gap: it
+                    // changes topology (and wakes nodes), so rounds past it
+                    // are not provably no-ops.  Pending events all lie
+                    // strictly after `round` (step 0a drained the rest); the
+                    // `max` is defensive.
+                    if let Some(&(r, _)) = fault_events.get(fault_cursor) {
+                        next = next.min(r.max(round + 1));
+                    }
                     if progress.is_done(
                         &self.config.termination,
                         round + 1,
                         protocol,
                         in_flight_count,
+                        alive.as_ref(),
                     ) {
                         next = next.min(round + 1);
                     }
@@ -1167,8 +1650,13 @@ impl<'g> Simulation<'g> {
         }
 
         if !completed {
-            completed =
-                progress.is_done(&self.config.termination, round, protocol, in_flight_count);
+            completed = progress.is_done(
+                &self.config.termination,
+                round,
+                protocol,
+                in_flight_count,
+                alive.as_ref(),
+            );
         }
         let rumor_set_bytes = progress.mem.pages_peak * RumorSet::page_cost_bytes()
             + n as u64 * RumorSet::base_cost_bytes();
@@ -1198,6 +1686,24 @@ impl<'g> Simulation<'g> {
             active_peak,
             active_final: worklist.len() as u64,
         };
+        // Graceful-degradation accounting: present exactly when a fault plan
+        // was attached (even an inert one), and computed identically by the
+        // reference engine — it is part of the semantic report.
+        let faults = alive.map(|av| {
+            let (residual_components, largest_component) = av.residual_components(self.graph);
+            FaultReport {
+                crashes: fault_tally.crashes,
+                rejoins: fault_tally.rejoins,
+                links_cut: fault_tally.links_cut,
+                exchanges_cancelled: fault_tally.cancelled,
+                exchanges_lost: fault_tally.lost,
+                alive_nodes: av.alive_count() as u64,
+                residual_components,
+                largest_component,
+                stranded_rumors: fault::stranded_rumors(&self.rumors, &av),
+                recovery_latency: progress.recovery_latency,
+            }
+        });
         RunReport {
             protocol: protocol.name().to_string(),
             rounds: round,
@@ -1211,6 +1717,7 @@ impl<'g> Simulation<'g> {
                 Some(progress.informed_times)
             },
             min_rumors_known: progress.counts.iter().copied().min().unwrap_or(0),
+            faults,
             mem: Some(mem),
         }
     }

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod fault;
 mod report;
 mod rumor;
 
@@ -50,5 +51,6 @@ pub mod reference;
 pub use engine::{
     Activity, ExchangeEvent, ExchangeMode, NodeView, Protocol, SimConfig, Simulation, Termination,
 };
-pub use report::{MemStats, RunReport};
+pub use fault::{ChurnSpec, FaultEvent, FaultPlan};
+pub use report::{FaultReport, MemStats, RunReport};
 pub use rumor::{AcquisitionLog, RumorId, RumorIter, RumorSet};

@@ -11,15 +11,18 @@
 //! standard scenario grid and requires byte-identical [`RunReport`]s and
 //! final rumor states; the property tests in the same suite do the same over
 //! random graphs.  Any intentional semantic change to the engine must be
-//! mirrored here (the only post-rewrite change so far: rejected non-neighbor
-//! targets are counted and reported, identically in both engines).
+//! mirrored here (post-rewrite changes so far: rejected non-neighbor targets
+//! are counted and reported, and the [`crate::fault`] semantics — crash-stop
+//! churn, link cuts, message loss, graceful-degradation reporting — are
+//! interpreted identically in both engines, pinned by the
+//! `fault_equivalence` suite).
 //!
 //! This module is exported for the test suites and benchmarks; it is not part
 //! of the supported API surface.
 
 use std::collections::HashMap;
 
-use gossip_graph::{EdgeId, Graph, Latency, NodeId};
+use gossip_graph::{AliveView, EdgeId, Graph, Latency, NodeId};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -27,7 +30,8 @@ use crate::engine::{
     ExchangeEvent, ExchangeMode, LatencyOracle, NodeView, OracleSource, Protocol, SimConfig,
     Termination,
 };
-use crate::report::RunReport;
+use crate::fault::{self, FaultEvent, FaultPlan};
+use crate::report::{FaultReport, RunReport};
 use crate::rumor::{RumorId, RumorSet};
 
 struct InFlight {
@@ -39,6 +43,8 @@ struct InFlight {
     initiator_snapshot: RumorSet,
     /// Snapshot of the responder's rumors at initiation time.
     responder_snapshot: RumorSet,
+    /// Lost in transit: times out at `completes_at` without delivering.
+    lost: bool,
 }
 
 /// The original snapshot-based simulator, kept as the semantic oracle for the
@@ -110,13 +116,120 @@ impl<'g> ReferenceSimulation<'g> {
             None => Vec::new(),
         };
 
-        let mut round: u64 = 0;
-        let mut completed = self.is_done(&self.config.termination, 0, protocol, &in_flight);
-        if completed {
-            return self.report(protocol, 0, activations, rejections, true, informed_times);
-        }
+        // Fault machinery — same schedule, same round-start semantics as the
+        // snapshot-free engine (see [`crate::fault`]); the `fault_equivalence`
+        // suite pins the two interpretations byte-identical.
+        let fault_plan = self.config.faults.clone();
+        let fault_events: &[(u64, FaultEvent)] = match &fault_plan {
+            Some(plan) => plan.events(),
+            None => &[],
+        };
+        let mut fault_cursor = 0usize;
+        let mut loss = fault_plan.as_ref().and_then(FaultPlan::loss_stream);
+        let mut alive: Option<AliveView> = fault_plan.as_ref().map(|_| AliveView::new(self.graph));
+        let (mut crashes, mut rejoins, mut links_cut) = (0u64, 0u64, 0u64);
+        let (mut cancelled, mut lost_count) = (0u64, 0u64);
+        // Rejoined nodes still re-disseminating, as `(node, rejoin round)`.
+        let mut pending_recovery: Vec<(usize, u64)> = Vec::new();
+        let mut recovery_latency: Option<u64> = None;
+        let recovery_target: Option<RumorId> =
+            self.config.tracked_rumor.or(match self.config.termination {
+                Termination::AllKnowRumorOf(source) => Some(RumorId::of_node(source)),
+                _ => None,
+            });
+        let note_recovery = |latency: u64, agg: &mut Option<u64>| {
+            *agg = Some(agg.map_or(latency, |cur| cur.max(latency)));
+        };
 
-        while round < self.config.max_rounds {
+        let mut round: u64 = 0;
+        let mut completed = self.is_done(
+            &self.config.termination,
+            0,
+            protocol,
+            &in_flight,
+            alive.as_ref(),
+        );
+
+        while !completed && round < self.config.max_rounds {
+            // 0. Apply fault events scheduled for this round, before this
+            //    round's deliveries: an exchange completing now but touching
+            //    a node crashing now (or an edge cut now) is cancelled.
+            while fault_events
+                .get(fault_cursor)
+                .is_some_and(|&(r, _)| r <= round)
+            {
+                let (_, event) = fault_events[fault_cursor];
+                fault_cursor += 1;
+                let av = alive.as_mut().expect("fault events imply an alive view");
+                match event {
+                    FaultEvent::Crash(v) => {
+                        if !av.kill_node(self.graph, v) {
+                            continue; // already dead: uncounted no-op
+                        }
+                        crashes += 1;
+                        in_flight.retain(|ex| {
+                            if ex.initiator != v && ex.responder != v {
+                                return true;
+                            }
+                            cancelled += 1;
+                            if ex.initiator != v {
+                                pending_own[ex.initiator.index()] =
+                                    pending_own[ex.initiator.index()].saturating_sub(1);
+                            }
+                            false
+                        });
+                        pending_own[v.index()] = 0;
+                        if let Some(pos) =
+                            pending_recovery.iter().position(|&(i, _)| i == v.index())
+                        {
+                            pending_recovery.swap_remove(pos);
+                        }
+                    }
+                    FaultEvent::Rejoin(v) => {
+                        if !av.revive_node(self.graph, v) {
+                            continue; // already alive: uncounted no-op
+                        }
+                        rejoins += 1;
+                        // Amnesiac restart: only its own rumor, no history,
+                        // no discovered latencies.
+                        let universe = self.rumors[v.index()].universe();
+                        self.rumors[v.index()] = RumorSet::singleton(universe, RumorId::of_node(v));
+                        discovered[v.index()].clear();
+                        if let Some(r) = self.config.tracked_rumor {
+                            if informed_times[v.index()].is_none()
+                                && self.rumors[v.index()].contains(r)
+                            {
+                                informed_times[v.index()] = Some(round);
+                            }
+                        }
+                        let recovered = match recovery_target {
+                            Some(r) => self.rumors[v.index()].contains(r),
+                            None => self.rumors[v.index()].is_full(),
+                        };
+                        if recovered {
+                            note_recovery(0, &mut recovery_latency);
+                        } else {
+                            pending_recovery.push((v.index(), round));
+                        }
+                    }
+                    FaultEvent::CutLink(e) => {
+                        if !av.cut_edge(self.graph, e) {
+                            continue; // already cut: uncounted no-op
+                        }
+                        links_cut += 1;
+                        in_flight.retain(|ex| {
+                            if ex.edge != e {
+                                return true;
+                            }
+                            cancelled += 1;
+                            pending_own[ex.initiator.index()] =
+                                pending_own[ex.initiator.index()].saturating_sub(1);
+                            false
+                        });
+                    }
+                }
+            }
+
             // 1. Deliver exchanges completing at the start of this round.
             let mut completions: Vec<InFlight> = Vec::new();
             in_flight.retain_mut(|ex| {
@@ -134,6 +247,7 @@ impl<'g> ReferenceSimulation<'g> {
                             &mut ex.responder_snapshot,
                             RumorSet::empty(0),
                         ),
+                        lost: ex.lost,
                     });
                     false
                 } else {
@@ -144,6 +258,12 @@ impl<'g> ReferenceSimulation<'g> {
                 let latency = self.graph.latency(ex.edge);
                 pending_own[ex.initiator.index()] =
                     pending_own[ex.initiator.index()].saturating_sub(1);
+                if ex.lost {
+                    // Timed out in transit: no merge, no latency discovery,
+                    // no `on_exchange`.
+                    lost_count += 1;
+                    continue;
+                }
                 // Both endpoints merge the peer's snapshot taken at initiation.
                 self.rumors[ex.initiator.index()].union_with(&ex.responder_snapshot);
                 self.rumors[ex.responder.index()].union_with(&ex.initiator_snapshot);
@@ -155,6 +275,21 @@ impl<'g> ReferenceSimulation<'g> {
                             && self.rumors[endpoint.index()].contains(r)
                         {
                             informed_times[endpoint.index()] = Some(round);
+                        }
+                    }
+                }
+                if !pending_recovery.is_empty() {
+                    for endpoint in [ex.initiator, ex.responder] {
+                        let i = endpoint.index();
+                        if let Some(pos) = pending_recovery.iter().position(|&(v, _)| v == i) {
+                            let recovered = match recovery_target {
+                                Some(r) => self.rumors[i].contains(r),
+                                None => self.rumors[i].is_full(),
+                            };
+                            if recovered {
+                                let (_, since) = pending_recovery.swap_remove(pos);
+                                note_recovery(round - since, &mut recovery_latency);
+                            }
                         }
                     }
                 }
@@ -173,14 +308,25 @@ impl<'g> ReferenceSimulation<'g> {
             }
 
             // 2. Check termination (conditions are evaluated on round boundaries).
-            if self.is_done(&self.config.termination, round, protocol, &in_flight) {
+            if self.is_done(
+                &self.config.termination,
+                round,
+                protocol,
+                &in_flight,
+                alive.as_ref(),
+            ) {
                 completed = true;
                 break;
             }
 
-            // 3. Let every node act.
+            // 3. Let every *alive* node act.
             for i in 0..n {
                 let node = NodeId::new(i);
+                if let Some(av) = &alive {
+                    if !av.is_node_alive(node) {
+                        continue;
+                    }
+                }
                 let can_initiate = match self.config.mode {
                     ExchangeMode::NonBlocking => true,
                     ExchangeMode::Blocking => pending_own[i] == 0,
@@ -190,7 +336,10 @@ impl<'g> ReferenceSimulation<'g> {
                         node,
                         round,
                         rumors: &self.rumors[i],
-                        neighbors: self.graph.neighbor_slice(node),
+                        neighbors: match &alive {
+                            Some(av) => av.neighbor_slice(self.graph, node),
+                            None => self.graph.neighbor_slice(node),
+                        },
                         can_initiate,
                         pending_own: pending_own[i],
                         latency_oracle: LatencyOracle {
@@ -210,6 +359,14 @@ impl<'g> ReferenceSimulation<'g> {
                     protocol.on_rejected(node, target, round);
                     continue;
                 };
+                if let Some(av) = &alive {
+                    // A dead peer or cut edge rejects like a non-neighbor.
+                    if !av.is_edge_alive(edge) || !av.is_node_alive(target) {
+                        rejections += 1;
+                        protocol.on_rejected(node, target, round);
+                        continue;
+                    }
+                }
                 let latency = self.graph.latency(edge);
                 activations += 1;
                 pending_own[i] += 1;
@@ -220,6 +377,10 @@ impl<'g> ReferenceSimulation<'g> {
                     completes_at: round + latency,
                     initiator_snapshot: self.rumors[i].clone(),
                     responder_snapshot: self.rumors[target.index()].clone(),
+                    // Drawn exactly once per *accepted* initiation, from the
+                    // dedicated loss stream — the same call points as the
+                    // snapshot-free engine, keeping the streams aligned.
+                    lost: fault::draw_loss(&mut loss),
                 });
             }
 
@@ -227,8 +388,29 @@ impl<'g> ReferenceSimulation<'g> {
         }
 
         if !completed {
-            completed = self.is_done(&self.config.termination, round, protocol, &in_flight);
+            completed = self.is_done(
+                &self.config.termination,
+                round,
+                protocol,
+                &in_flight,
+                alive.as_ref(),
+            );
         }
+        let faults = alive.map(|av| {
+            let (residual_components, largest_component) = av.residual_components(self.graph);
+            FaultReport {
+                crashes,
+                rejoins,
+                links_cut,
+                exchanges_cancelled: cancelled,
+                exchanges_lost: lost_count,
+                alive_nodes: av.alive_count() as u64,
+                residual_components,
+                largest_component,
+                stranded_rumors: fault::stranded_rumors(&self.rumors, &av),
+                recovery_latency,
+            }
+        });
         self.report(
             protocol,
             round,
@@ -236,6 +418,7 @@ impl<'g> ReferenceSimulation<'g> {
             rejections,
             completed,
             informed_times,
+            faults,
         )
     }
 
@@ -246,26 +429,44 @@ impl<'g> ReferenceSimulation<'g> {
         round: u64,
         protocol: &P,
         in_flight: &[InFlight],
+        alive: Option<&AliveView>,
     ) -> bool {
+        // Under faults, dissemination conditions quantify over *alive* nodes
+        // and un-cut edges only (vacuously true with no node alive).
+        let node_alive = |v: NodeId| alive.is_none_or(|a| a.is_node_alive(v));
+        let edge_alive = |e: EdgeId| alive.is_none_or(|a| a.is_edge_alive(e));
         match *termination {
             Termination::AllKnowRumorOf(source) => {
                 let r = RumorId::of_node(source);
-                self.rumors.iter().all(|s| s.contains(r))
+                self.graph
+                    .nodes()
+                    .all(|v| !node_alive(v) || self.rumors[v.index()].contains(r))
             }
-            Termination::AllKnowAll => self.rumors.iter().all(RumorSet::is_full),
+            Termination::AllKnowAll => self
+                .graph
+                .nodes()
+                .all(|v| !node_alive(v) || self.rumors[v.index()].is_full()),
             Termination::LocalBroadcast(bound) => self.graph.nodes().all(|v| {
-                self.graph.neighbors(v).all(|(w, e)| {
-                    self.graph.latency(e) > bound
-                        || self.rumors[v.index()].contains(RumorId::of_node(w))
-                })
+                !node_alive(v)
+                    || self.graph.neighbors(v).all(|(w, e)| {
+                        self.graph.latency(e) > bound
+                            || !node_alive(w)
+                            || !edge_alive(e)
+                            || self.rumors[v.index()].contains(RumorId::of_node(w))
+                    })
             }),
             Termination::FixedRounds(target) => round >= target,
             Termination::Quiescent => {
-                in_flight.is_empty() && self.graph.nodes().all(|v| protocol.is_idle(v))
+                in_flight.is_empty()
+                    && self
+                        .graph
+                        .nodes()
+                        .all(|v| !node_alive(v) || protocol.is_idle(v))
             }
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn report<P: Protocol>(
         &self,
         protocol: &P,
@@ -274,6 +475,7 @@ impl<'g> ReferenceSimulation<'g> {
         rejections: u64,
         completed: bool,
         informed_times: Vec<Option<u64>>,
+        faults: Option<FaultReport>,
     ) -> RunReport {
         RunReport {
             protocol: protocol.name().to_string(),
@@ -288,6 +490,7 @@ impl<'g> ReferenceSimulation<'g> {
                 Some(informed_times)
             },
             min_rumors_known: self.rumors.iter().map(RumorSet::len).min().unwrap_or(0),
+            faults,
             // The reference engine predates the interval-log/shadow state the
             // memory counters describe; equivalence compares
             // `RunReport::semantics()`, which strips this field.

@@ -68,6 +68,46 @@ pub struct MemStats {
     pub active_final: u64,
 }
 
+/// Graceful-degradation accounting of a faulted run, reported whenever a
+/// [`FaultPlan`](crate::FaultPlan) was attached (even an inert one).
+///
+/// Unlike [`MemStats`] this section is *semantic*: both engines compute it
+/// from the same fault schedule and final state, it is preserved by
+/// [`RunReport::semantics`], and the `fault_equivalence` suite pins it
+/// byte-identical across engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultReport {
+    /// Crash events applied (crashes of already-dead nodes are no-ops and
+    /// not counted; events scheduled after the run stopped never happen).
+    pub crashes: u64,
+    /// Amnesiac rejoin events applied.
+    pub rejoins: u64,
+    /// Link-cut events applied.
+    pub links_cut: u64,
+    /// In-flight exchanges cancelled by a crash or link cut before their
+    /// completion round.
+    pub exchanges_cancelled: u64,
+    /// Exchanges lost in transit: initiated, held the initiator's slot for
+    /// the edge's full latency, then timed out without delivering.
+    pub exchanges_lost: u64,
+    /// Nodes alive when the run stopped.
+    pub alive_nodes: u64,
+    /// Connected components of the residual topology (alive nodes over
+    /// un-cut edges) when the run stopped; 0 if no node was alive.
+    pub residual_components: u64,
+    /// Size of the largest residual component.
+    pub largest_component: u64,
+    /// Rumors stranded on dead nodes: known by no alive node when the run
+    /// stopped.
+    pub stranded_rumors: u64,
+    /// Worst re-dissemination latency over the rejoined nodes that
+    /// *recovered* — re-learned the tracked rumor (or the
+    /// [`AllKnowRumorOf`](crate::Termination::AllKnowRumorOf) source rumor,
+    /// or with neither tracked re-filled their whole set) — measured in
+    /// rounds from the rejoin.  `None` if no rejoined node recovered.
+    pub recovery_latency: Option<u64>,
+}
+
 /// Measurements from one simulation run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunReport {
@@ -89,8 +129,14 @@ pub struct RunReport {
     /// (only present if [`SimConfig::track_rumor`](crate::SimConfig::track_rumor) was used).
     pub informed_times: Option<Vec<Option<u64>>>,
     /// The smallest rumor-set size over all nodes at the end of the run
-    /// (equals `n` exactly when all-to-all dissemination finished).
+    /// (equals `n` exactly when all-to-all dissemination finished; dead
+    /// nodes count with their frozen sets).
     pub min_rumors_known: usize,
+    /// Graceful-degradation accounting; present exactly when a
+    /// [`FaultPlan`](crate::FaultPlan) was attached to the run.  Semantic
+    /// (both engines must agree) — *not* stripped by
+    /// [`semantics`](Self::semantics).
+    pub faults: Option<FaultReport>,
     /// Engine diagnostics: peak-memory counters of the dissemination state
     /// plus the scheduler's skipped-round / active-set accounting
     /// (`None` for the reference engine, which predates the counters).
@@ -160,6 +206,7 @@ mod tests {
             rejections: 0,
             informed_times: informed,
             min_rumors_known: 4,
+            faults: None,
             mem: None,
         }
     }

@@ -46,7 +46,7 @@ fn sweep_report_json_parses_and_covers_the_grid() {
 
     assert_eq!(
         parsed.get("schema").and_then(Json::as_str),
-        Some("gossip-sweep/v4")
+        Some("gossip-sweep/v5")
     );
     assert_eq!(
         parsed.get("trials_per_scenario").and_then(Json::as_i64),
@@ -71,6 +71,11 @@ fn sweep_report_json_parses_and_covers_the_grid() {
         // deterministic peak-memory figure.
         let mem = s.get("peak_mem_bytes").and_then(Json::as_i64).unwrap();
         assert!(mem > 0, "cheap protocols must report peak memory");
+        // v5: fault-free cells carry an all-zero graceful-degradation
+        // section with profile "none".
+        assert_eq!(s.get("fault_profile").and_then(Json::as_str), Some("none"));
+        assert_eq!(s.get("crashes").and_then(Json::as_i64), Some(0));
+        assert_eq!(s.get("stranded_rumors_max").and_then(Json::as_i64), Some(0));
     }
     assert!(
         families_seen.len() >= 4,

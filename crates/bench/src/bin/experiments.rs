@@ -5,8 +5,10 @@
 //!
 //! ```text
 //! experiments [EXPERIMENT-ID ...] [--quick] [--json] [--markdown]
-//! experiments sweep [--quick|--full|--large|--huge] [--seed N] [--trials N] [--max-size N]
-//!                   [--faults] [--out PATH] [--timing-out PATH] [--mem-stats] [--json] [--markdown]
+//! experiments sweep [--quick|--full|--large|--huge] [--seed N] [--trials N]
+//!                   [--min-size N] [--max-size N] [--threads N] [--faults]
+//!                   [--out PATH] [--timing-out PATH] [--mem-stats]
+//!                   [--json] [--markdown]
 //! experiments bench-check --baseline PATH --current PATH
 //!                         [--mem-tolerance F] [--time-tolerance F]
 //! ```
@@ -21,12 +23,17 @@
 //! families × sizes × latency profiles × protocols, multi-seed) in parallel
 //! and writes the aggregated median/p95 round counts as a deterministic JSON
 //! report: the same `--seed` always produces a byte-identical file,
-//! regardless of thread count.  `--large` swaps in the large-scale grid
+//! regardless of thread count.  `--threads` pins the rayon pool size
+//! explicitly (the default detects the machine); the pool size is recorded
+//! in the `threads` field of the timing artifact, so perf-trajectory
+//! comparisons know what parallelism produced each wall-clock number.  `--large` swaps in the large-scale grid
 //! (up to 4096 nodes everywhere, 32768-node star cells — one-to-all *and*
 //! all-to-all — for the cheap protocols); `--huge` adds the 65536/131072-node
 //! star tier and a 16384-node Erdős–Rényi broadcast; `--max-size` drops grid
-//! cells above a node budget without changing the seeds of the remaining
-//! cells.  `--faults` appends the fault-injection tier (schema
+//! cells above a node budget — and `--min-size` below one — without changing
+//! the seeds of the remaining cells, so CI can smoke a single tier (e.g.
+//! `--huge --min-size 65536 --max-size 65536` runs just the 65536-node star
+//! cells).  `--faults` appends the fault-injection tier (schema
 //! `gossip-sweep/v5`): lightweight-protocol cells rerun under seed-derived
 //! crash-stop churn, link cuts and message loss, and their report rows carry
 //! the graceful-degradation aggregates (residual components, stranded
@@ -109,7 +116,9 @@ struct SweepOptions {
     scale: Scale,
     seed: Option<u64>,
     trials: Option<u64>,
+    min_size: Option<usize>,
     max_size: Option<usize>,
+    threads: Option<usize>,
     faults: bool,
     out: String,
     timing_out: String,
@@ -123,7 +132,9 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepOptions, String> {
         scale: Scale::Full,
         seed: None,
         trials: None,
+        min_size: None,
         max_size: None,
+        threads: None,
         faults: false,
         out: "sweep_report.json".to_string(),
         timing_out: "BENCH_sweep.json".to_string(),
@@ -164,6 +175,16 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepOptions, String> {
                 }
                 options.trials = Some(trials);
             }
+            "--min-size" => {
+                let v = value_of("--min-size")?;
+                let min: usize = v
+                    .parse()
+                    .map_err(|e| format!("invalid --min-size '{v}': {e}"))?;
+                if min == 0 {
+                    return Err("--min-size must be at least 1".to_string());
+                }
+                options.min_size = Some(min);
+            }
             "--max-size" => {
                 let v = value_of("--max-size")?;
                 let max: usize = v
@@ -174,13 +195,23 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepOptions, String> {
                 }
                 options.max_size = Some(max);
             }
+            "--threads" => {
+                let v = value_of("--threads")?;
+                let threads: usize = v
+                    .parse()
+                    .map_err(|e| format!("invalid --threads '{v}': {e}"))?;
+                if threads == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                options.threads = Some(threads);
+            }
             "--out" => options.out = value_of("--out")?,
             "--timing-out" => options.timing_out = value_of("--timing-out")?,
             "--help" | "-h" => {
                 return Err(
                     "usage: experiments sweep [--quick|--full|--large|--huge] [--seed N] \
-                     [--trials N] [--max-size N] [--faults] [--out PATH] [--timing-out PATH] \
-                     [--mem-stats] [--json] [--markdown]"
+                     [--trials N] [--min-size N] [--max-size N] [--threads N] [--faults] \
+                     [--out PATH] [--timing-out PATH] [--mem-stats] [--json] [--markdown]"
                         .to_string(),
                 )
             }
@@ -210,15 +241,26 @@ fn run_sweep(args: &[String]) -> ExitCode {
     if let Some(trials) = options.trials {
         spec.trials = trials;
     }
+    // Trial seeds hash scenario content, so dropping cells on either side of
+    // the size window leaves the results of the remaining cells untouched.
+    if let Some(min) = options.min_size {
+        spec.sizes.retain(|&s| s >= min);
+        spec.extra.retain(|cell| cell.size >= min);
+    }
     if let Some(max) = options.max_size {
-        // Trial seeds hash scenario content, so dropping cells leaves the
-        // results of the remaining cells untouched.
         spec.sizes.retain(|&s| s <= max);
         spec.extra.retain(|cell| cell.size <= max);
-        if spec.sizes.is_empty() && spec.extra.is_empty() {
-            eprintln!("--max-size {max} leaves no scenarios in the grid");
-            return ExitCode::FAILURE;
-        }
+    }
+    if spec.sizes.is_empty() && spec.extra.is_empty() {
+        eprintln!("the --min-size/--max-size window leaves no scenarios in the grid");
+        return ExitCode::FAILURE;
+    }
+    // An explicit --threads pins the rayon pool size for the whole sweep
+    // (trial-level parallelism); the reports stay byte-identical either way,
+    // only the wall-clock — and the `threads` field of the timing artifact —
+    // changes.
+    if let Some(n) = options.threads {
+        rayon::set_num_threads(n);
     }
     let threads = rayon::current_num_threads();
     let scenario_count = spec.scenario_count();

@@ -181,6 +181,77 @@ fn faults_flag_appends_the_fault_tier_and_stays_thread_deterministic() {
 }
 
 #[test]
+fn threads_flag_pins_the_pool_and_min_size_narrows_the_grid() {
+    // `--threads N` must pin the rayon pool (recorded in the timing
+    // artifact's `threads` field) without perturbing the report, and the
+    // `--min-size`/`--max-size` window must narrow the grid to a single
+    // tier — the shape the CI thread-scaling smoke relies on.
+    let experiments = env!("CARGO_BIN_EXE_experiments");
+    let dir = std::env::temp_dir().join(format!("gossip-sweep-pin-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let run = |threads: &str, out: &std::path::Path, timing: &std::path::Path| {
+        let output = std::process::Command::new(experiments)
+            .args([
+                "sweep",
+                "--large",
+                "--min-size",
+                "256",
+                "--max-size",
+                "256",
+                "--trials",
+                "1",
+                "--seed",
+                "13",
+                "--threads",
+                threads,
+            ])
+            .arg("--out")
+            .arg(out)
+            .arg("--timing-out")
+            .arg(timing)
+            .output()
+            .expect("experiments sweep runs");
+        assert!(
+            output.status.success(),
+            "experiments sweep --threads failed:\n{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        std::fs::read(out).expect("report file written")
+    };
+    let t1_timing = dir.join("timing-1.json");
+    let t3_timing = dir.join("timing-3.json");
+    let single = run("1", &dir.join("t1.json"), &t1_timing);
+    let pooled = run("3", &dir.join("t3.json"), &t3_timing);
+    assert_eq!(
+        single, pooled,
+        "--threads must not leak into the sweep report"
+    );
+    let threads_of = |path: &std::path::Path| {
+        let timing = std::fs::read_to_string(path).expect("timing artifact written");
+        Json::parse(timing.trim())
+            .expect("timing artifact is valid JSON")
+            .get("threads")
+            .and_then(Json::as_i64)
+            .expect("timing artifact records the pool size")
+    };
+    assert_eq!(threads_of(&t1_timing), 1);
+    assert_eq!(threads_of(&t3_timing), 3);
+
+    // The window kept exactly the 256-node tier of the large grid.
+    let parsed = Json::parse(std::str::from_utf8(&single).unwrap().trim()).unwrap();
+    let scenarios = parsed.get("scenarios").and_then(Json::as_array).unwrap();
+    assert_eq!(scenarios.len(), 7 * 2 * 4);
+
+    // A window that excludes everything is a usage error, not an empty sweep.
+    let output = std::process::Command::new(experiments)
+        .args(["sweep", "--quick", "--min-size", "1000000"])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn mem_stats_flag_fills_the_timing_artifact_memory_section() {
     let experiments = env!("CARGO_BIN_EXE_experiments");
     let dir = std::env::temp_dir().join(format!("gossip-sweep-mem-{}", std::process::id()));

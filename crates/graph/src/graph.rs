@@ -57,6 +57,7 @@ pub struct Graph {
 }
 
 impl Graph {
+    // gossip-lint: allow(panic-path): GraphBuilder::add_edge validates both endpoints against node_count before an EdgeRecord exists
     pub(crate) fn from_parts(
         node_count: usize,
         edges: Vec<EdgeRecord>,

@@ -84,6 +84,7 @@ use std::collections::HashMap;
 use gossip_graph::{AliveView, EdgeId, Graph, Latency, NodeId};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 
 use crate::fault::{self, FaultEvent, FaultPlan};
 use crate::report::{FaultReport, MemStats, RunReport};
@@ -127,6 +128,7 @@ pub struct SimConfig {
     pub(crate) tracked_rumor: Option<RumorId>,
     pub(crate) shadow_min_truncate_runs: usize,
     pub(crate) faults: Option<FaultPlan>,
+    pub(crate) threads: usize,
 }
 
 impl SimConfig {
@@ -142,6 +144,7 @@ impl SimConfig {
             tracked_rumor: None,
             shadow_min_truncate_runs: 64,
             faults: None,
+            threads: 1,
         }
     }
 
@@ -202,6 +205,44 @@ impl SimConfig {
         self.faults = Some(plan);
         self
     }
+
+    /// Number of worker threads for intra-run parallelism (default 1 =
+    /// fully serial).  The per-round completion merges — and, under
+    /// [`Simulation::run_sharded`], the decision pass too — are sharded
+    /// across this many workers on the vendored rayon pool.
+    ///
+    /// Purely a wall-clock knob: every shard boundary is resolved by a
+    /// deterministic reduction in shard order, so reports are
+    /// **byte-identical for every setting** (pinned by the `engine_threads`
+    /// suite).  Values are clamped to at least 1.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+}
+
+/// The decision RNG stream for one `(round, node)` cell, derived from the
+/// run seed by a splitmix64-style avalanche over the three coordinates.
+///
+/// Every engine (the sharded one, [`crate::reference`], and the dense
+/// mid-size oracle) draws a node's round decision from this stream and from
+/// nothing else, which is what makes the decision pass shardable: a worker
+/// can decide any subset of nodes in any order without desynchronising the
+/// draws of the others.  The historical single sequential stream would have
+/// made every node's draw depend on how many draws every *earlier* node
+/// consumed — unshardable without replaying the whole worklist.
+pub(crate) fn decision_rng(seed: u64, round: u64, node: u32) -> SmallRng {
+    let mut key = seed
+        ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ u64::from(node).wrapping_mul(0xD1B5_4A32_D192_ED03);
+    // One avalanche pass decorrelates neighboring (round, node) cells before
+    // `seed_from_u64` runs its own per-word splitmix expansion.
+    key ^= key >> 30;
+    key = key.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    key ^= key >> 27;
+    key = key.wrapping_mul(0x94D0_49BB_1331_11EB);
+    key ^= key >> 31;
+    SmallRng::seed_from_u64(key)
 }
 
 /// Which endpoints have discovered which edge latencies: two bits per edge,
@@ -447,6 +488,218 @@ pub trait Protocol {
     }
 }
 
+/// A [`Protocol`] whose per-round decisions can be partitioned by node, so
+/// [`Simulation::run_sharded`] can split the sorted active worklist into
+/// contiguous node-range shards and run them concurrently, one worker each.
+///
+/// # Contract
+///
+/// For every node `v` in shard `k`'s range, `shard_on_round(&mut shards[k],
+/// view, rng)` must behave exactly as `on_round(&mut self, view, rng)`
+/// would, and [`shard_activity`](Self::shard_activity) exactly as
+/// [`Protocol::activity`].  A shard is a reborrow of the protocol's
+/// decision state restricted to its node range, so a decision for `v` can
+/// only read or write state belonging to `v` — which is precisely what
+/// makes the passes interchangeable: each node's RNG stream is
+/// independently derived from `(seed, round, node)`, outcomes are applied
+/// by the engine in worklist order regardless of which worker produced
+/// them, and no decision can observe another node's same-round decision.
+///
+/// Protocols that need cross-node `on_round` mutations visible within a
+/// round cannot implement this faithfully and should stay on
+/// [`Simulation::run`] (which never shards decisions).  [`Protocol::on_exchange`]
+/// and [`Protocol::on_rejected`] are unaffected — the engine always calls
+/// them serially, on `&mut self`.
+pub trait ShardedProtocol: Protocol {
+    /// Borrowed per-node decision state of one contiguous node-range shard.
+    type Shard<'s>: Send
+    where
+        Self: 's;
+
+    /// Splits the decision state at the given node-id cut points
+    /// (`cuts[0] == 0`, `cuts.last() == n`, strictly increasing): shard `k`
+    /// owns nodes `cuts[k] .. cuts[k+1]` and the returned vector has one
+    /// entry per adjacent pair.
+    fn decision_shards<'s>(&'s mut self, cuts: &[u32]) -> Vec<Self::Shard<'s>>;
+
+    /// Shard-scoped [`Protocol::on_round`] (an associated function — shards
+    /// of `self` are live across workers while it runs).
+    fn shard_on_round(
+        shard: &mut Self::Shard<'_>,
+        view: &NodeView<'_>,
+        rng: &mut SmallRng,
+    ) -> Option<NodeId>;
+
+    /// Shard-scoped [`Protocol::activity`], under the same purity contract.
+    // gossip-audit: contract(pure)
+    fn shard_activity(shard: &Self::Shard<'_>, view: &NodeView<'_>) -> Activity;
+}
+
+/// Outcome of one node's decision call, recorded by the decision pass and
+/// applied by the serial initiation epilogue in worklist order.
+#[derive(Debug, Clone, Copy)]
+enum Decide {
+    /// The node crashed while queued: drop it from the worklist (its state
+    /// is already `Quiescent`; a rejoin force-wake re-admits it).
+    Dead,
+    /// `on_round` returned `None`; the activity answer drives scheduling.
+    Silent(Activity),
+    /// The node wants to contact this target.
+    Target(NodeId),
+}
+
+/// Read-only inputs of one round's decision pass — everything a
+/// [`NodeView`] is built from.  Shared by both drivers and across decision
+/// shards (workers only read it).
+struct DecisionCtx<'a> {
+    graph: &'a Graph,
+    rumors: &'a [RumorSet],
+    alive: Option<&'a AliveView>,
+    discovered: &'a DiscoveredLatencies,
+    pending_own: &'a [usize],
+    mode: ExchangeMode,
+    latencies_known: bool,
+    seed: u64,
+    round: u64,
+    threads: usize,
+}
+
+impl<'a> DecisionCtx<'a> {
+    fn is_dead(&self, node: NodeId) -> bool {
+        self.alive.is_some_and(|av| !av.is_node_alive(node))
+    }
+
+    // gossip-lint: allow(panic-path): node indices come from the sorted worklist, bounded by n
+    fn view(&self, node: NodeId) -> NodeView<'a> {
+        let i = node.index();
+        NodeView {
+            node,
+            round: self.round,
+            rumors: &self.rumors[i],
+            neighbors: match self.alive {
+                Some(av) => av.neighbor_slice(self.graph, node),
+                None => self.graph.neighbor_slice(node),
+            },
+            can_initiate: match self.mode {
+                ExchangeMode::NonBlocking => true,
+                ExchangeMode::Blocking => self.pending_own[i] == 0,
+            },
+            pending_own: self.pending_own[i],
+            latency_oracle: LatencyOracle {
+                graph: self.graph,
+                known_all: self.latencies_known,
+                source: OracleSource::Flat {
+                    node,
+                    discovered: self.discovered,
+                },
+            },
+        }
+    }
+}
+
+/// Strategy for the per-round decision pass: the serial driver calls
+/// [`Protocol::on_round`] on `&mut P` in worklist order; the sharded driver
+/// fans contiguous worklist shards out to workers via [`ShardedProtocol`].
+/// Both record one [`Decide`] per worklist entry, and the engine applies
+/// them through the same serial epilogue in worklist order — so the drivers
+/// are byte-identical for any protocol implementing both traits faithfully.
+trait DecisionDriver<P> {
+    fn decide(protocol: &mut P, ctx: &DecisionCtx<'_>, worklist: &[u32], out: &mut Vec<Decide>);
+}
+
+/// Evaluates one node under the decision contract shared by both drivers:
+/// dead nodes short-circuit to [`Decide::Dead`]; everyone else gets a view
+/// and its own `(seed, round, node)` RNG stream, and `f` maps the protocol
+/// answer to a decision.
+fn decide_node(
+    ctx: &DecisionCtx<'_>,
+    u: u32,
+    f: impl FnOnce(&NodeView<'_>, &mut SmallRng) -> Decide,
+) -> Decide {
+    let node = NodeId::new(u as usize);
+    if ctx.is_dead(node) {
+        return Decide::Dead;
+    }
+    let view = ctx.view(node);
+    let mut rng = decision_rng(ctx.seed, ctx.round, u);
+    f(&view, &mut rng)
+}
+
+/// Serial decision pass — the plain [`Protocol`] path of [`Simulation::run`].
+enum SerialDecisions {}
+
+impl<P: Protocol> DecisionDriver<P> for SerialDecisions {
+    fn decide(protocol: &mut P, ctx: &DecisionCtx<'_>, worklist: &[u32], out: &mut Vec<Decide>) {
+        for &u in worklist {
+            out.push(decide_node(ctx, u, |view, rng| {
+                match protocol.on_round(view, rng) {
+                    Some(target) => Decide::Target(target),
+                    None => Decide::Silent(protocol.activity(view)),
+                }
+            }));
+        }
+    }
+}
+
+/// Minimum worklist length before the decision pass fans out to worker
+/// threads (below it, shard setup costs more than it saves — purely a
+/// wall-clock knob, like [`MIN_PAR_TASKS`]).
+const MIN_PAR_DECISIONS: usize = 256;
+
+/// Sharded decision pass over contiguous worklist shards — the
+/// [`ShardedProtocol`] path of [`Simulation::run_sharded`].
+enum ShardedDecisions {}
+
+impl<P: ShardedProtocol> DecisionDriver<P> for ShardedDecisions {
+    // gossip-lint: allow(panic-path): chunk bounds derive from div_ceil over the worklist length
+    fn decide(protocol: &mut P, ctx: &DecisionCtx<'_>, worklist: &[u32], out: &mut Vec<Decide>) {
+        if worklist.is_empty() {
+            return;
+        }
+        let shard_count = if ctx.threads <= 1 || worklist.len() < MIN_PAR_DECISIONS {
+            1
+        } else {
+            ctx.threads.min(worklist.len())
+        };
+        let per = worklist.len().div_ceil(shard_count);
+        let shard_count = worklist.len().div_ceil(per);
+        let mut cuts: Vec<u32> = Vec::with_capacity(shard_count + 1);
+        cuts.push(0);
+        for k in 1..shard_count {
+            // First node of chunk k; the worklist is sorted, so chunk k's
+            // nodes all fall in `cuts[k] .. cuts[k+1]`.
+            cuts.push(worklist[k * per]);
+        }
+        cuts.push(ctx.graph.node_count() as u32);
+        let shards = protocol.decision_shards(&cuts);
+        debug_assert_eq!(shards.len(), shard_count, "one shard per cut interval");
+        let jobs: Vec<(&[u32], P::Shard<'_>)> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(k, shard)| {
+                let lo = k * per;
+                let hi = ((k + 1) * per).min(worklist.len());
+                (&worklist[lo..hi], shard)
+            })
+            .collect();
+        let results = run_jobs(ctx.threads, jobs, |(chunk, mut shard)| {
+            let mut decides = Vec::with_capacity(chunk.len());
+            for &u in chunk {
+                decides.push(decide_node(ctx, u, |view, rng| {
+                    match P::shard_on_round(&mut shard, view, rng) {
+                        Some(target) => Decide::Target(target),
+                        None => Decide::Silent(P::shard_activity(&shard, view)),
+                    }
+                }));
+            }
+            decides
+        });
+        for chunk in results {
+            out.extend_from_slice(&chunk);
+        }
+    }
+}
+
 /// An in-flight exchange: its endpoints plus the `O(1)` snapshot of what each
 /// endpoint knew at initiation — the length of its acquisition log.
 struct Flight {
@@ -554,6 +807,263 @@ impl MemCounters {
         self.pages_live -= before as u64;
         self.pages_peak = self.pages_peak.max(self.pages_live);
     }
+
+    /// Folds one shard's dense-page trace into the live/peak counters.
+    /// Must be applied in shard order — the trace composition law makes the
+    /// result independent of where the shard cuts fell, but not of the order
+    /// the shards are folded in.
+    fn apply_page_trace(&mut self, trace: PageTrace) {
+        let live = self.pages_live as i64;
+        self.pages_peak = self.pages_peak.max((live + trace.max_prefix.max(0)) as u64);
+        self.pages_live = (live + trace.delta) as u64;
+    }
+}
+
+/// One resolved merge obligation of a delivery phase: union `src`'s log
+/// positions `start..upto` into `dst`'s rumor state.  Resolved serially
+/// against the per-edge watermarks (in flight order), then executed in the
+/// canonical order — ascending `dst`, flight order within one `dst` — by
+/// [`Progress::merge_completions`].
+#[derive(Debug, Clone, Copy)]
+struct MergeTask {
+    dst: u32,
+    src: u32,
+    start: u32,
+    upto: u32,
+}
+
+/// Order-preserving summary of one shard's dense-page allocation walk: the
+/// net page delta plus the maximum running prefix delta (page counts can
+/// *drop* mid-walk when a dense page saturates to the free full sentinel, so
+/// a plain max of deltas would not reproduce the serial peak).
+///
+/// Composition law: for traces `a` then `b`,
+/// `a ∘ b = { delta: a.delta + b.delta, max_prefix: max(a.max_prefix,
+/// a.delta + b.max_prefix) }` — associative with identity `default()`, so
+/// folding per-shard traces in shard order reproduces exactly the peak the
+/// canonical serial walk observes, wherever the shard cuts fall.
+#[derive(Debug, Clone, Copy, Default)]
+struct PageTrace {
+    delta: i64,
+    max_prefix: i64,
+}
+
+impl PageTrace {
+    /// Records one task's page delta (the serial walk's
+    /// [`MemCounters::record_page_delta`], replayed at reduction time).
+    fn record(&mut self, before: usize, after: usize) {
+        self.delta += after as i64 - before as i64;
+        self.max_prefix = self.max_prefix.max(self.delta);
+    }
+}
+
+/// Phase A output of one merge shard: every rumor newly learned by the
+/// shard's destinations, as maximal consecutive-id runs.
+struct MergeShardNew {
+    /// New runs flattened in task order; `run_counts[k]` of them belong to
+    /// the shard's `k`-th task.  (Flattened per shard, not per task, so a
+    /// phase's allocation count is `O(shards)`, not `O(tasks)`.)
+    runs: Vec<RumorRun>,
+    run_counts: Vec<u32>,
+    pages: PageTrace,
+}
+
+/// Phase B output of one merge shard: pure counter deltas, folded into the
+/// global termination counters in shard order.
+#[derive(Default)]
+struct MergeShardDelta {
+    /// Runs physically appended to acquisition logs (`live_runs` delta).
+    appended_runs: u64,
+    full_nodes: usize,
+    source_known_by: usize,
+    lb_deficit_sub: u64,
+    /// Destinations that learned at least one rumor, ascending.
+    changed: Vec<u32>,
+}
+
+/// Phase A of the sharded completion merge: unions each task's source prefix
+/// into the destination's paged rumor set, collecting the newly learned
+/// rumors.  A shard owns a contiguous destination range (its `rumors` slice,
+/// offset by `base`) and its tasks are already in canonical order, so the
+/// in-shard walk *is* the canonical serial walk restricted to that range;
+/// everything else is only read.
+// gossip-lint: allow(panic-path): task indices are bounded by the shard partition invariants
+fn merge_shard_phase_a(
+    tasks: &[MergeTask],
+    base: usize,
+    rumors: &mut [RumorSet],
+    logs: &[AcquisitionLog],
+    shadows: &[Vec<u64>],
+    shadow_len: &[u32],
+    collapsed: &[bool],
+) -> MergeShardNew {
+    let mut out = MergeShardNew {
+        runs: Vec::new(),
+        run_counts: Vec::with_capacity(tasks.len()),
+        pages: PageTrace::default(),
+    };
+    // Per-task scratch: new runs must be collected per task (the flat buffer
+    // would otherwise coalesce id-adjacent runs across task — and therefore
+    // destination — boundaries).
+    let mut scratch: Vec<RumorRun> = Vec::new();
+    for t in tasks {
+        let si = t.src as usize;
+        let dst_set = &mut rumors[t.dst as usize - base];
+        if dst_set.is_full() {
+            // Saturated by an earlier same-destination task this phase: the
+            // union is a guaranteed no-op, exactly like the serial engine's
+            // `counts >= universe` skip at task time.
+            out.run_counts.push(0);
+            continue;
+        }
+        scratch.clear();
+        let pages_before = dst_set.live_pages();
+        if collapsed[si] {
+            // Saturation-collapsed peer: every snapshot of it still in
+            // flight was taken after it saturated (that is the collapse
+            // precondition), so the prefix is the whole universe.
+            debug_assert_eq!(t.upto as usize, dst_set.universe());
+            dst_set.insert_all(&mut scratch);
+        } else {
+            let frontier = shadow_len[si];
+            if t.start < frontier {
+                // Invariant: a nonzero frontier implies a materialised
+                // shadow holding exactly the first `frontier` log entries.
+                dst_set.union_words_collect_new_runs(&shadows[si], &mut scratch);
+            }
+            logs[si].for_each_segment(t.start.max(frontier), t.upto, |first, len| {
+                dst_set.insert_run(first, len, &mut scratch);
+            });
+        }
+        out.pages.record(pages_before, dst_set.live_pages());
+        out.run_counts.push(scratch.len() as u32);
+        out.runs.extend_from_slice(&scratch);
+    }
+    out
+}
+
+/// Phase B of the sharded completion merge: appends each task's new runs to
+/// the destination's acquisition log and folds every termination counter the
+/// runs touch into a per-shard delta.  The shard's `logs` / `counts` /
+/// `informed_times` slices start at destination `base`; `rumors` is the full
+/// slice, only read (for the per-destination universe).
+#[allow(clippy::too_many_arguments)]
+// gossip-lint: allow(panic-path): task indices are bounded by the shard partition invariants
+fn merge_shard_phase_b(
+    tasks: &[MergeTask],
+    new: &MergeShardNew,
+    base: usize,
+    rumors: &[RumorSet],
+    logs: &mut [AcquisitionLog],
+    counts: &mut [usize],
+    mut informed_times: Option<&mut [Option<u64>]>,
+    graph: &Graph,
+    alive: Option<&AliveView>,
+    source_rumor: Option<RumorId>,
+    tracked: Option<RumorId>,
+    lb_bound: Option<Latency>,
+    round: u64,
+) -> MergeShardDelta {
+    let mut delta = MergeShardDelta::default();
+    let mut cursor = 0usize;
+    for (k, t) in tasks.iter().enumerate() {
+        let count = new.run_counts[k] as usize;
+        let task_runs = &new.runs[cursor..cursor + count];
+        cursor += count;
+        if count == 0 {
+            continue;
+        }
+        let di = t.dst as usize;
+        let li = di - base;
+        if delta.changed.last() != Some(&t.dst) {
+            delta.changed.push(t.dst);
+        }
+        let universe = rumors[di].universe();
+        for &(first, len) in task_runs {
+            if logs[li].push_run(first, len) {
+                delta.appended_runs += 1;
+            }
+            counts[li] += len as usize;
+            if counts[li] == universe {
+                delta.full_nodes += 1;
+            }
+            let run_contains =
+                |r: RumorId| r.0 >= first.0 && u64::from(r.0) < u64::from(first.0) + u64::from(len);
+            if source_rumor.is_some_and(run_contains) {
+                delta.source_known_by += 1;
+            }
+            if tracked.is_some_and(run_contains) {
+                if let Some(informed) = informed_times.as_deref_mut() {
+                    if informed[li].is_none() {
+                        informed[li] = Some(round);
+                    }
+                }
+            }
+            if let Some(bound) = lb_bound {
+                let nbrs = graph.neighbor_slice(NodeId::new(di));
+                let node_count = graph.node_count();
+                for j in first.index()..(first.index() + len as usize).min(node_count) {
+                    if let Ok(pos) = nbrs.binary_search_by_key(&NodeId::new(j), |&(w, _)| w) {
+                        let (w, e) = nbrs[pos];
+                        // A `(dst, w)` pair is only outstanding — and was only
+                        // counted — while `w` is alive and the edge un-cut
+                        // (crash/cut events retire such pairs eagerly).
+                        if graph.latency(e) <= bound
+                            && alive.is_none_or(|a| a.is_node_alive(w) && a.is_edge_alive(e))
+                        {
+                            delta.lb_deficit_sub += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    delta
+}
+
+/// Cuts `tasks` (sorted by destination) into at most `max_shards` contiguous
+/// ranges of roughly equal length whose destination sets are disjoint — a
+/// cut never splits one destination's task group, so every destination's
+/// state is owned by exactly one shard.  Returns each shard's end index.
+///
+/// The cut positions depend on `max_shards` (i.e. on the thread count), but
+/// never the results: phase outputs are reduced in shard order, and
+/// concatenating per-shard walks of a sorted task list in shard order is the
+/// canonical serial walk regardless of where the cuts fall.
+// gossip-lint: allow(panic-path): hi is only indexed while strictly below tasks.len(), and hi >= 1 inside the loop
+fn partition_tasks(tasks: &[MergeTask], max_shards: usize) -> Vec<usize> {
+    let mut ends = Vec::with_capacity(max_shards);
+    let target = tasks.len().div_ceil(max_shards.max(1));
+    let mut lo = 0usize;
+    while lo < tasks.len() {
+        let mut hi = (lo + target).min(tasks.len());
+        while hi < tasks.len() && tasks[hi].dst == tasks[hi - 1].dst {
+            hi += 1;
+        }
+        ends.push(hi);
+        lo = hi;
+    }
+    ends
+}
+
+/// Minimum per-phase work before a pass fans out to worker threads; below
+/// it, shard setup costs more than it saves.  Purely a wall-clock knob — the
+/// single-shard path runs the identical canonical walk.
+const MIN_PAR_TASKS: usize = 64;
+
+/// Executes independent shard jobs, fanned out on the vendored rayon pool
+/// when more than one worker is configured.  Results come back in job order
+/// (rayon's indexed `collect`), so callers can reduce them deterministically
+/// in shard order; with one worker (or one job) the jobs run inline on the
+/// calling thread in the same order.
+fn run_jobs<T: Send, R: Send>(threads: usize, jobs: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    if threads <= 1 || jobs.len() <= 1 {
+        return jobs.into_iter().map(f).collect();
+    }
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .install(|| jobs.into_par_iter().map(f).collect())
 }
 
 /// Incrementally maintained dissemination state: interval-compressed
@@ -593,10 +1103,6 @@ struct Progress<'g> {
     tracked: Option<RumorId>,
     /// Per-node first round the tracked rumor was known (empty if untracked).
     informed_times: Vec<Option<u64>>,
-    /// Reusable buffer for the maximal consecutive-id runs a merge newly
-    /// inserts (run-granular so a saturating merge is `O(runs)`, not
-    /// `O(rumors)`).
-    scratch: Vec<RumorRun>,
     /// Rejoined nodes still re-disseminating: `(node, rejoin round)` pairs,
     /// removed once the node recovers (or crashes again).  Only ever
     /// non-empty under a fault plan with rejoins, and holds at most the
@@ -670,7 +1176,6 @@ impl<'g> Progress<'g> {
                     .collect(),
                 None => Vec::new(),
             },
-            scratch: Vec::new(),
             pending_recovery: Vec::new(),
             recovery_latency: None,
             mem: MemCounters {
@@ -683,121 +1188,209 @@ impl<'g> Progress<'g> {
         }
     }
 
-    /// Merges `src`'s log prefix of length `upto` into `dst`, resuming from
-    /// the per-edge `watermark` so entries already carried over this edge are
-    /// never rescanned.  The prefix is served from three sources: a
-    /// saturation-collapsed `src` is unioned as "the full universe" in
-    /// `O(dst pages)` (its log and shadow are long gone — every outstanding
-    /// snapshot of it covers everything, so the complement of what `dst`
-    /// knows *is* the delta); otherwise positions below `src`'s shadow
-    /// frontier come from the shadow bitset (one word-OR sweep — the log
-    /// behind the frontier may already be truncated) and the retained tail is
-    /// replayed run by run.  All termination counters and `informed_times`
-    /// are updated run-granularly in the same pass.
+    /// Executes a delivery phase's resolved merge tasks in the **canonical
+    /// merge order** — ascending destination, flight order within one
+    /// destination — sharded by destination across `threads` workers on the
+    /// vendored rayon pool.  Pushes every destination that learned at least
+    /// one rumor onto `changed`, ascending.
     ///
-    /// Returns `true` if `dst` learned at least one new rumor.
+    /// Each task unions `src`'s log prefix `start..upto` into `dst`.  The
+    /// prefix is served from three sources: a saturation-collapsed `src` is
+    /// unioned as "the full universe" in `O(dst pages)` (its log and shadow
+    /// are long gone — every outstanding snapshot of it covers everything,
+    /// so the complement of what `dst` knows *is* the delta); otherwise
+    /// positions below `src`'s shadow frontier come from the shadow bitset
+    /// (one word-OR sweep) and the retained tail is replayed run by run.
     ///
-    /// Within a delivery phase the per-merge *insertion order* can differ
-    /// from the reference engine (the shadow and saturated-peer unions yield
-    /// ascending rumor ids, not `src`'s learn order), but snapshots are only
-    /// ever taken on round boundaries — after a phase's merges have all
-    /// landed — so every observable (rumor sets, reports, future snapshot
-    /// prefixes *as sets*) is identical.  The `engine_equivalence` suite pins
-    /// this.
-    #[allow(clippy::too_many_arguments)]
-    // gossip-lint: allow(panic-path): calendar buckets and node indices are bounded by the ring/CSR invariants
-    fn merge_prefix(
+    /// # Why sharding cannot change the result
+    ///
+    /// * **Reordering to canonical order is sound.**  Within one phase,
+    ///   merges into *different* destinations touch disjoint rumor state,
+    ///   and a destination's tasks keep their flight order (the sort is
+    ///   stable).  Snapshots are taken only on round boundaries, after the
+    ///   phase has fully landed, so no in-phase interleaving is observable.
+    ///   (The per-merge insertion order already differed from the reference
+    ///   engine — shadow and saturated-peer unions yield ascending rumor
+    ///   ids, not learn order — for exactly this reason; `engine_equivalence`
+    ///   pins it.)
+    /// * **Shard cuts fall only between destinations** ([`partition_tasks`]),
+    ///   so phase A mutates disjoint `rumors` slices and phase B disjoint
+    ///   `logs`/`counts`/`informed_times` slices; everything else is read
+    ///   shared.  No shard ever observes another's writes.
+    /// * **Reductions replay the serial walk.**  Counter deltas are summed
+    ///   in shard order; the dense-page peak uses the [`PageTrace`]
+    ///   composition law; the appended-runs peak needs only the phase total
+    ///   (`live_runs` is monotone non-decreasing within a phase).  All are
+    ///   independent of the cut positions, hence of the thread count.
+    ///
+    /// The two phases are separated by a barrier: phase B appends to
+    /// `logs[dst]` while phase A *reads* `logs[src]`, and any `src` may be
+    /// another shard's `dst`.
+    // gossip-lint: allow(panic-path): shard end indices come from partition_tasks over the same task slice, and per-shard vectors are built one entry per shard
+    fn merge_completions(
         &mut self,
         rumors: &mut [RumorSet],
-        dst: NodeId,
-        src: NodeId,
-        upto: u32,
-        watermark: &mut u32,
+        tasks: &mut [MergeTask],
         round: u64,
         alive: Option<&AliveView>,
-    ) -> bool {
-        let (di, si) = (dst.index(), src.index());
-        let start = (*watermark).min(upto);
-        *watermark = (*watermark).max(upto);
-        // Nothing new over this edge, or dst already knows everything: the
-        // merge cannot change any state (counters included), so skip it.
-        if start >= upto || self.counts[di] >= rumors[di].universe() {
-            return false;
+        threads: usize,
+        changed: &mut Vec<u32>,
+    ) {
+        if tasks.is_empty() {
+            return;
         }
-
-        // Phase A: union the prefix into dst's paged set, collecting the new
-        // rumors as maximal consecutive-id runs.
-        self.scratch.clear();
-        let pages_before = rumors[di].live_pages();
-        if self.collapsed[si] {
-            // Saturation-collapsed peer: every snapshot of it still in
-            // flight was taken after it saturated (that is the collapse
-            // precondition), so the prefix is the whole universe.
-            debug_assert_eq!(upto as usize, rumors[si].universe());
-            rumors[di].insert_all(&mut self.scratch);
+        // Stable: tasks into one destination keep their flight order.
+        tasks.sort_by_key(|t| t.dst);
+        let shard_count = if threads <= 1 || tasks.len() < MIN_PAR_TASKS {
+            1
         } else {
-            let shadow_frontier = self.shadow_len[si];
-            let dst_set = &mut rumors[di];
-            if start < shadow_frontier {
-                // Invariant: a nonzero frontier implies a materialised shadow
-                // holding exactly the first `shadow_frontier` log entries.
-                dst_set.union_words_collect_new_runs(&self.shadows[si], &mut self.scratch);
-            }
-            let scratch = &mut self.scratch;
-            self.logs[si].for_each_segment(start.max(shadow_frontier), upto, |first, len| {
-                dst_set.insert_run(first, len, scratch);
-            });
-        }
-        self.mem
-            .record_page_delta(pages_before, rumors[di].live_pages());
-        if self.scratch.is_empty() {
-            return false;
-        }
+            threads
+        };
+        let ends = partition_tasks(tasks, shard_count);
+        let n = rumors.len();
 
-        // Phase B: append the new runs to dst's log and update counters —
-        // O(runs), with per-rumor work only for the local-broadcast deficit.
-        let new_runs = std::mem::take(&mut self.scratch);
-        let universe = rumors[di].universe();
-        for &(first, len) in &new_runs {
-            if self.logs[di].push_run(first, len) {
-                self.mem.live_runs += 1;
-                self.mem.peak_runs = self.mem.peak_runs.max(self.mem.live_runs);
+        let Progress {
+            graph,
+            logs,
+            shadows,
+            shadow_len,
+            collapsed,
+            counts,
+            full_nodes,
+            source_rumor,
+            source_known_by,
+            lb_bound,
+            lb_deficit,
+            tracked,
+            informed_times,
+            mem,
+            ..
+        } = self;
+        let (source_rumor, tracked, lb_bound) = (*source_rumor, *tracked, *lb_bound);
+
+        // Phase A: union prefixes into the destinations' paged rumor sets.
+        struct PhaseAJob<'a> {
+            tasks: &'a [MergeTask],
+            base: usize,
+            rumors: &'a mut [RumorSet],
+        }
+        let new_runs: Vec<MergeShardNew> = {
+            let (logs, shadows, shadow_len, collapsed) =
+                (&**logs, &**shadows, &**shadow_len, &**collapsed);
+            let mut jobs: Vec<PhaseAJob<'_>> = Vec::with_capacity(ends.len());
+            let mut rest: &mut [RumorSet] = rumors;
+            let mut base = 0usize;
+            let mut task_lo = 0usize;
+            for (k, &task_hi) in ends.iter().enumerate() {
+                let dst_hi = if k + 1 < ends.len() {
+                    tasks[task_hi].dst as usize
+                } else {
+                    n
+                };
+                let (mine, tail) = rest.split_at_mut(dst_hi - base);
+                jobs.push(PhaseAJob {
+                    tasks: &tasks[task_lo..task_hi],
+                    base,
+                    rumors: mine,
+                });
+                rest = tail;
+                base = dst_hi;
+                task_lo = task_hi;
             }
-            self.counts[di] += len as usize;
-            if self.counts[di] == universe {
-                self.full_nodes += 1;
-            }
-            let run_contains =
-                |r: RumorId| r.0 >= first.0 && u64::from(r.0) < u64::from(first.0) + u64::from(len);
-            if self.source_rumor.is_some_and(run_contains) {
-                self.source_known_by += 1;
-            }
-            if self.tracked.is_some_and(run_contains) && self.informed_times[di].is_none() {
-                self.informed_times[di] = Some(round);
-            }
-            if let Some(bound) = self.lb_bound {
-                let nbrs = self.graph.neighbor_slice(dst);
-                let node_count = self.graph.node_count();
-                for j in first.index()..(first.index() + len as usize).min(node_count) {
-                    if let Ok(pos) = nbrs.binary_search_by_key(&NodeId::new(j), |&(w, _)| w) {
-                        let (w, e) = nbrs[pos];
-                        // A `(dst, w)` pair is only outstanding — and was only
-                        // counted — while `w` is alive and the edge un-cut
-                        // (crash/cut events retire such pairs eagerly).
-                        if self.graph.latency(e) <= bound
-                            && alive.is_none_or(|a| a.is_node_alive(w) && a.is_edge_alive(e))
-                        {
-                            self.lb_deficit -= 1;
-                        }
+            run_jobs(threads, jobs, |job| {
+                merge_shard_phase_a(
+                    job.tasks, job.base, job.rumors, logs, shadows, shadow_len, collapsed,
+                )
+            })
+        };
+
+        // Phase B: append the new runs to the destinations' logs and reduce
+        // the counter deltas in shard order.
+        struct PhaseBJob<'a> {
+            tasks: &'a [MergeTask],
+            new: &'a MergeShardNew,
+            base: usize,
+            logs: &'a mut [AcquisitionLog],
+            counts: &'a mut [usize],
+            informed_times: Option<&'a mut [Option<u64>]>,
+        }
+        let deltas: Vec<MergeShardDelta> = {
+            let rumors = &*rumors;
+            let graph: &Graph = graph;
+            let mut jobs: Vec<PhaseBJob<'_>> = Vec::with_capacity(ends.len());
+            let mut logs_rest: &mut [AcquisitionLog] = logs;
+            let mut counts_rest: &mut [usize] = counts;
+            let mut informed_rest: Option<&mut [Option<u64>]> =
+                tracked.is_some().then_some(&mut informed_times[..]);
+            let mut base = 0usize;
+            let mut task_lo = 0usize;
+            for (k, &task_hi) in ends.iter().enumerate() {
+                let dst_hi = if k + 1 < ends.len() {
+                    tasks[task_hi].dst as usize
+                } else {
+                    n
+                };
+                let (logs_mine, logs_tail) = logs_rest.split_at_mut(dst_hi - base);
+                let (counts_mine, counts_tail) = counts_rest.split_at_mut(dst_hi - base);
+                let (informed_mine, informed_tail) = match informed_rest {
+                    Some(slice) => {
+                        let (a, b) = slice.split_at_mut(dst_hi - base);
+                        (Some(a), Some(b))
                     }
-                }
+                    None => (None, None),
+                };
+                jobs.push(PhaseBJob {
+                    tasks: &tasks[task_lo..task_hi],
+                    new: &new_runs[k],
+                    base,
+                    logs: logs_mine,
+                    counts: counts_mine,
+                    informed_times: informed_mine,
+                });
+                logs_rest = logs_tail;
+                counts_rest = counts_tail;
+                informed_rest = informed_tail;
+                base = dst_hi;
+                task_lo = task_hi;
             }
+            run_jobs(threads, jobs, |job| {
+                merge_shard_phase_b(
+                    job.tasks,
+                    job.new,
+                    job.base,
+                    rumors,
+                    job.logs,
+                    job.counts,
+                    job.informed_times,
+                    graph,
+                    alive,
+                    source_rumor,
+                    tracked,
+                    lb_bound,
+                    round,
+                )
+            })
+        };
+
+        // Deterministic reduction, in shard order.
+        let mut pages = PageTrace::default();
+        for new in &new_runs {
+            pages = PageTrace {
+                delta: pages.delta + new.pages.delta,
+                max_prefix: pages.max_prefix.max(pages.delta + new.pages.max_prefix),
+            };
         }
-        if !self.pending_recovery.is_empty() {
-            self.check_recovery(rumors, di, round);
+        mem.apply_page_trace(pages);
+        for delta in deltas {
+            mem.live_runs += delta.appended_runs;
+            *full_nodes += delta.full_nodes;
+            *source_known_by += delta.source_known_by;
+            *lb_deficit -= delta.lb_deficit_sub;
+            changed.extend_from_slice(&delta.changed);
         }
-        self.scratch = new_runs;
-        true
+        // `live_runs` only grows within a delivery phase, so the phase-end
+        // value is its in-phase peak.
+        mem.peak_runs = mem.peak_runs.max(mem.live_runs);
     }
 
     /// Advances `node`'s shadow frontier to log position `target` (its rumor
@@ -1085,9 +1678,10 @@ impl<'g> Progress<'g> {
             Termination::FixedRounds(target) => round >= target,
             Termination::Quiescent => {
                 in_flight_count == 0
-                    && self.graph.nodes().all(|v| {
-                        alive.is_some_and(|a| !a.is_node_alive(v)) || protocol.is_idle(v)
-                    })
+                    && self
+                        .graph
+                        .nodes()
+                        .all(|v| alive.is_some_and(|a| !a.is_node_alive(v)) || protocol.is_idle(v))
             }
         }
     }
@@ -1164,10 +1758,40 @@ impl<'g> Simulation<'g> {
     ///
     /// Protocol state is owned by the caller and is *not* reset; reuse the
     /// same protocol value to continue its program, or pass a fresh one.
-    // gossip-lint: allow(panic-path): node/edge indices come from the graph's own CSR bounds; ring_len >= 1
+    ///
+    /// # Determinism and parallelism
+    ///
+    /// Each node's per-round RNG stream is derived independently from
+    /// `(seed, round, node)` (see [`decision_rng`]), and the completion-merge
+    /// pass always executes in canonical order — ascending destination node,
+    /// flight order within a destination — whatever
+    /// [`SimConfig::threads`] says.  Reports are therefore byte-identical
+    /// across thread counts, and identical between `run` (serial decision
+    /// pass) and [`run_sharded`](Self::run_sharded) (parallel decision pass).
+    ///
+    /// One timing note: [`Protocol::on_rejected`] fires during the serial
+    /// epilogue *after* the round's whole decision pass, not interleaved with
+    /// it — a rejection callback can no longer observe later nodes'
+    /// undecided state, which is exactly what makes the pass shardable.
     pub fn run<P: Protocol>(&mut self, protocol: &mut P) -> RunReport {
+        self.run_inner::<P, SerialDecisions>(protocol)
+    }
+
+    /// Runs a [`ShardedProtocol`] with the decision pass fanned out across
+    /// [`SimConfig::threads`] workers, in addition to the completion-merge
+    /// pass both entry points shard.  The report is byte-identical to
+    /// [`run`](Self::run) at any thread count: both drivers derive each
+    /// node's RNG stream independently from `(seed, round, node)`, record
+    /// one decision per worklist entry, and apply them serially in worklist
+    /// order.
+    pub fn run_sharded<P: ShardedProtocol>(&mut self, protocol: &mut P) -> RunReport {
+        self.run_inner::<P, ShardedDecisions>(protocol)
+    }
+
+    // gossip-lint: allow(panic-path): node/edge indices come from the graph's own CSR bounds; ring_len >= 1
+    fn run_inner<P: Protocol, D: DecisionDriver<P>>(&mut self, protocol: &mut P) -> RunReport {
         let n = self.graph.node_count();
-        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        let threads = self.config.threads.max(1);
 
         // Fault machinery — all empty/`None` without a plan, so fault-free
         // runs pay nothing beyond a few predictable branches.
@@ -1217,8 +1841,9 @@ impl<'g> Simulation<'g> {
         // was taken *after* round `r`, so the frontier may move there.
         let mut shadow_ring: Vec<Vec<(u32, u32, u32)>> =
             (0..ring_len).map(|_| Vec::new()).collect();
-        let mut changed_mark: Vec<u64> = vec![u64::MAX; n];
-        let mut changed_this_round: Vec<u32> = Vec::new();
+        let mut merge_tasks: Vec<MergeTask> = Vec::new();
+        let mut changed_dsts: Vec<u32> = Vec::new();
+        let mut decides: Vec<Decide> = Vec::new();
         let min_truncate_runs = self.config.shadow_min_truncate_runs;
 
         // Event-driven scheduler state: the sorted worklist of active nodes
@@ -1314,7 +1939,6 @@ impl<'g> Simulation<'g> {
                             }
                             progress.rejoin_node(&mut self.rumors, v, round, av);
                             epoch[v.index()] = epoch[v.index()].wrapping_add(1);
-                            changed_mark[v.index()] = u64::MAX;
                             force_wake(&mut node_state, &mut woken, v.index());
                             for (w, _) in self.graph.neighbors(v) {
                                 if av.is_node_alive(w) {
@@ -1373,11 +1997,13 @@ impl<'g> Simulation<'g> {
                 shadow_ring[bucket] = advances; // keep the bucket's capacity
 
                 // 1. Deliver exchanges completing at the start of this round.
+                //    Serial prologue, in flight order: free initiator slots,
+                //    tally losses, resolve the per-edge watermarks, and emit
+                //    one merge task per receiving endpoint.
                 let mut completions = std::mem::take(&mut calendar[bucket]);
                 in_flight_count -= completions.len();
-                for fl in completions.drain(..) {
+                for fl in completions.iter() {
                     let rec = self.graph.edge(fl.edge);
-                    let latency = rec.latency;
                     pending_own[fl.initiator.index()] =
                         pending_own[fl.initiator.index()].saturating_sub(1);
                     if fl.lost {
@@ -1388,7 +2014,8 @@ impl<'g> Simulation<'g> {
                         force_wake(&mut node_state, &mut woken, fl.initiator.index());
                         continue;
                     }
-                    // Both endpoints merge the peer's log prefix as of initiation.
+                    // Both endpoints merge the peer's log prefix as of
+                    // initiation, minus what already crossed this edge.
                     let [toward_u, toward_v] = &mut watermarks[fl.edge.index()];
                     let (toward_initiator, toward_responder) = if fl.initiator == rec.u {
                         (toward_u, toward_v)
@@ -1409,22 +2036,58 @@ impl<'g> Simulation<'g> {
                             toward_responder,
                         ),
                     ] {
-                        let changed = progress.merge_prefix(
-                            &mut self.rumors,
-                            dst,
-                            src,
-                            upto,
-                            mark,
-                            round,
-                            alive.as_ref(),
-                        );
-                        if changed && changed_mark[dst.index()] != round {
-                            changed_mark[dst.index()] = round;
-                            changed_this_round.push(dst.index() as u32);
+                        let start = (*mark).min(upto);
+                        *mark = (*mark).max(upto);
+                        if start < upto
+                            && progress.counts[dst.index()] < self.rumors[dst.index()].universe()
+                        {
+                            merge_tasks.push(MergeTask {
+                                dst: dst.index() as u32,
+                                src: src.index() as u32,
+                                start,
+                                upto,
+                            });
                         }
                     }
                     discovered.mark(fl.edge, fl.initiator == rec.v);
                     discovered.mark(fl.edge, fl.responder == rec.v);
+                }
+
+                // Canonical merge order — ascending destination, flight order
+                // within a destination — regardless of thread count.
+                changed_dsts.clear();
+                progress.merge_completions(
+                    &mut self.rumors,
+                    &mut merge_tasks,
+                    round,
+                    alive.as_ref(),
+                    threads,
+                    &mut changed_dsts,
+                );
+                merge_tasks.clear();
+
+                // Queue this round's growth for shadow advancement one ring
+                // revolution from now, and settle pending rejoin recoveries —
+                // per changed destination, in ascending node order.
+                for &node in changed_dsts.iter() {
+                    shadow_ring[bucket].push((
+                        node,
+                        progress.counts[node as usize] as u32,
+                        epoch.get(node as usize).copied().unwrap_or(0),
+                    ));
+                }
+                if !progress.pending_recovery.is_empty() {
+                    for &node in changed_dsts.iter() {
+                        progress.check_recovery(&self.rumors, node as usize, round);
+                    }
+                }
+
+                // Protocol notifications and wake events, in flight order.
+                for fl in completions.drain(..) {
+                    if fl.lost {
+                        continue;
+                    }
+                    let latency = self.graph.latency(fl.edge);
                     for (node, here) in [(fl.initiator, true), (fl.responder, false)] {
                         protocol.on_exchange(
                             node,
@@ -1448,16 +2111,6 @@ impl<'g> Simulation<'g> {
                     }
                 }
                 calendar[bucket] = completions; // keep the bucket's capacity
-
-                // Queue this round's growth for shadow advancement one ring
-                // revolution from now.
-                for node in changed_this_round.drain(..) {
-                    shadow_ring[bucket].push((
-                        node,
-                        progress.counts[node as usize] as u32,
-                        epoch.get(node as usize).copied().unwrap_or(0),
-                    ));
-                }
 
                 // 2. Check termination (conditions are evaluated on round boundaries).
                 if progress.is_done(
@@ -1510,58 +2163,62 @@ impl<'g> Simulation<'g> {
                 }
                 active_peak = active_peak.max(worklist.len() as u64);
 
-                // 3. Let every *active* node act.  Nodes whose `on_round`
-                //    returned `None` and whose `activity` promises silence
-                //    leave the worklist here.
+                // 3. Let every *active* node act: the decision pass records
+                //    one `Decide` per worklist entry (serially or across
+                //    worker shards — byte-identical either way, since each
+                //    node's RNG stream is independent and decisions only read
+                //    round-start state), then the serial epilogue applies
+                //    them in worklist order.  Nodes whose `on_round` returned
+                //    `None` and whose `activity` promises silence leave the
+                //    worklist here.
+                decides.clear();
+                {
+                    let ctx = DecisionCtx {
+                        graph: self.graph,
+                        rumors: &self.rumors,
+                        alive: alive.as_ref(),
+                        discovered: &discovered,
+                        pending_own: &pending_own,
+                        mode: self.config.mode,
+                        latencies_known: self.config.latencies_known,
+                        seed: self.config.seed,
+                        round,
+                        threads,
+                    };
+                    D::decide(protocol, &ctx, &worklist, &mut decides);
+                }
+                debug_assert_eq!(decides.len(), worklist.len());
                 let mut kept = 0;
-                for k in 0..worklist.len() {
+                for (k, &decide) in decides.iter().enumerate() {
                     let i = worklist[k] as usize;
                     let node = NodeId::new(i);
-                    if let Some(av) = &alive {
-                        if !av.is_node_alive(node) {
-                            // Crashed while queued: drop from the worklist
-                            // (its state is already `Quiescent`; a rejoin
-                            // force-wake re-admits it).
+                    let target = match decide {
+                        // Crashed while queued: drop from the worklist (its
+                        // state is already `Quiescent`; a rejoin force-wake
+                        // re-admits it).
+                        Decide::Dead => continue,
+                        Decide::Silent(activity) => {
+                            match activity {
+                                Activity::Active => {
+                                    worklist[kept] = i as u32;
+                                    kept += 1;
+                                }
+                                Activity::IdleUntilWoken => node_state[i] = NodeState::Idle,
+                                Activity::Quiescent => node_state[i] = NodeState::Quiescent,
+                            }
                             continue;
                         }
-                    }
-                    let can_initiate = match self.config.mode {
-                        ExchangeMode::NonBlocking => true,
-                        ExchangeMode::Blocking => pending_own[i] == 0,
-                    };
-                    let view = NodeView {
-                        node,
-                        round,
-                        rumors: &self.rumors[i],
-                        neighbors: match &alive {
-                            Some(av) => av.neighbor_slice(self.graph, node),
-                            None => self.graph.neighbor_slice(node),
-                        },
-                        can_initiate,
-                        pending_own: pending_own[i],
-                        latency_oracle: LatencyOracle {
-                            graph: self.graph,
-                            known_all: self.config.latencies_known,
-                            source: OracleSource::Flat {
-                                node,
-                                discovered: &discovered,
-                            },
-                        },
-                    };
-                    let choice = protocol.on_round(&view, &mut rng);
-                    let Some(target) = choice else {
-                        match protocol.activity(&view) {
-                            Activity::Active => {
-                                worklist[kept] = i as u32;
-                                kept += 1;
-                            }
-                            Activity::IdleUntilWoken => node_state[i] = NodeState::Idle,
-                            Activity::Quiescent => node_state[i] = NodeState::Quiescent,
-                        }
-                        continue;
+                        Decide::Target(target) => target,
                     };
                     worklist[kept] = i as u32;
                     kept += 1;
+                    let can_initiate = match self.config.mode {
+                        ExchangeMode::NonBlocking => true,
+                        // Unchanged since the decision pass: only `i`'s own
+                        // epilogue step can bump `pending_own[i]`, and each
+                        // node appears in the worklist once.
+                        ExchangeMode::Blocking => pending_own[i] == 0,
+                    };
                     if !can_initiate {
                         continue;
                     }

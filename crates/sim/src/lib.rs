@@ -44,12 +44,15 @@ mod fault;
 mod report;
 mod rumor;
 
+#[doc(hidden)]
+pub mod oracle;
 pub mod protocols;
 #[doc(hidden)]
 pub mod reference;
 
 pub use engine::{
-    Activity, ExchangeEvent, ExchangeMode, NodeView, Protocol, SimConfig, Simulation, Termination,
+    Activity, ExchangeEvent, ExchangeMode, NodeView, Protocol, ShardedProtocol, SimConfig,
+    Simulation, Termination,
 };
 pub use fault::{ChurnSpec, FaultEvent, FaultPlan};
 pub use report::{FaultReport, MemStats, RunReport};

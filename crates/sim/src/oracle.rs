@@ -1,24 +1,23 @@
-//! The reference engine: the original snapshot-per-exchange implementation.
+//! The mid-size oracle: dense-bitset snapshot semantics, `O(n · rounds)`.
 //!
-//! [`ReferenceSimulation`] is a line-for-line preservation of the simulator
-//! before the snapshot-free rewrite (see the [`crate::engine`] module docs):
-//! it clones both endpoints' rumor bitsets at initiation, scans the whole
-//! in-flight list every round, and re-scans all rumor sets for every
-//! termination check.  It is `O(n)`-per-exchange slow by design — its job is
-//! to pin the *semantics*, not to be fast.
+//! [`OracleSimulation`] replays the same protocol semantics as
+//! [`crate::reference::ReferenceSimulation`] — snapshot both endpoints at
+//! initiation, deliver after the edge latency, merge the peer's snapshot —
+//! but stores every rumor state as one flat dense bitset row (`universe /
+//! 64` words per node).  There are no interval logs, no shadows, no
+//! watermarks and no paged sets anywhere: a snapshot is a `memcpy` of one
+//! row and a merge is a word-wise OR, so the oracle stays fast well past the
+//! reference engine's toy sizes and lets the `engine_equivalence` property
+//! tests cross 10³–10⁴ nodes.
 //!
-//! The `engine_equivalence` integration suite runs both engines over the
-//! standard scenario grid and requires byte-identical [`RunReport`]s and
-//! final rumor states; the property tests in the same suite do the same over
-//! random graphs.  Any intentional semantic change to the engine must be
-//! mirrored here (post-rewrite changes so far: rejected non-neighbor targets
-//! are counted and reported, and the [`crate::fault`] semantics — crash-stop
-//! churn, link cuts, message loss, graceful-degradation reporting — are
-//! interpreted identically in both engines, pinned by the
-//! `fault_equivalence` suite).
+//! Like the reference engine it draws each node's per-round RNG from
+//! [`decision_rng`]`(seed, round, node)`, keeping protocol decisions
+//! byte-aligned with the rewritten engine at any thread count.  Reports
+//! compare via [`RunReport::semantics`](crate::RunReport::semantics) (the
+//! oracle reports no memory counters).
 //!
-//! This module is exported for the test suites and benchmarks; it is not part
-//! of the supported API surface.
+//! This module is exported for the test suites and benchmarks; it is not
+//! part of the supported API surface.
 
 use std::collections::HashMap;
 
@@ -37,89 +36,134 @@ struct InFlight {
     responder: NodeId,
     edge: EdgeId,
     completes_at: u64,
-    /// Snapshot of the initiator's rumors at initiation time.
-    initiator_snapshot: RumorSet,
-    /// Snapshot of the responder's rumors at initiation time.
-    responder_snapshot: RumorSet,
+    /// Dense snapshot of the initiator's row at initiation time.
+    initiator_snapshot: Vec<u64>,
+    /// Dense snapshot of the responder's row at initiation time.
+    responder_snapshot: Vec<u64>,
     /// Lost in transit: times out at `completes_at` without delivering.
     lost: bool,
 }
 
-/// The original snapshot-based simulator, kept as the semantic oracle for the
-/// rewritten engine.
-pub struct ReferenceSimulation<'g> {
+/// The dense-bitset semantic oracle (see the module docs).
+pub struct OracleSimulation<'g> {
     graph: &'g Graph,
     config: SimConfig,
-    rumors: Vec<RumorSet>,
+    /// Every rumor in `0..universe`, shared by all nodes.
+    universe: usize,
+    /// Words per dense row.
+    stride: usize,
+    /// Node `i`'s rumor state is `rows[i * stride .. (i + 1) * stride]`.
+    rows: Vec<u64>,
+    /// Paged mirror of `rows`, maintained bit for bit: protocols observe
+    /// [`NodeView::rumors`] as a [`RumorSet`], and the final states must be
+    /// comparable against the engine's.
+    sets: Vec<RumorSet>,
+    /// Incremental popcount of each row (avoids termination re-scans).
+    counts: Vec<usize>,
 }
 
-impl<'g> ReferenceSimulation<'g> {
-    /// Creates a simulation where node `i` initially knows exactly rumor `i`.
+impl<'g> OracleSimulation<'g> {
+    /// Creates an oracle where node `i` initially knows exactly rumor `i`.
     pub fn new(graph: &'g Graph, config: SimConfig) -> Self {
         let n = graph.node_count();
-        let rumors = (0..n)
+        let initial = (0..n)
             .map(|i| RumorSet::singleton(n, RumorId::from(i)))
             .collect();
-        ReferenceSimulation {
-            graph,
-            config,
-            rumors,
-        }
+        Self::with_rumors(graph, config, initial)
     }
 
-    /// Creates a simulation with explicitly provided initial rumor sets.
+    /// Creates an oracle with explicitly provided initial rumor sets.
     ///
     /// # Panics
     ///
-    /// Panics if `initial.len()` differs from the node count.
+    /// Panics if `initial.len()` differs from the node count or the sets do
+    /// not share one universe (the dense rows share a single stride).
     pub fn with_rumors(graph: &'g Graph, config: SimConfig, initial: Vec<RumorSet>) -> Self {
-        assert_eq!(
-            initial.len(),
-            graph.node_count(),
-            "one rumor set per node is required"
+        let n = graph.node_count();
+        assert_eq!(initial.len(), n, "one rumor set per node is required");
+        let universe = initial.first().map_or(0, RumorSet::universe);
+        assert!(
+            initial.iter().all(|s| s.universe() == universe),
+            "dense oracle rows require a shared rumor universe"
         );
-        ReferenceSimulation {
+        let stride = universe.div_ceil(64);
+        let mut rows = vec![0u64; n * stride];
+        let counts = initial.iter().map(RumorSet::len).collect();
+        for (i, set) in initial.iter().enumerate() {
+            let row = &mut rows[i * stride..(i + 1) * stride];
+            for rumor in set.iter() {
+                row[rumor.index() / 64] |= 1 << (rumor.index() % 64);
+            }
+        }
+        OracleSimulation {
             graph,
             config,
-            rumors: initial,
+            universe,
+            stride,
+            rows,
+            sets: initial,
+            counts,
         }
     }
 
     /// Read access to the current rumor sets (indexed by node).
-    pub fn rumors(&self) -> &[RumorSet] {
-        &self.rumors
+    pub fn rumor_sets(&self) -> &[RumorSet] {
+        &self.sets
     }
 
-    /// Consumes the simulation and returns the rumor sets (after a run).
-    pub fn into_rumors(self) -> Vec<RumorSet> {
-        self.rumors
+    /// Consumes the oracle and returns the rumor sets (after a run).
+    pub fn into_rumor_sets(self) -> Vec<RumorSet> {
+        self.sets
     }
 
-    /// Runs `protocol` with the original snapshot-per-exchange semantics.
-    ///
-    /// RNG streams match the rewritten engine: each node's per-round draw
-    /// comes from its own [`decision_rng`]`(seed, round, node)` stream, so
-    /// the two engines stay byte-identical call for call.
+    /// Merges the dense `snapshot` into node `dst`, keeping the row, the
+    /// paged mirror and the popcount in sync.  Returns `true` if anything
+    /// new arrived.
+    // gossip-lint: allow(panic-path): rows/sets/counts are sized n at construction; node ids are dense
+    fn merge_snapshot(&mut self, dst: NodeId, snapshot: &[u64]) -> bool {
+        let i = dst.index();
+        let row = &mut self.rows[i * self.stride..(i + 1) * self.stride];
+        let mut changed = false;
+        for (w, (word, &snap)) in row.iter_mut().zip(snapshot).enumerate() {
+            let new = snap & !*word;
+            if new == 0 {
+                continue;
+            }
+            changed = true;
+            *word |= new;
+            self.counts[i] += new.count_ones() as usize;
+            let mut bits = new;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.sets[i].insert(RumorId::from(w * 64 + b));
+            }
+        }
+        changed
+    }
+
+    /// Runs `protocol` with snapshot-at-initiation semantics over the dense
+    /// rows; the structure is a line-for-line port of
+    /// [`ReferenceSimulation::run`](crate::reference::ReferenceSimulation::run).
+    // gossip-lint: allow(panic-path): node/edge indices come from the graph's own CSR bounds
     pub fn run<P: Protocol>(&mut self, protocol: &mut P) -> RunReport {
         let n = self.graph.node_count();
+        let stride = self.stride;
         let mut in_flight: Vec<InFlight> = Vec::new();
-        // gossip-lint: allow(unordered-iter): frozen reference engine; keyed inserts and `get` only, never iterated
+        // gossip-lint: allow(unordered-iter): keyed inserts and `get` only, never iterated
         let mut discovered: Vec<HashMap<EdgeId, Latency>> = vec![HashMap::new(); n];
         let mut pending_own = vec![0usize; n];
         let mut activations: u64 = 0;
         let mut rejections: u64 = 0;
         let mut informed_times: Vec<Option<u64>> = match self.config.tracked_rumor {
             Some(r) => self
-                .rumors
+                .sets
                 .iter()
                 .map(|s| if s.contains(r) { Some(0) } else { None })
                 .collect(),
             None => Vec::new(),
         };
 
-        // Fault machinery — same schedule, same round-start semantics as the
-        // snapshot-free engine (see [`crate::fault`]); the `fault_equivalence`
-        // suite pins the two interpretations byte-identical.
         let fault_plan = self.config.faults.clone();
         let fault_events: &[(u64, FaultEvent)] = match &fault_plan {
             Some(plan) => plan.events(),
@@ -130,7 +174,6 @@ impl<'g> ReferenceSimulation<'g> {
         let mut alive: Option<AliveView> = fault_plan.as_ref().map(|_| AliveView::new(self.graph));
         let (mut crashes, mut rejoins, mut links_cut) = (0u64, 0u64, 0u64);
         let (mut cancelled, mut lost_count) = (0u64, 0u64);
-        // Rejoined nodes still re-disseminating, as `(node, rejoin round)`.
         let mut pending_recovery: Vec<(usize, u64)> = Vec::new();
         let mut recovery_latency: Option<u64> = None;
         let recovery_target: Option<RumorId> =
@@ -153,8 +196,7 @@ impl<'g> ReferenceSimulation<'g> {
 
         while !completed && round < self.config.max_rounds {
             // 0. Apply fault events scheduled for this round, before this
-            //    round's deliveries: an exchange completing now but touching
-            //    a node crashing now (or an edge cut now) is cancelled.
+            //    round's deliveries.
             while fault_events
                 .get(fault_cursor)
                 .is_some_and(|&(r, _)| r <= round)
@@ -193,24 +235,25 @@ impl<'g> ReferenceSimulation<'g> {
                         rejoins += 1;
                         // Amnesiac restart: only its own rumor, no history,
                         // no discovered latencies.
-                        let universe = self.rumors[v.index()].universe();
-                        self.rumors[v.index()] = RumorSet::singleton(universe, RumorId::of_node(v));
-                        discovered[v.index()].clear();
+                        let i = v.index();
+                        self.rows[i * stride..(i + 1) * stride].fill(0);
+                        self.rows[i * stride + v.index() / 64] |= 1 << (v.index() % 64);
+                        self.sets[i] = RumorSet::singleton(self.universe, RumorId::of_node(v));
+                        self.counts[i] = 1;
+                        discovered[i].clear();
                         if let Some(r) = self.config.tracked_rumor {
-                            if informed_times[v.index()].is_none()
-                                && self.rumors[v.index()].contains(r)
-                            {
-                                informed_times[v.index()] = Some(round);
+                            if informed_times[i].is_none() && self.sets[i].contains(r) {
+                                informed_times[i] = Some(round);
                             }
                         }
                         let recovered = match recovery_target {
-                            Some(r) => self.rumors[v.index()].contains(r),
-                            None => self.rumors[v.index()].is_full(),
+                            Some(r) => self.sets[i].contains(r),
+                            None => self.sets[i].is_full(),
                         };
                         if recovered {
                             note_recovery(0, &mut recovery_latency);
                         } else {
-                            pending_recovery.push((v.index(), round));
+                            pending_recovery.push((i, round));
                         }
                     }
                     FaultEvent::CutLink(e) => {
@@ -240,14 +283,8 @@ impl<'g> ReferenceSimulation<'g> {
                         responder: ex.responder,
                         edge: ex.edge,
                         completes_at: ex.completes_at,
-                        initiator_snapshot: std::mem::replace(
-                            &mut ex.initiator_snapshot,
-                            RumorSet::empty(0),
-                        ),
-                        responder_snapshot: std::mem::replace(
-                            &mut ex.responder_snapshot,
-                            RumorSet::empty(0),
-                        ),
+                        initiator_snapshot: std::mem::take(&mut ex.initiator_snapshot),
+                        responder_snapshot: std::mem::take(&mut ex.responder_snapshot),
                         lost: ex.lost,
                     });
                     false
@@ -266,14 +303,14 @@ impl<'g> ReferenceSimulation<'g> {
                     continue;
                 }
                 // Both endpoints merge the peer's snapshot taken at initiation.
-                self.rumors[ex.initiator.index()].union_with(&ex.responder_snapshot);
-                self.rumors[ex.responder.index()].union_with(&ex.initiator_snapshot);
+                self.merge_snapshot(ex.initiator, &ex.responder_snapshot);
+                self.merge_snapshot(ex.responder, &ex.initiator_snapshot);
                 discovered[ex.initiator.index()].insert(ex.edge, latency);
                 discovered[ex.responder.index()].insert(ex.edge, latency);
                 if let Some(r) = self.config.tracked_rumor {
                     for endpoint in [ex.initiator, ex.responder] {
                         if informed_times[endpoint.index()].is_none()
-                            && self.rumors[endpoint.index()].contains(r)
+                            && self.sets[endpoint.index()].contains(r)
                         {
                             informed_times[endpoint.index()] = Some(round);
                         }
@@ -284,8 +321,8 @@ impl<'g> ReferenceSimulation<'g> {
                         let i = endpoint.index();
                         if let Some(pos) = pending_recovery.iter().position(|&(v, _)| v == i) {
                             let recovered = match recovery_target {
-                                Some(r) => self.rumors[i].contains(r),
-                                None => self.rumors[i].is_full(),
+                                Some(r) => self.sets[i].contains(r),
+                                None => self.sets[i].is_full(),
                             };
                             if recovered {
                                 let (_, since) = pending_recovery.swap_remove(pos);
@@ -320,7 +357,8 @@ impl<'g> ReferenceSimulation<'g> {
                 break;
             }
 
-            // 3. Let every *alive* node act.
+            // 3. Let every *alive* node act, each on its own
+            //    `(seed, round, node)` RNG stream.
             for i in 0..n {
                 let node = NodeId::new(i);
                 if let Some(av) = &alive {
@@ -336,7 +374,7 @@ impl<'g> ReferenceSimulation<'g> {
                     let view = NodeView {
                         node,
                         round,
-                        rumors: &self.rumors[i],
+                        rumors: &self.sets[i],
                         neighbors: match &alive {
                             Some(av) => av.neighbor_slice(self.graph, node),
                             None => self.graph.neighbor_slice(node),
@@ -377,11 +415,13 @@ impl<'g> ReferenceSimulation<'g> {
                     responder: target,
                     edge,
                     completes_at: round + latency,
-                    initiator_snapshot: self.rumors[i].clone(),
-                    responder_snapshot: self.rumors[target.index()].clone(),
+                    initiator_snapshot: self.rows[i * stride..(i + 1) * stride].to_vec(),
+                    responder_snapshot: self.rows
+                        [target.index() * stride..(target.index() + 1) * stride]
+                        .to_vec(),
                     // Drawn exactly once per *accepted* initiation, from the
-                    // dedicated loss stream — the same call points as the
-                    // snapshot-free engine, keeping the streams aligned.
+                    // dedicated loss stream — the same call points as both
+                    // other engines, keeping the streams aligned.
                     lost: fault::draw_loss(&mut loss),
                 });
             }
@@ -409,22 +449,31 @@ impl<'g> ReferenceSimulation<'g> {
                 alive_nodes: av.alive_count() as u64,
                 residual_components,
                 largest_component,
-                stranded_rumors: fault::stranded_rumors(&self.rumors, &av),
+                stranded_rumors: fault::stranded_rumors(&self.sets, &av),
                 recovery_latency,
             }
         });
-        self.report(
-            protocol,
-            round,
+        RunReport {
+            protocol: protocol.name().to_string(),
+            rounds: round,
             activations,
-            rejections,
+            messages: activations * 2,
             completed,
-            informed_times,
+            rejections,
+            informed_times: if informed_times.is_empty() {
+                None
+            } else {
+                Some(informed_times)
+            },
+            min_rumors_known: self.counts.iter().copied().min().unwrap_or(0),
             faults,
-        )
+            // No interval logs, shadows or pages to measure; equivalence
+            // compares `RunReport::semantics()`, which strips this field.
+            mem: None,
+        }
     }
 
-    // gossip-lint: allow(panic-path): rumor vec is sized n at construction; node ids are dense
+    // gossip-lint: allow(panic-path): counts/sets are sized n at construction; node ids are dense
     fn is_done<P: Protocol>(
         &self,
         termination: &Termination,
@@ -442,19 +491,19 @@ impl<'g> ReferenceSimulation<'g> {
                 let r = RumorId::of_node(source);
                 self.graph
                     .nodes()
-                    .all(|v| !node_alive(v) || self.rumors[v.index()].contains(r))
+                    .all(|v| !node_alive(v) || self.sets[v.index()].contains(r))
             }
             Termination::AllKnowAll => self
                 .graph
                 .nodes()
-                .all(|v| !node_alive(v) || self.rumors[v.index()].is_full()),
+                .all(|v| !node_alive(v) || self.counts[v.index()] == self.universe),
             Termination::LocalBroadcast(bound) => self.graph.nodes().all(|v| {
                 !node_alive(v)
                     || self.graph.neighbors(v).all(|(w, e)| {
                         self.graph.latency(e) > bound
                             || !node_alive(w)
                             || !edge_alive(e)
-                            || self.rumors[v.index()].contains(RumorId::of_node(w))
+                            || self.sets[v.index()].contains(RumorId::of_node(w))
                     })
             }),
             Termination::FixedRounds(target) => round >= target,
@@ -465,38 +514,6 @@ impl<'g> ReferenceSimulation<'g> {
                         .nodes()
                         .all(|v| !node_alive(v) || protocol.is_idle(v))
             }
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn report<P: Protocol>(
-        &self,
-        protocol: &P,
-        rounds: u64,
-        activations: u64,
-        rejections: u64,
-        completed: bool,
-        informed_times: Vec<Option<u64>>,
-        faults: Option<FaultReport>,
-    ) -> RunReport {
-        RunReport {
-            protocol: protocol.name().to_string(),
-            rounds,
-            activations,
-            messages: activations * 2,
-            completed,
-            rejections,
-            informed_times: if informed_times.is_empty() {
-                None
-            } else {
-                Some(informed_times)
-            },
-            min_rumors_known: self.rumors.iter().map(RumorSet::len).min().unwrap_or(0),
-            faults,
-            // The reference engine predates the interval-log/shadow state the
-            // memory counters describe; equivalence compares
-            // `RunReport::semantics()`, which strips this field.
-            mem: None,
         }
     }
 }

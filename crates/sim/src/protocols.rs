@@ -14,7 +14,7 @@ use gossip_graph::{Graph, NodeId};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-use crate::engine::{Activity, NodeView, Protocol};
+use crate::engine::{Activity, NodeView, Protocol, ShardedProtocol};
 
 /// Classical push–pull (the "random phone call" model): every node contacts a
 /// uniformly random neighbor in every round — until it is *saturated*.
@@ -45,13 +45,11 @@ impl RandomPushPull {
     }
 }
 
-impl Protocol for RandomPushPull {
-    fn name(&self) -> &'static str {
-        "push-pull"
-    }
-
+impl RandomPushPull {
+    /// The per-node decision, shared verbatim by the serial and sharded
+    /// paths — the protocol is stateless, so both are this one function.
     // gossip-lint: allow(panic-path): gen_range draws within the nonempty neighbor slice
-    fn on_round(&mut self, view: &NodeView<'_>, rng: &mut SmallRng) -> Option<NodeId> {
+    fn decide(view: &NodeView<'_>, rng: &mut SmallRng) -> Option<NodeId> {
         let deg = view.neighbors.len();
         // The saturation check comes before the RNG draw: a quiescent node
         // must not perturb the random stream (see the `activity` contract).
@@ -62,8 +60,9 @@ impl Protocol for RandomPushPull {
         Some(view.neighbors[pick].0)
     }
 
-    // gossip-audit: contract(pure)
-    fn activity(&self, view: &NodeView<'_>) -> Activity {
+    /// Shared by `activity` and `shard_activity`, so the purity audit walks
+    /// it transitively from both contracts.
+    fn quiet(view: &NodeView<'_>) -> Activity {
         // A full rumor set never shrinks and an isolated node never gains a
         // neighbor: both silences are permanent.
         if view.neighbors.is_empty() || view.rumors.is_full() {
@@ -71,6 +70,43 @@ impl Protocol for RandomPushPull {
         } else {
             Activity::Active
         }
+    }
+}
+
+impl Protocol for RandomPushPull {
+    fn name(&self) -> &'static str {
+        "push-pull"
+    }
+
+    fn on_round(&mut self, view: &NodeView<'_>, rng: &mut SmallRng) -> Option<NodeId> {
+        Self::decide(view, rng)
+    }
+
+    // gossip-audit: contract(pure)
+    fn activity(&self, view: &NodeView<'_>) -> Activity {
+        Self::quiet(view)
+    }
+}
+
+impl ShardedProtocol for RandomPushPull {
+    /// Stateless: a shard carries nothing.
+    type Shard<'s> = ();
+
+    fn decision_shards<'s>(&'s mut self, cuts: &[u32]) -> Vec<Self::Shard<'s>> {
+        vec![(); cuts.len().saturating_sub(1)]
+    }
+
+    fn shard_on_round(
+        _shard: &mut Self::Shard<'_>,
+        view: &NodeView<'_>,
+        rng: &mut SmallRng,
+    ) -> Option<NodeId> {
+        Self::decide(view, rng)
+    }
+
+    // gossip-audit: contract(pure)
+    fn shard_activity(_shard: &Self::Shard<'_>, view: &NodeView<'_>) -> Activity {
+        Self::quiet(view)
     }
 }
 
@@ -135,24 +171,17 @@ impl RoundRobinFlood {
     }
 }
 
-impl Protocol for RoundRobinFlood {
-    fn name(&self) -> &'static str {
-        "round-robin-flood"
-    }
-
+impl RoundRobinFlood {
+    /// Advances one node's lap state and picks its next neighbor — the
+    /// per-cursor decision shared verbatim by the serial and sharded paths.
     // gossip-lint: allow(panic-path): cursor wraps modulo the nonzero degree; deg == 0 returns before any index
-    fn on_round(&mut self, view: &NodeView<'_>, _rng: &mut SmallRng) -> Option<NodeId> {
+    fn step(st: &mut FloodCursor, view: &NodeView<'_>) -> Option<NodeId> {
         let deg = view.neighbors.len();
         if deg == 0 || !view.can_initiate {
             // Do not advance the cursor (or any lap state) for a choice the
             // engine would discard.
             return None;
         }
-        let i = view.node.index();
-        if i >= self.state.len() {
-            self.state.resize(i + 1, FloodCursor::default());
-        }
-        let st = &mut self.state[i];
         let len = view.rumors.len();
         if len != st.last_seen {
             // Fresh rumors since the lap started (or a protocol value reused
@@ -172,8 +201,10 @@ impl Protocol for RoundRobinFlood {
         Some(view.neighbors[pick].0)
     }
 
-    // gossip-audit: contract(pure)
-    fn activity(&self, view: &NodeView<'_>) -> Activity {
+    /// The `activity` predicate over one cursor's lap state.  Shared by
+    /// `activity` and `shard_activity`, so the purity audit walks it
+    /// transitively from both contracts.
+    fn lap_activity(st: FloodCursor, view: &NodeView<'_>) -> Activity {
         let deg = view.neighbors.len();
         if deg == 0 {
             return Activity::Quiescent;
@@ -183,18 +214,92 @@ impl Protocol for RoundRobinFlood {
             // own exchange completes — which is a wake event.
             return Activity::IdleUntilWoken;
         }
-        // Mirror the `on_round` predicate exactly: silence is only promised
+        // Mirror the `step` predicate exactly: silence is only promised
         // when the rumor count is unchanged *and* the lap is complete.
-        let st = self
-            .state
-            .get(view.node.index())
-            .copied()
-            .unwrap_or_default();
         if view.rumors.len() != st.last_seen || st.remaining > 0 {
             Activity::Active
         } else {
             Activity::IdleUntilWoken
         }
+    }
+}
+
+impl Protocol for RoundRobinFlood {
+    fn name(&self) -> &'static str {
+        "round-robin-flood"
+    }
+
+    // gossip-lint: allow(panic-path): the cursor table is resized to cover the node index right above
+    fn on_round(&mut self, view: &NodeView<'_>, _rng: &mut SmallRng) -> Option<NodeId> {
+        let i = view.node.index();
+        if i >= self.state.len() {
+            self.state.resize(i + 1, FloodCursor::default());
+        }
+        Self::step(&mut self.state[i], view)
+    }
+
+    // gossip-audit: contract(pure)
+    fn activity(&self, view: &NodeView<'_>) -> Activity {
+        let st = self
+            .state
+            .get(view.node.index())
+            .copied()
+            .unwrap_or_default();
+        Self::lap_activity(st, view)
+    }
+}
+
+/// One contiguous node-range slice of [`RoundRobinFlood`]'s cursor table.
+#[derive(Debug)]
+pub struct FloodShard<'s> {
+    /// First node id of the shard's range.
+    base: usize,
+    /// The cursors of nodes `base .. base + cursors.len()`.
+    cursors: &'s mut [FloodCursor],
+}
+
+impl ShardedProtocol for RoundRobinFlood {
+    type Shard<'s> = FloodShard<'s>;
+
+    // gossip-lint: allow(panic-path): cuts are strictly increasing and end at the node count
+    fn decision_shards<'s>(&'s mut self, cuts: &[u32]) -> Vec<Self::Shard<'s>> {
+        // Grow the table up front: a shard indexes its slice directly, so the
+        // serial path's on-demand resize must have already happened.
+        let n = cuts.last().copied().unwrap_or(0) as usize;
+        if self.state.len() < n {
+            self.state.resize(n, FloodCursor::default());
+        }
+        let mut shards = Vec::with_capacity(cuts.len().saturating_sub(1));
+        let mut rest: &mut [FloodCursor] = &mut self.state;
+        let mut consumed = 0usize;
+        for pair in cuts.windows(2) {
+            let (lo, hi) = (pair[0] as usize, pair[1] as usize);
+            // `rest` still holds nodes `consumed..`; peel off everything
+            // through `hi` and keep the `lo..hi` tail as the shard.
+            let (mine, tail) = rest.split_at_mut(hi - consumed);
+            shards.push(FloodShard {
+                base: lo,
+                cursors: &mut mine[lo - consumed..],
+            });
+            rest = tail;
+            consumed = hi;
+        }
+        shards
+    }
+
+    // gossip-lint: allow(panic-path): the engine only presents nodes inside the shard's cut range
+    fn shard_on_round(
+        shard: &mut Self::Shard<'_>,
+        view: &NodeView<'_>,
+        _rng: &mut SmallRng,
+    ) -> Option<NodeId> {
+        Self::step(&mut shard.cursors[view.node.index() - shard.base], view)
+    }
+
+    // gossip-lint: allow(panic-path): the engine only presents nodes inside the shard's cut range
+    // gossip-audit: contract(pure)
+    fn shard_activity(shard: &Self::Shard<'_>, view: &NodeView<'_>) -> Activity {
+        Self::lap_activity(shard.cursors[view.node.index() - shard.base], view)
     }
 }
 
@@ -217,6 +322,28 @@ impl Protocol for Silent {
 
     // gossip-audit: contract(pure)
     fn activity(&self, _view: &NodeView<'_>) -> Activity {
+        Activity::Quiescent
+    }
+}
+
+impl ShardedProtocol for Silent {
+    /// Stateless: a shard carries nothing.
+    type Shard<'s> = ();
+
+    fn decision_shards<'s>(&'s mut self, cuts: &[u32]) -> Vec<Self::Shard<'s>> {
+        vec![(); cuts.len().saturating_sub(1)]
+    }
+
+    fn shard_on_round(
+        _shard: &mut Self::Shard<'_>,
+        _view: &NodeView<'_>,
+        _rng: &mut SmallRng,
+    ) -> Option<NodeId> {
+        None
+    }
+
+    // gossip-audit: contract(pure)
+    fn shard_activity(_shard: &Self::Shard<'_>, _view: &NodeView<'_>) -> Activity {
         Activity::Quiescent
     }
 }

@@ -7,14 +7,23 @@
 //! **byte-identical** [`RunReport`]s and identical final rumor states, under
 //! every termination condition and both exchange modes.  A proptest block
 //! repeats the comparison over random Erdős–Rényi instances.
+//!
+//! The *mid-size* tier swaps the reference engine for the dense-bitset
+//! [`OracleSimulation`] — same round-by-round semantics, `O(n · rounds)`
+//! instead of per-exchange snapshot cloning — which is itself pinned
+//! `semantics`-identical to the reference on the full Quick grid, and then
+//! carries the equivalence proptests into the 2048+-node regime the
+//! reference engine cannot reach.
 
 use gossip_bench::sweep::SweepSpec;
 use gossip_bench::Scale;
 use gossip_graph::{generators, Graph, NodeId};
+use gossip_sim::oracle::OracleSimulation;
 use gossip_sim::protocols::{RandomPushPull, RoundRobinFlood};
 use gossip_sim::reference::ReferenceSimulation;
 use gossip_sim::{
-    ExchangeMode, Protocol, RumorId, RumorSet, RunReport, SimConfig, Simulation, Termination,
+    ExchangeMode, Protocol, RumorId, RumorSet, RunReport, ShardedProtocol, SimConfig, Simulation,
+    Termination,
 };
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -55,6 +64,42 @@ fn assert_equivalent<P: Protocol, F: Fn() -> P>(
         "rumor-state mismatch: {label}"
     );
     new_report
+}
+
+/// Runs one protocol under one config on the *sharded* engine (4 workers)
+/// and on the dense-bitset oracle, requiring identical semantic reports and
+/// identical final rumor sets — the mid-size analogue of
+/// [`assert_equivalent`], for sizes the per-exchange-snapshot reference
+/// engine cannot reach.
+fn assert_oracle_equivalent<P: ShardedProtocol, F: Fn() -> P>(
+    g: &Graph,
+    config: &SimConfig,
+    make_protocol: F,
+    label: &str,
+) -> RunReport {
+    let mut protocol = make_protocol();
+    let mut sim = Simulation::new(g, config.clone().threads(4));
+    let report = sim.run_sharded(&mut protocol);
+
+    let mut oracle_protocol = make_protocol();
+    let mut oracle = OracleSimulation::new(g, config.clone());
+    let oracle_report = oracle.run(&mut oracle_protocol);
+
+    assert!(
+        report.mem.is_some() && oracle_report.mem.is_none(),
+        "the engine reports memory diagnostics, the oracle does not: {label}"
+    );
+    assert_eq!(
+        report.semantics(),
+        oracle_report.semantics(),
+        "oracle report mismatch: {label}"
+    );
+    assert_eq!(
+        sim.into_rumors(),
+        oracle.into_rumor_sets(),
+        "oracle rumor-state mismatch: {label}"
+    );
+    report
 }
 
 /// The configurations equivalence is checked under: every termination
@@ -130,6 +175,68 @@ fn engines_agree_on_the_full_quick_grid() {
         }
     }
     // 7 families x 2 sizes x 4 profiles x 3 seeds x 4 configs x 2 protocols.
+    assert_eq!(checked, 7 * 2 * 4 * 3 * 4 * 2);
+}
+
+/// The oracle's own pin: on every scenario of the Quick grid (three seeds,
+/// both protocols, all four config shapes) the dense-bitset oracle must be
+/// `semantics`-identical to the preserved reference engine — so promoting
+/// the oracle to the mid-size equivalence witness never weakens the chain
+/// `engine == oracle == reference`.
+#[test]
+fn oracle_matches_reference_on_the_full_quick_grid() {
+    fn oracle_vs_reference<P: Protocol, F: Fn() -> P>(
+        g: &Graph,
+        config: &SimConfig,
+        make_protocol: F,
+        label: &str,
+    ) {
+        let mut oracle = OracleSimulation::new(g, config.clone());
+        let oracle_report = oracle.run(&mut make_protocol());
+        let mut reference = ReferenceSimulation::new(g, config.clone());
+        let ref_report = reference.run(&mut make_protocol());
+        assert!(
+            oracle_report.mem.is_none() && ref_report.mem.is_none(),
+            "neither oracle reports memory diagnostics: {label}"
+        );
+        assert_eq!(
+            oracle_report.semantics(),
+            ref_report.semantics(),
+            "oracle/reference report mismatch: {label}"
+        );
+        assert_eq!(
+            oracle.into_rumor_sets(),
+            reference.into_rumors(),
+            "oracle/reference rumor-state mismatch: {label}"
+        );
+    }
+
+    let spec = SweepSpec::standard(Scale::Quick);
+    let mut checked = 0usize;
+    for family in &spec.families {
+        for &size in &spec.sizes {
+            for profile in &spec.profiles {
+                for seed in [1u64, 2, 3] {
+                    let mut graph_rng = SmallRng::seed_from_u64(seed ^ 0xA11CE);
+                    let base = family.build(size, &mut graph_rng);
+                    let g = profile.apply(&base, &mut graph_rng);
+                    for (config, config_label) in configs(seed, g.node_count()) {
+                        let label = format!(
+                            "oracle {}/{}/{}/seed{}/{}",
+                            family.name(),
+                            size,
+                            profile.name(),
+                            seed,
+                            config_label
+                        );
+                        oracle_vs_reference(&g, &config, || RandomPushPull::new(&g), &label);
+                        oracle_vs_reference(&g, &config, || RoundRobinFlood::new(&g), &label);
+                        checked += 2;
+                    }
+                }
+            }
+        }
+    }
     assert_eq!(checked, 7 * 2 * 4 * 3 * 4 * 2);
 }
 
@@ -328,5 +435,103 @@ proptest! {
             assert_equivalent(&g, &config, || RoundRobinFlood::new(&g), "skip flood"),
             "skip flood",
         );
+    }
+}
+
+// The mid-size tier: the dense-bitset oracle carries the same three
+// structure-forcing equivalence arguments (shadows, collapse, skipping) into
+// the 2048+-node regime, against the *sharded* engine — so each case also
+// witnesses thread-count invariance of the parallel decision and merge
+// passes at sizes where both genuinely fan out.  Case counts are small: each
+// case runs thousands of nodes through both engines.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Shadow-forcing at mid size: sparse Erdős–Rényi (avg degree ≈ 8–12)
+    /// with latencies ≥ 2 and `shadow_compaction(0)`, one-to-all.
+    #[test]
+    fn oracle_matches_engine_with_forced_shadows_at_mid_size(
+        n in 2048usize..2600,
+        max_latency in 2u64..6,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x0A1);
+        let g = generators::erdos_renyi(n, 10.0 / n as f64, 1, &mut rng).unwrap();
+        let g = gossip_graph::latency::LatencyScheme::UniformRandom { min: 2, max: max_latency }
+            .apply(&g, &mut rng)
+            .unwrap();
+        let config = SimConfig::new(seed)
+            .termination(Termination::AllKnowRumorOf(NodeId::new(n / 3)))
+            .track_rumor(RumorId::from(n / 3))
+            .shadow_compaction(0)
+            .max_rounds(400);
+        let report =
+            assert_oracle_equivalent(&g, &config, || RandomPushPull::new(&g), "mid shadows");
+        let mem = report.mem.unwrap();
+        prop_assert!(
+            mem.shadow_advances > 0,
+            "forced compaction must advance shadows at this size ({mem:?})"
+        );
+    }
+
+    /// Collapse-forcing at mid size: all-to-all driven past completion so
+    /// nodes saturate, outlive the calendar lap, and collapse.
+    #[test]
+    fn oracle_matches_engine_through_saturation_collapse_at_mid_size(
+        n in 2048usize..2600,
+        max_latency in 2u64..5,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x0B2);
+        let g = generators::erdos_renyi(n, 14.0 / n as f64, 1, &mut rng).unwrap();
+        let g = gossip_graph::latency::LatencyScheme::UniformRandom { min: 2, max: max_latency }
+            .apply(&g, &mut rng)
+            .unwrap();
+        let config = SimConfig::new(seed)
+            .termination(Termination::FixedRounds(40 * g.max_latency()))
+            .shadow_compaction(0);
+        let report = assert_oracle_equivalent(
+            &g,
+            &config,
+            || RandomPushPull::new(&g),
+            "mid collapse",
+        );
+        let mem = report.mem.unwrap();
+        if report.min_rumors_known == n {
+            prop_assert_eq!(mem.collapsed_nodes, n as u64, "saturated nodes must collapse");
+        }
+        prop_assert!(mem.truncated_runs > 0);
+    }
+
+    /// Skip-forcing at mid size: a star driven far past push–pull
+    /// saturation — the engine fast-forwards the idle endgame, the oracle
+    /// walks every round.  Flood runs the same budget for equivalence only:
+    /// the hub's round-robin lap over ~n leaves outlives any budget the
+    /// oracle can walk at this size, so flood's *skipping* stays pinned by
+    /// the small-size proptest above, while its sharded cursor state still
+    /// gets exercised here.
+    #[test]
+    fn oracle_matches_engine_through_skipped_endgames_at_mid_size(
+        n in 2048usize..2600,
+        max_latency in 2u64..5,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x0C3);
+        let g = generators::star(n, 1).unwrap();
+        let g = gossip_graph::latency::LatencyScheme::UniformRandom { min: 2, max: max_latency }
+            .apply(&g, &mut rng)
+            .unwrap();
+        let config = SimConfig::new(seed)
+            .termination(Termination::FixedRounds(600))
+            .track_rumor(RumorId::from(0usize))
+            .shadow_compaction(0);
+        let report =
+            assert_oracle_equivalent(&g, &config, || RandomPushPull::new(&g), "mid skip");
+        let mem = report.mem.unwrap();
+        prop_assert!(
+            mem.rounds_skipped > 0,
+            "the saturated endgame must fast-forward ({mem:?})"
+        );
+        assert_oracle_equivalent(&g, &config, || RoundRobinFlood::new(&g), "mid skip flood");
     }
 }

@@ -278,6 +278,86 @@ fn spanner_broadcast_on_an_8192_node_grid_completes_within_budget() {
     );
 }
 
+/// THE ISSUE acceptance gate (release only): push–pull *one-to-all* on a
+/// **2²⁰-node (1,048,576) star**, on the sharded engine — eight times past
+/// the previous 131072-node tier.  The run is executed twice, on a 1-worker
+/// and a 4-worker pool, and the two [`gossip_sim::RunReport`]s must be
+/// **fully identical** (memory diagnostics included): per-(round, node) RNG
+/// streams plus the canonical merge order make the report a pure function
+/// of `(graph, config, seed)`, never of the pool.  On a machine with ≥ 4
+/// cores the 4-worker run must also not be slower — the decision and merge
+/// passes over a million-node worklist are where sharding pays.
+#[cfg(not(debug_assertions))]
+#[test]
+fn sharded_one_to_all_on_a_million_node_star_is_thread_invariant() {
+    let g = generators::star(1 << 20, 1).unwrap();
+    let run = |threads: usize| {
+        let config = SimConfig::new(3)
+            .termination(Termination::AllKnowRumorOf(NodeId::new(0)))
+            .track_rumor(RumorId(0))
+            .threads(threads);
+        let started = std::time::Instant::now();
+        let report = Simulation::new(&g, config).run_sharded(&mut RandomPushPull::new(&g));
+        (report, started.elapsed())
+    };
+    let (single, single_elapsed) = run(1);
+    let (pooled, pooled_elapsed) = run(4);
+    assert!(single.completed, "{single}");
+    assert_eq!(
+        single, pooled,
+        "2^20-node report must be byte-identical across thread counts"
+    );
+    assert!(
+        single_elapsed < std::time::Duration::from_secs(60),
+        "2^20-node one-to-all took {single_elapsed:.2?} single-threaded (budget 60s)"
+    );
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores >= 4 && single_elapsed > std::time::Duration::from_millis(500) {
+        // 5% slack: "improving with threads" must hold, noise must not flake.
+        assert!(
+            pooled_elapsed.as_secs_f64() < single_elapsed.as_secs_f64() * 1.05,
+            "4 workers ({pooled_elapsed:.2?}) must not run slower than 1 ({single_elapsed:.2?})"
+        );
+    }
+}
+
+/// THE ISSUE acceptance gate (release only): push–pull *all-to-all* on the
+/// **2²⁰-node star** under the sharded engine — every node ends up knowing
+/// all 2²⁰ rumors.  Dense bitsets would cost `2·n²/8` ≈ 275 GiB for sets and
+/// shadows; the paged, saturation-collapsing layout must keep the
+/// deterministic peak under 4 GiB (the transient is ~2 dense pages per node
+/// before the saturating merges flip pages straight to the full sentinel),
+/// and the run must finish within the wall-clock budget.
+#[cfg(not(debug_assertions))]
+#[test]
+fn sharded_all_to_all_on_a_million_node_star_stays_within_budget() {
+    let g = generators::star(1 << 20, 1).unwrap();
+    let started = std::time::Instant::now();
+    let config = SimConfig::new(19)
+        .termination(Termination::AllKnowAll)
+        .threads(4);
+    let report = Simulation::new(&g, config).run_sharded(&mut RandomPushPull::new(&g));
+    let elapsed = started.elapsed();
+    assert!(report.completed, "{report}");
+    assert_eq!(report.min_rumors_known, 1 << 20, "knowledge must saturate");
+    let mem = report.mem.unwrap();
+    assert!(
+        mem.peak_engine_bytes < 4 << 30,
+        "peak {} bytes exceeds the 4 GiB budget ({mem:?})",
+        mem.peak_engine_bytes
+    );
+    assert_eq!(mem.saturated_nodes, 1 << 20);
+    assert!(
+        mem.pages_peak <= 2 * (1 << 20) + 64,
+        "paged sets must stay near two pages per node, got {}",
+        mem.pages_peak
+    );
+    assert!(
+        elapsed < std::time::Duration::from_secs(600),
+        "2^20-node all-to-all took {elapsed:.2?} (budget 600s)"
+    );
+}
+
 /// One-to-all on a 32768-node star: past the 10^4-node mark.  Termination is
 /// immediate knowledge-wise (the hub relays the source rumor in one hop), so
 /// per-node state stays small and the run is dominated by scheduling — the

@@ -9,7 +9,9 @@
 
 #![warn(missing_docs)]
 
+use std::cell::Cell;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 pub mod prelude {
@@ -17,13 +19,42 @@ pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
 }
 
+/// Explicit worker count installed by [`set_num_threads`] (0 = unset).
+static GLOBAL_NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Worker count installed by [`ThreadPool::install`] on the calling
+    /// thread (0 = no pool installed).  Thread-local because parallel calls
+    /// read their pool size on the thread that *issues* them, which is how
+    /// nested pools (a sweep trial installing an engine pool) stay scoped.
+    static POOL_NUM_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Configures the global pool size programmatically, like real rayon's
+/// `ThreadPoolBuilder::build_global`: an explicit setting takes precedence
+/// over the `RAYON_NUM_THREADS` environment variable.  Passing `0` clears
+/// the setting.  Calls inside a [`ThreadPool::install`] scope are still
+/// governed by that pool.
+pub fn set_num_threads(n: usize) {
+    GLOBAL_NUM_THREADS.store(n, Ordering::Relaxed);
+}
+
 /// Returns the number of worker threads a parallel call will use for `len` items.
 ///
-/// Like real rayon's global pool, the `RAYON_NUM_THREADS` environment
-/// variable (a positive integer) overrides the detected parallelism — the
-/// workspace's determinism tests use it to prove results are identical
-/// across thread counts.
+/// Precedence mirrors real rayon: a [`ThreadPool::install`] scope on the
+/// calling thread wins, then an explicit [`set_num_threads`], then the
+/// `RAYON_NUM_THREADS` environment variable (a positive integer), then the
+/// detected parallelism.  The workspace's determinism tests force the env
+/// override to prove results are identical across thread counts.
 pub fn current_num_threads() -> usize {
+    let installed = POOL_NUM_THREADS.with(Cell::get);
+    if installed >= 1 {
+        return installed;
+    }
+    let global = GLOBAL_NUM_THREADS.load(Ordering::Relaxed);
+    if global >= 1 {
+        return global;
+    }
     if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
         if let Ok(n) = v.trim().parse::<usize>() {
             if n >= 1 {
@@ -34,6 +65,70 @@ pub fn current_num_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Builder for an explicitly sized [`ThreadPool`], mirroring the subset of
+/// real rayon's `ThreadPoolBuilder` the workspace uses.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with no explicit thread count (the pool then
+    /// resolves to the global/env/detected count at call time).
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the pool's worker count (`0` = resolve at call time).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.  Infallible in this vendored subset (workers are
+    /// scoped threads spawned per call, so there is nothing to pre-allocate).
+    pub fn build(self) -> ThreadPool {
+        ThreadPool {
+            num_threads: self.num_threads,
+        }
+    }
+}
+
+/// An explicitly sized pool scope.  Unlike real rayon this holds no OS
+/// threads — it only pins the worker count that parallel calls issued from
+/// inside [`install`](Self::install) will use; the scoped worker threads are
+/// spawned per call as always.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's worker count governing every parallel call
+    /// `op` issues from the current thread, restoring the previous pool (if
+    /// any) afterwards — including on unwind.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_NUM_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let prev = POOL_NUM_THREADS.with(|c| c.replace(self.num_threads));
+        let _restore = Restore(prev);
+        op()
+    }
+
+    /// The pool's worker count (resolving a `0` builder setting at call time).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads >= 1 {
+            self.num_threads
+        } else {
+            current_num_threads()
+        }
+    }
 }
 
 /// Conversion into a parallel iterator, consuming the collection.
@@ -185,6 +280,48 @@ mod tests {
     fn empty_input_is_fine() {
         let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn install_scopes_the_worker_count_and_restores_it() {
+        let outer = super::current_num_threads();
+        let pool = super::ThreadPoolBuilder::new().num_threads(3).build();
+        assert_eq!(pool.current_num_threads(), 3);
+        let inner = pool.install(super::current_num_threads);
+        assert_eq!(inner, 3);
+        // Nested installs shadow and restore like a stack.
+        let nested = pool.install(|| {
+            let deeper = super::ThreadPoolBuilder::new().num_threads(7).build();
+            let d = deeper.install(super::current_num_threads);
+            (d, super::current_num_threads())
+        });
+        assert_eq!(nested, (7, 3));
+        assert_eq!(super::current_num_threads(), outer);
+    }
+
+    #[test]
+    fn install_restores_on_unwind() {
+        let outer = super::current_num_threads();
+        let pool = super::ThreadPoolBuilder::new().num_threads(5).build();
+        let res = std::panic::catch_unwind(|| pool.install(|| panic!("boom")));
+        assert!(res.is_err());
+        assert_eq!(super::current_num_threads(), outer);
+    }
+
+    #[test]
+    fn install_governs_parallel_calls_issued_inside() {
+        // A 1-thread pool forces the sequential fallback even on multi-core
+        // machines: every closure runs on the calling thread.
+        let caller = std::thread::current().id();
+        let pool = super::ThreadPoolBuilder::new().num_threads(1).build();
+        let ids: Vec<std::thread::ThreadId> = pool.install(|| {
+            (0..64u32)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(|_| std::thread::current().id())
+                .collect()
+        });
+        assert!(ids.iter().all(|&id| id == caller));
     }
 
     #[test]
